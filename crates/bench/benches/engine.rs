@@ -1,0 +1,82 @@
+//! Criterion: discrete-event kernel throughput (events/sec through the
+//! queue) and PRNG draw rates — the floor under every experiment.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use wifi_core::sim::{EventQueue, Rng, SimTime};
+
+fn bench_event_queue(c: &mut Criterion) {
+    c.bench_function("event_queue_push_pop_10k", |b| {
+        b.iter(|| {
+            let mut q = EventQueue::new();
+            for i in 0..10_000u64 {
+                q.schedule(SimTime::from_nanos((i * 7919) % 1_000_000), i);
+            }
+            let mut acc = 0u64;
+            while let Some((_, v)) = q.pop() {
+                acc = acc.wrapping_add(v);
+            }
+            black_box(acc)
+        })
+    });
+}
+
+fn bench_rng(c: &mut Criterion) {
+    c.bench_function("rng_next_u64_100k", |b| {
+        let mut rng = Rng::new(1);
+        b.iter(|| {
+            let mut acc = 0u64;
+            for _ in 0..100_000 {
+                acc = acc.wrapping_add(rng.next_u64());
+            }
+            black_box(acc)
+        })
+    });
+    c.bench_function("rng_normal_10k", |b| {
+        let mut rng = Rng::new(2);
+        b.iter(|| {
+            let mut acc = 0.0;
+            for _ in 0..10_000 {
+                acc += rng.standard_normal();
+            }
+            black_box(acc)
+        })
+    });
+}
+
+fn bench_medium(c: &mut Criterion) {
+    use wifi_core::mac::ac::AccessCategory;
+    use wifi_core::mac::medium::{LinkParams, MediumSim};
+    c.bench_function("medium_10_stations_drain_500_frames", |b| {
+        b.iter(|| {
+            let mut m = MediumSim::new(3);
+            let qs: Vec<_> = (0..10)
+                .map(|_| m.add_queue(LinkParams::clean(AccessCategory::BestEffort)))
+                .collect();
+            for (k, &q) in qs.iter().enumerate() {
+                for i in 0..50 {
+                    m.enqueue(q, (k * 100 + i) as u64, 1460);
+                }
+            }
+            black_box(m.run_until_idle(wifi_core::sim::SimTime::from_secs(30)))
+        })
+    });
+}
+
+fn bench_testbed(c: &mut Criterion) {
+    use wifi_core::prelude::*;
+    c.bench_function("testbed_10_clients_500ms", |b| {
+        b.iter(|| {
+            let cfg = TestbedConfig {
+                clients_per_ap: 10,
+                fastack: vec![true],
+                seed: 5,
+                ..TestbedConfig::default()
+            };
+            black_box(Testbed::new(cfg).run(SimDuration::from_millis(500)))
+        })
+    });
+}
+
+criterion_group!(benches, bench_event_queue, bench_rng, bench_medium, bench_testbed);
+criterion_main!(benches);

@@ -1,0 +1,56 @@
+//! Criterion: FastACK agent packet-path cost. The agent sits on every
+//! data packet and every MAC ACK of a VHT AP pushing hundreds of
+//! thousands of packets per second; per-packet cost must stay sub-µs
+//! (the paper's AP implements it in Click on a modest MIPS/ARM CPU).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use wifi_core::fastack::{Agent, AgentConfig};
+use wifi_core::prelude::*;
+use wifi_core::tcp::{AckSegment, DataSegment};
+
+fn bench_data_path(c: &mut Criterion) {
+    c.bench_function("agent_data_plus_macack_1k_segments", |b| {
+        b.iter(|| {
+            let mut agent = Agent::new(AgentConfig::default());
+            for i in 0..1_000u64 {
+                let seg = DataSegment {
+                    flow: FlowId(1),
+                    seq: i * 1460,
+                    len: 1460,
+                    retransmit: false,
+                };
+                black_box(agent.on_wire_data(&seg));
+                black_box(agent.on_mac_ack(FlowId(1), i * 1460, 1460));
+            }
+            agent
+        })
+    });
+}
+
+fn bench_ack_suppression(c: &mut Criterion) {
+    c.bench_function("agent_client_ack_1k", |b| {
+        let mut agent = Agent::new(AgentConfig::default());
+        for i in 0..1_000u64 {
+            let seg = DataSegment {
+                flow: FlowId(1),
+                seq: i * 1460,
+                len: 1460,
+                retransmit: false,
+            };
+            agent.on_wire_data(&seg);
+            agent.on_mac_ack(FlowId(1), i * 1460, 1460);
+        }
+        b.iter(|| {
+            let mut a2 = agent.clone_for_bench();
+            for i in 1..=1_000u64 {
+                let ack = AckSegment::plain(FlowId(1), i * 1460, 1 << 20);
+                black_box(a2.on_client_ack(&ack));
+            }
+            a2
+        })
+    });
+}
+
+criterion_group!(benches, bench_data_path, bench_ack_suppression);
+criterion_main!(benches);

@@ -1,0 +1,45 @@
+//! Criterion: TurboCA planning cost — one NBO pass and one full
+//! scheduled run on enterprise-scale networks. The paper's service plans
+//! hundreds of networks every 15 minutes; per-network planning must be
+//! fast.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+use wifi_core::chanassign::metrics::MetricParams;
+use wifi_core::chanassign::turboca::{nbo, ScheduleTier, TurboCa};
+use wifi_core::netsim::deployment::{to_view, ViewOptions};
+use wifi_core::netsim::topology;
+use wifi_core::prelude::*;
+
+fn setup(n: usize) -> wifi_core::chanassign::NetworkView {
+    let mut rng = Rng::new(n as u64);
+    let area = (n as f64 * 350.0).sqrt();
+    let topo = topology::random_area(n, area, area, Band::Band5, &mut rng);
+    to_view(&topo, &ViewOptions::default(), &mut rng).0
+}
+
+fn bench_nbo(c: &mut Criterion) {
+    let mut g = c.benchmark_group("nbo_single_pass");
+    for &n in &[25usize, 100, 300] {
+        let view = setup(n);
+        let params = MetricParams::default();
+        g.bench_with_input(BenchmarkId::from_parameter(n), &view, |b, view| {
+            let mut rng = Rng::new(9);
+            b.iter(|| black_box(nbo(&params, view, 0, &mut rng)))
+        });
+    }
+    g.finish();
+}
+
+fn bench_schedule(c: &mut Criterion) {
+    let view = setup(100);
+    c.bench_function("turboca_fast_tier_100aps", |b| {
+        b.iter(|| {
+            let mut tca = TurboCa::new(7);
+            black_box(tca.run(&view, ScheduleTier::Fast))
+        })
+    });
+}
+
+criterion_group!(benches, bench_nbo, bench_schedule);
+criterion_main!(benches);

@@ -1,0 +1,85 @@
+//! Fig. 14 — sender congestion windows, 10 concurrent flows: with
+//! baseline TCP not every flow opens to the OS cap of 770 segments;
+//! with FastACK every flow does, quickly.
+
+use bench::harness::{f, Experiment};
+use wifi_core::prelude::*;
+
+fn run(fastack: bool) -> TestbedReport {
+    Testbed::new(TestbedConfig {
+        clients_per_ap: 10,
+        fastack: vec![fastack],
+        seed: 1414,
+        cwnd_sample_every: Some(SimDuration::from_millis(250)),
+        ..TestbedConfig::default()
+    })
+    .run(SimDuration::from_secs(10))
+}
+
+fn main() {
+    let mut exp = Experiment::new("fig14", "TCP cwnd traces, baseline vs FastACK (10 flows)");
+    let base = run(false);
+    let fast = run(true);
+
+    // Final-second cwnd per flow.
+    let final_cwnd = |r: &TestbedReport| -> Vec<f64> {
+        (0..10)
+            .map(|c| {
+                r.cwnd_trace
+                    .iter()
+                    .rev()
+                    .find(|(cc, _, _)| *cc == c)
+                    .map(|&(_, _, w)| w)
+                    .unwrap_or(0.0)
+            })
+            .collect()
+    };
+    let base_final = final_cwnd(&base);
+    let fast_final = final_cwnd(&fast);
+    let at_cap = |xs: &[f64]| xs.iter().filter(|&&w| w >= 700.0).count();
+
+    exp.compare(
+        "FastACK flows reaching the 770-segment cap",
+        "all 10",
+        format!("{}/10", at_cap(&fast_final)),
+        at_cap(&fast_final) >= 9,
+    );
+    exp.compare(
+        "baseline flows reaching the cap",
+        "not all",
+        format!("{}/10", at_cap(&base_final)),
+        at_cap(&base_final) < at_cap(&fast_final),
+    );
+    let mean = |xs: &[f64]| xs.iter().sum::<f64>() / xs.len() as f64;
+    exp.compare(
+        "mean final cwnd",
+        "FastACK opens windows fully",
+        format!("{} vs {} segments", f(mean(&fast_final)), f(mean(&base_final))),
+        mean(&fast_final) > mean(&base_final),
+    );
+    // FastACK opens fast: mean cwnd at t=2s already near cap.
+    let early_fast: Vec<f64> = fast
+        .cwnd_trace
+        .iter()
+        .filter(|(_, t, _)| (1.9..2.1).contains(t))
+        .map(|&(_, _, w)| w)
+        .collect();
+    exp.compare(
+        "FastACK cwnd at t=2s",
+        "opens up quickly",
+        format!("{} segments", f(mean(&early_fast))),
+        mean(&early_fast) > 500.0,
+    );
+    // Dump traces for flows 0..3 of each.
+    for c in 0..3 {
+        exp.series(
+            format!("cwnd-baseline-flow{c}"),
+            base.cwnd_trace.iter().filter(|(cc, _, _)| *cc == c).map(|&(_, t, w)| (t, w)).collect(),
+        );
+        exp.series(
+            format!("cwnd-fastack-flow{c}"),
+            fast.cwnd_trace.iter().filter(|(cc, _, _)| *cc == c).map(|&(_, t, w)| (t, w)).collect(),
+        );
+    }
+    std::process::exit(if exp.finish() { 0 } else { 1 });
+}

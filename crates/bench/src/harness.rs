@@ -1,0 +1,173 @@
+//! Shared experiment plumbing: result recording, paper-vs-measured
+//! comparison rows, and JSON series dumps.
+
+use serde::Serialize;
+use std::fmt::Write as _;
+use std::fs;
+use std::path::PathBuf;
+
+/// A recorded experiment: named scalar comparisons plus named series.
+#[derive(Debug, Default, Serialize)]
+pub struct Experiment {
+    pub id: String,
+    pub title: String,
+    pub comparisons: Vec<Comparison>,
+    pub series: Vec<Series>,
+}
+
+/// One paper-vs-measured scalar.
+#[derive(Debug, Serialize)]
+pub struct Comparison {
+    pub metric: String,
+    pub paper: String,
+    pub measured: String,
+    /// Does the measured value/shape agree with the paper's claim?
+    pub ok: bool,
+}
+
+/// A named (x, y) series for plotting.
+#[derive(Debug, Serialize)]
+pub struct Series {
+    pub name: String,
+    pub points: Vec<(f64, f64)>,
+}
+
+impl Experiment {
+    pub fn new(id: &str, title: &str) -> Experiment {
+        Experiment {
+            id: id.to_owned(),
+            title: title.to_owned(),
+            ..Experiment::default()
+        }
+    }
+
+    /// Record a paper-vs-measured row.
+    pub fn compare(
+        &mut self,
+        metric: impl Into<String>,
+        paper: impl Into<String>,
+        measured: impl Into<String>,
+        ok: bool,
+    ) {
+        self.comparisons.push(Comparison {
+            metric: metric.into(),
+            paper: paper.into(),
+            measured: measured.into(),
+            ok,
+        });
+    }
+
+    /// Record a series.
+    pub fn series(&mut self, name: impl Into<String>, points: Vec<(f64, f64)>) {
+        self.series.push(Series {
+            name: name.into(),
+            points,
+        });
+    }
+
+    /// Print the report and write the JSON dump. Returns `true` if every
+    /// comparison agreed.
+    pub fn finish(&self) -> bool {
+        let mut out = String::new();
+        let _ = writeln!(out, "== {} — {} ==", self.id, self.title);
+        if !self.comparisons.is_empty() {
+            let _ = writeln!(
+                out,
+                "{:<44} {:>22} {:>22}  ",
+                "metric", "paper", "measured"
+            );
+            for c in &self.comparisons {
+                let _ = writeln!(
+                    out,
+                    "{:<44} {:>22} {:>22}  {}",
+                    c.metric,
+                    c.paper,
+                    c.measured,
+                    if c.ok { "ok" } else { "MISMATCH" }
+                );
+            }
+        }
+        for s in &self.series {
+            let _ = writeln!(out, "series {} ({} points):", s.name, s.points.len());
+            let step = (s.points.len() / 12).max(1);
+            for (i, (x, y)) in s.points.iter().enumerate() {
+                if i % step == 0 || i + 1 == s.points.len() {
+                    let _ = writeln!(out, "  {x:>12.4}  {y:>12.4}");
+                }
+            }
+        }
+        println!("{out}");
+
+        let dir = std::env::var("IMC_RESULTS_DIR").unwrap_or_else(|_| "results".to_owned());
+        let path = PathBuf::from(dir).join(format!("{}.json", self.id));
+        if let Some(parent) = path.parent() {
+            let _ = fs::create_dir_all(parent);
+        }
+        match serde_json::to_string_pretty(self) {
+            Ok(json) => {
+                if let Err(e) = fs::write(&path, json) {
+                    eprintln!("warning: could not write {}: {e}", path.display());
+                }
+            }
+            Err(e) => eprintln!("warning: serialize failed: {e}"),
+        }
+
+        let all_ok = self.comparisons.iter().all(|c| c.ok);
+        if !all_ok {
+            println!("!! some comparisons did not match the paper");
+        }
+        all_ok
+    }
+}
+
+/// Relative agreement check: |measured − paper| ≤ tol·|paper|.
+pub fn close(measured: f64, paper: f64, tol: f64) -> bool {
+    (measured - paper).abs() <= tol * paper.abs().max(1e-12)
+}
+
+/// Format a float tersely.
+pub fn f(v: f64) -> String {
+    if v.abs() >= 100.0 {
+        format!("{v:.0}")
+    } else if v.abs() >= 1.0 {
+        format!("{v:.1}")
+    } else {
+        format!("{v:.3}")
+    }
+}
+
+/// Percentage string.
+pub fn pct(v: f64) -> String {
+    format!("{:.0}%", v * 100.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn close_tolerance() {
+        assert!(close(10.5, 10.0, 0.1));
+        assert!(!close(12.0, 10.0, 0.1));
+        assert!(close(0.0, 0.0, 0.1));
+    }
+
+    #[test]
+    fn experiment_roundtrip() {
+        let mut e = Experiment::new("test", "demo");
+        e.compare("m", "1", "1.02", true);
+        e.series("s", vec![(0.0, 0.0), (1.0, 1.0)]);
+        std::env::set_var("IMC_RESULTS_DIR", std::env::temp_dir().join("imc-test"));
+        assert!(e.finish());
+        e.compare("bad", "1", "2", false);
+        assert!(!e.finish());
+    }
+
+    #[test]
+    fn formatting() {
+        assert_eq!(f(123.4), "123");
+        assert_eq!(f(12.34), "12.3");
+        assert_eq!(f(0.1234), "0.123");
+        assert_eq!(pct(0.27), "27%");
+    }
+}

@@ -1,0 +1,49 @@
+//! Shared setup for the §4.6 TurboCA evaluation experiments
+//! (Table 2, Figs. 7–9): build the UNet / MNet deployments, compute the
+//! ReservedCA and TurboCA plans, and evaluate both with the network
+//! model.
+
+use wifi_core::chanassign::turboca::{ScheduleTier, TurboCa};
+use wifi_core::chanassign::ReservedCa;
+use wifi_core::netsim::deployment::{to_view, DeploymentProfile, ViewOptions};
+use wifi_core::netsim::neteval::{evaluate, EvalOptions, NetworkMetrics};
+use wifi_core::netsim::population::ClientCaps;
+use wifi_core::prelude::*;
+
+/// Both planners' metrics on one deployment.
+pub struct Evaluated {
+    pub profile: DeploymentProfile,
+    pub reserved: NetworkMetrics,
+    pub turbo: NetworkMetrics,
+    pub n_clients: usize,
+}
+
+/// Build, plan and evaluate one deployment profile.
+pub fn evaluate_profile(profile: DeploymentProfile, seed: u64) -> Evaluated {
+    let mut rng = Rng::new(seed);
+    let topo = profile.topology(Band::Band5, &mut rng);
+    let (view, caps) = to_view(&topo, &ViewOptions::default(), &mut rng);
+
+    let reserved_plan = ReservedCa::new(Width::W40).run(&view);
+    // TurboCA plans on top of the *ReservedCA-assigned* network (that is
+    // the paper's A/B sequence: ReservedCA ran first, then TurboCA took
+    // over), so seed the view's current channels with ReservedCA's plan.
+    let mut turbo_view = view.clone();
+    for (ap, ch) in turbo_view.aps.iter_mut().zip(reserved_plan.channels.iter()) {
+        ap.current = *ch;
+    }
+    let turbo_plan = TurboCa::new(seed ^ 0x77).run(&turbo_view, ScheduleTier::Slow).plan;
+
+    // Same evaluation RNG seed: client placement/RSSI draws are paired,
+    // so differences are attributable to the plans alone.
+    let opts = EvalOptions::default();
+    let reserved = evaluate(&view, &reserved_plan, &caps, &opts, &mut Rng::new(seed + 1));
+    let turbo = evaluate(&turbo_view, &turbo_plan, &caps, &opts, &mut Rng::new(seed + 1));
+    let n_clients: usize = caps.iter().map(|c: &Vec<ClientCaps>| c.len()).sum();
+    Evaluated {
+        profile,
+        reserved,
+        turbo,
+        n_clients,
+    }
+}

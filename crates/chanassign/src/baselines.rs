@@ -1,0 +1,308 @@
+//! Baseline channel-assignment algorithms.
+//!
+//! * [`ReservedCa`] — the paper's §4.6.1 pre-TurboCA production
+//!   algorithm: iterate all APs in sequence; each picks the channel
+//!   maximizing *its own isolated* performance (no ψ, no cooperation),
+//!   at a **fixed channel width**, re-evaluated every 5 hours.
+//! * [`random_plan`] — uniform random assignment (a sanity floor).
+//! * [`least_congested`] — the classic "least congested channel scan"
+//!   (§4.2 (ii), ref.\[7\]): each AP independently takes the channel with
+//!   the lowest observed utilization, ignoring in-network coordination.
+
+use crate::metrics::{node_p_ln, MetricParams};
+use crate::model::{NetworkView, Plan};
+use crate::turboca::fallback_channels;
+use phy80211::channels::{all_channels, Channel, Width};
+use sim::{Rng, SimDuration};
+
+/// The ReservedCA baseline.
+#[derive(Debug, Clone)]
+pub struct ReservedCa {
+    pub params: MetricParams,
+    /// The fixed width used for every AP (ReservedCA "only uses fixed
+    /// channel widths").
+    pub fixed_width: Width,
+}
+
+impl ReservedCa {
+    pub fn new(fixed_width: Width) -> ReservedCa {
+        ReservedCa {
+            params: MetricParams::default(),
+            fixed_width,
+        }
+    }
+
+    /// Re-evaluation period (§4.6.1: every 5 hours).
+    pub fn period() -> SimDuration {
+        SimDuration::from_hours(5)
+    }
+
+    /// Compute a plan: sequential, per-AP greedy, isolated NodeP.
+    pub fn run(&self, view: &NetworkView) -> Plan {
+        let mut channels: Vec<Channel> = view.aps.iter().map(|a| a.current).collect();
+        for v in 0..view.len() {
+            let visible: Vec<Option<Channel>> = channels.iter().copied().map(Some).collect();
+            let mut best: Option<(f64, Channel)> = None;
+            for cand in self.candidates(view, v) {
+                // Isolated: only this AP's NodeP, neighbours' fate ignored.
+                let score = node_p_ln(&self.params, view, &visible, v, cand);
+                match best {
+                    Some((bs, _)) if bs >= score => {}
+                    _ => best = Some((score, cand)),
+                }
+            }
+            if let Some((_, c)) = best {
+                channels[v] = c;
+            }
+        }
+        let fallback = fallback_channels(view, &channels);
+        Plan { channels, fallback }
+    }
+
+    fn candidates(&self, view: &NetworkView, v: usize) -> Vec<Channel> {
+        let ap = &view.aps[v];
+        let width = self.fixed_width.min(ap.max_width);
+        let mut out: Vec<Channel> = all_channels(view.band, width)
+            .into_iter()
+            .filter(|c| {
+                if !c.requires_dfs() {
+                    return true;
+                }
+                ap.dfs_certified && (!ap.has_clients || c.overlaps(&ap.current))
+            })
+            .collect();
+        if !out.contains(&ap.current) {
+            out.push(ap.current);
+        }
+        out
+    }
+}
+
+/// Uniform random assignment at a fixed width.
+pub fn random_plan(view: &NetworkView, width: Width, rng: &mut Rng) -> Plan {
+    let pool = all_channels(view.band, width);
+    let channels: Vec<Channel> = view
+        .aps
+        .iter()
+        .map(|ap| {
+            let usable: Vec<&Channel> = pool
+                .iter()
+                .filter(|c| !c.requires_dfs() || ap.dfs_certified)
+                .collect();
+            *usable[rng.below(usable.len() as u64) as usize]
+        })
+        .collect();
+    let fallback = fallback_channels(view, &channels);
+    Plan { channels, fallback }
+}
+
+/// Channel-hopping baseline (§4.2 category (iii), cf. SSCH/IQ-Hopping):
+/// every AP follows its own pseudo-random hopping sequence over the
+/// non-DFS channels at a fixed width, re-rolling every epoch. Hopping
+/// harvests channel diversity without coordination — and pays for it in
+/// constant channel switches, which is exactly the side effect the
+/// paper's §4.2 holds against it.
+#[derive(Debug, Clone)]
+pub struct ChannelHopping {
+    pub width: Width,
+    /// Hop period (the epoch between re-rolls).
+    pub period: SimDuration,
+    rng: Rng,
+}
+
+impl ChannelHopping {
+    pub fn new(width: Width, period: SimDuration, seed: u64) -> ChannelHopping {
+        ChannelHopping {
+            width,
+            period,
+            rng: Rng::new(seed),
+        }
+    }
+
+    /// The plan for the next epoch: each AP hops to a fresh random
+    /// channel from its usable set (independent sequences).
+    pub fn next_epoch(&mut self, view: &NetworkView) -> Plan {
+        let channels: Vec<Channel> = view
+            .aps
+            .iter()
+            .map(|ap| {
+                let pool: Vec<Channel> = all_channels(view.band, self.width.min(ap.max_width))
+                    .into_iter()
+                    .filter(|c| !c.requires_dfs() || ap.dfs_certified)
+                    .collect();
+                pool[self.rng.below(pool.len() as u64) as usize]
+            })
+            .collect();
+        let fallback = fallback_channels(view, &channels);
+        Plan { channels, fallback }
+    }
+
+    /// Expected channel switches per AP per hour at this hop period.
+    pub fn switches_per_ap_hour(&self) -> f64 {
+        3_600.0 / self.period.as_secs_f64()
+    }
+}
+
+/// Least-congested-channel scan: per AP, the candidate whose worst
+/// sub-channel external utilization is lowest (in-network neighbours
+/// ignored entirely — the classic decentralized failure mode).
+pub fn least_congested(view: &NetworkView, width: Width) -> Plan {
+    let channels: Vec<Channel> = view
+        .aps
+        .iter()
+        .map(|ap| {
+            all_channels(view.band, width.min(ap.max_width))
+                .into_iter()
+                .filter(|c| !c.requires_dfs() || ap.dfs_certified)
+                .min_by(|a, b| {
+                    let busy = |c: &Channel| {
+                        c.subchannel_numbers()
+                            .unwrap()
+                            .iter()
+                            .map(|&s| ap.external_busy_on(s))
+                            .fold(0.0f64, f64::max)
+                    };
+                    busy(a).total_cmp(&busy(b))
+                })
+                .unwrap_or(ap.current)
+        })
+        .collect();
+    let fallback = fallback_channels(view, &channels);
+    Plan { channels, fallback }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::metrics::net_p_ln;
+    use crate::model::{ApLoad, ApReport};
+    use crate::turboca::{ScheduleTier, TurboCa};
+    use phy80211::channels::Band;
+
+    fn loaded_ap(ch: Channel, neighbors: Vec<usize>) -> ApReport {
+        let mut a = ApReport::idle_on(ch);
+        a.neighbors = neighbors;
+        a.has_clients = true;
+        a.load = ApLoad {
+            by_width: vec![(Width::W80, 1.0)],
+        };
+        a
+    }
+
+    fn clique(n: usize, ch: Channel) -> NetworkView {
+        NetworkView {
+            band: Band::Band5,
+            aps: (0..n)
+                .map(|i| loaded_ap(ch, (0..n).filter(|&j| j != i).collect()))
+                .collect(),
+        }
+    }
+
+    #[test]
+    fn reserved_ca_spreads_a_clique_somewhat() {
+        let view = clique(6, Channel::five(36));
+        let plan = ReservedCa::new(Width::W40).run(&view);
+        assert!(plan.channels.iter().all(|c| c.width <= Width::W40));
+        let distinct: std::collections::HashSet<u16> =
+            plan.channels.iter().map(|c| c.primary).collect();
+        assert!(distinct.len() >= 3, "{distinct:?}");
+    }
+
+    #[test]
+    fn reserved_ca_period_is_five_hours() {
+        assert_eq!(ReservedCa::period(), SimDuration::from_hours(5));
+    }
+
+    #[test]
+    fn turboca_beats_reserved_ca_on_netp() {
+        // A crowded clique with one heavily loaded AP: cooperative
+        // assignment should win on the global metric.
+        let mut view = clique(8, Channel::five(36));
+        view.aps[0].load = ApLoad {
+            by_width: vec![(Width::W80, 10.0)],
+        };
+        let params = MetricParams::default();
+        let reserved = ReservedCa::new(Width::W20).run(&view);
+        let turbo = TurboCa::new(3).run(&view, ScheduleTier::Slow).plan;
+        let s_r = net_p_ln(&params, &view, &reserved);
+        let s_t = net_p_ln(&params, &view, &turbo);
+        assert!(s_t > s_r, "turbo={s_t} reserved={s_r}");
+    }
+
+    #[test]
+    fn random_plan_is_legal() {
+        let mut view = clique(10, Channel::five(36));
+        view.aps[3].dfs_certified = false;
+        let mut rng = Rng::new(9);
+        let plan = random_plan(&view, Width::W40, &mut rng);
+        assert_eq!(plan.channels.len(), 10);
+        assert!(plan.channels.iter().all(|c| c.width == Width::W40));
+        assert!(!plan.channels[3].requires_dfs());
+    }
+
+    #[test]
+    fn hopping_rotates_channels_every_epoch() {
+        let view = clique(6, Channel::five(36));
+        let mut hop = ChannelHopping::new(Width::W20, SimDuration::from_mins(5), 17);
+        let p1 = hop.next_epoch(&view);
+        let p2 = hop.next_epoch(&view);
+        assert_ne!(p1.channels, p2.channels, "independent epochs differ");
+        // Hop churn dwarfs TurboCA's: 12 switches/AP/hour at 5 min.
+        assert_eq!(hop.switches_per_ap_hour(), 12.0);
+        let changed = p2
+            .channels
+            .iter()
+            .zip(p1.channels.iter())
+            .filter(|(a, b)| a != b)
+            .count();
+        assert!(changed >= 3, "most APs hop each epoch: {changed}");
+    }
+
+    #[test]
+    fn hopping_mean_netp_trails_turboca() {
+        // Averaged over epochs, oblivious hopping cannot beat a planned
+        // assignment on the same network.
+        let view = clique(8, Channel::five(36));
+        let params = MetricParams::default();
+        let turbo = TurboCa::new(5).run(&view, ScheduleTier::Slow).plan;
+        let s_t = net_p_ln(&params, &view, &turbo);
+        let mut hop = ChannelHopping::new(Width::W20, SimDuration::from_mins(5), 23);
+        let mut mean = 0.0;
+        let epochs = 12;
+        for _ in 0..epochs {
+            mean += net_p_ln(&params, &view, &hop.next_epoch(&view)) / epochs as f64;
+        }
+        assert!(s_t > mean, "turbo {s_t} !> hopping mean {mean}");
+    }
+
+    #[test]
+    fn least_congested_tracks_external_busy() {
+        let mut view = clique(1, Channel::five(36));
+        // Make everything busy except 149.
+        for ch in phy80211::channels::US_5GHZ_20 {
+            view.aps[0]
+                .external_busy
+                .insert(ch, if ch == 149 { 0.05 } else { 0.8 });
+        }
+        let plan = least_congested(&view, Width::W20);
+        assert_eq!(plan.channels[0].primary, 149);
+    }
+
+    #[test]
+    fn least_congested_ignores_neighbors_by_design() {
+        // Two neighbouring APs with identical external views herd onto
+        // the same channel — the failure TurboCA exists to avoid.
+        let mut view = clique(2, Channel::five(36));
+        for ap in view.aps.iter_mut() {
+            for ch in phy80211::channels::US_5GHZ_20 {
+                ap.external_busy
+                    .insert(ch, if ch == 149 { 0.0 } else { 0.5 });
+            }
+        }
+        let plan = least_congested(&view, Width::W20);
+        assert_eq!(plan.channels[0], plan.channels[1], "herding");
+        // TurboCA separates them.
+        let turbo = TurboCa::new(11).run(&view, ScheduleTier::Medium).plan;
+        assert!(!turbo.channels[0].overlaps(&turbo.channels[1]));
+    }
+}

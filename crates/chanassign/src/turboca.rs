@@ -1,0 +1,456 @@
+//! TurboCA — the paper's §4.4 channel-assignment algorithm.
+//!
+//! * [`acc`] — AP Channel Calculation `ACC(v, ψ)`: the best channel for
+//!   one AP, maximizing the NetP restricted to `v` and its neighbours,
+//!   with the channels of APs in ψ ignored ("presuming a channel
+//!   change", which is how TurboCA escapes the local optima of §4.3.2).
+//! * [`nbo`] — Network Basic Operation (Algorithm 1): one pass over the
+//!   network, grouping APs within `i` hops and assigning them in
+//!   load-weighted random order.
+//! * [`TurboCa`] — the runtime schedule: i=0 every 15 minutes, i=1→0
+//!   every 3 hours, i=2→1→0 daily; multiple NBO runs proportional to
+//!   network size; a proposed plan replaces the assigned plan only when
+//!   it raises NetP.
+
+use crate::metrics::{net_p_ln, node_p_ln, MetricParams};
+use crate::model::{NetworkView, Plan};
+use phy80211::channels::{non_dfs_channels, Channel, Width};
+use sim::{Rng, SimDuration};
+
+/// AP Channel Calculation: pick the channel for `v` that maximizes the
+/// local NetP contribution (NodeP of `v` plus NodeP of its neighbours,
+/// the only terms `v`'s channel can affect). `assigned` holds the
+/// partial plan: `None` entries are APs in ψ (or not yet assigned) whose
+/// current channel must be ignored.
+pub fn acc(
+    params: &MetricParams,
+    view: &NetworkView,
+    assigned: &[Option<Channel>],
+    v: usize,
+) -> Channel {
+    let mut best: Option<(f64, Channel)> = None;
+    let mut trial: Vec<Option<Channel>> = assigned.to_vec();
+    for cand in view.candidates(v) {
+        trial[v] = Some(cand);
+        let mut score = node_p_ln(params, view, &trial, v, cand);
+        if score > f64::NEG_INFINITY {
+            for &n in &view.aps[v].neighbors {
+                if let Some(nc) = trial[n] {
+                    let np = node_p_ln(params, view, &trial, n, nc);
+                    if np == f64::NEG_INFINITY {
+                        score = f64::NEG_INFINITY;
+                        break;
+                    }
+                    score += np;
+                }
+            }
+        }
+        match best {
+            Some((bs, _)) if bs >= score => {}
+            _ => best = Some((score, cand)),
+        }
+    }
+    trial[v] = None;
+    best.map(|(_, c)| c).unwrap_or(view.aps[v].current)
+}
+
+/// Network Basic Operation — the paper's Algorithm 1.
+///
+/// Starts from an empty proposed channel plan; repeatedly picks a random
+/// unassigned AP, forms the candidate set of nodes (CSN) within `i` hops,
+/// and assigns each CSN member via `ACC(m, CSN)` in load-weighted random
+/// order (heavier APs first with higher probability, so they get first
+/// pick of clean channels).
+pub fn nbo(
+    params: &MetricParams,
+    view: &NetworkView,
+    hop_limit: usize,
+    rng: &mut Rng,
+) -> Plan {
+    let n = view.len();
+    let mut assigned: Vec<Option<Channel>> = vec![None; n];
+    // With i = 0 the CSN is just {n} and every other AP's *current*
+    // channel is visible; the paper expresses that by seeding the plan
+    // with current assignments and overwriting one at a time. We model
+    // both regimes uniformly: unassigned APs outside the active group
+    // contribute their current channel.
+    let mut remaining: Vec<usize> = (0..n).collect();
+    let mut visible: Vec<Option<Channel>> =
+        view.aps.iter().map(|a| Some(a.current)).collect();
+
+    while !remaining.is_empty() {
+        // Line 4: random unassigned AP.
+        let pick = rng.below(remaining.len() as u64) as usize;
+        let seed = remaining[pick];
+        // Line 5: the group = seed plus APs within i hops, unassigned.
+        let dist = view.hop_distances(seed);
+        let mut group: Vec<usize> = remaining
+            .iter()
+            .copied()
+            .filter(|&u| dist[u] <= hop_limit)
+            .collect();
+        remaining.retain(|u| !group.contains(u));
+        // The group's current channels are ignored (ψ = CSN): presume
+        // they all change.
+        for &g in &group {
+            visible[g] = None;
+        }
+        // Lines 7–11: assign group members in load-weighted random order.
+        while !group.is_empty() {
+            let weights: Vec<f64> = group
+                .iter()
+                .map(|&g| view.aps[g].load.total().max(1e-3))
+                .collect();
+            let idx = rng.weighted_index(&weights);
+            let m = group.swap_remove(idx);
+            let ch = acc(params, view, &visible, m);
+            visible[m] = Some(ch);
+            assigned[m] = Some(ch);
+        }
+    }
+
+    let channels: Vec<Channel> = assigned
+        .into_iter()
+        .enumerate()
+        .map(|(v, c)| c.unwrap_or(view.aps[v].current))
+        .collect();
+    let fallback = fallback_channels(view, &channels);
+    Plan { channels, fallback }
+}
+
+/// §4.5.2: every AP on a DFS channel carries a non-DFS fallback it can
+/// jump to instantly on a radar event (no CAC on non-DFS channels).
+pub fn fallback_channels(view: &NetworkView, channels: &[Channel]) -> Vec<Option<Channel>> {
+    channels
+        .iter()
+        .enumerate()
+        .map(|(v, ch)| {
+            if !ch.requires_dfs() {
+                return None;
+            }
+            // Cheapest sensible fallback: the least externally busy
+            // non-DFS 20 MHz channel.
+            let ap = &view.aps[v];
+            non_dfs_channels(view.band, Width::W20)
+                .into_iter()
+                .min_by(|a, b| {
+                    ap.external_busy_on(a.primary)
+                        .total_cmp(&ap.external_busy_on(b.primary))
+                })
+        })
+        .collect()
+}
+
+/// Which schedule tier is running (§4.4.4).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ScheduleTier {
+    /// Every 15 minutes: i = 0.
+    Fast,
+    /// Every 3 hours: i = 1 then i = 0.
+    Medium,
+    /// Daily: i = 2, then i = 1, then i = 0.
+    Slow,
+}
+
+impl ScheduleTier {
+    /// Hop-limit sequence for this tier. "All schedules end with i = 0,
+    /// since that guarantees NetP will increase unless a local optimum
+    /// was found in previous rounds."
+    pub fn hop_sequence(self) -> &'static [usize] {
+        match self {
+            ScheduleTier::Fast => &[0],
+            ScheduleTier::Medium => &[1, 0],
+            ScheduleTier::Slow => &[2, 1, 0],
+        }
+    }
+
+    /// Period between runs of this tier.
+    pub fn period(self) -> SimDuration {
+        match self {
+            ScheduleTier::Fast => SimDuration::from_mins(15),
+            ScheduleTier::Medium => SimDuration::from_hours(3),
+            ScheduleTier::Slow => SimDuration::from_hours(24),
+        }
+    }
+}
+
+/// Result of one TurboCA planning run.
+#[derive(Debug, Clone)]
+pub struct PlanResult {
+    pub plan: Plan,
+    pub net_p_ln: f64,
+    /// NetP of the incumbent (keep-current) plan, for comparison.
+    pub incumbent_net_p_ln: f64,
+    /// Whether the proposal improves on the incumbent (if not, the
+    /// caller keeps the current assignment — stability first).
+    pub improved: bool,
+    /// NBO runs executed.
+    pub runs: usize,
+}
+
+/// The TurboCA planner.
+#[derive(Debug, Clone)]
+pub struct TurboCa {
+    pub params: MetricParams,
+    /// NBO runs per hop-limit value, scaled by network size elsewhere.
+    pub runs_per_tier: usize,
+    rng: Rng,
+}
+
+impl TurboCa {
+    pub fn new(seed: u64) -> TurboCa {
+        TurboCa {
+            params: MetricParams::default(),
+            runs_per_tier: 4,
+            rng: Rng::new(seed),
+        }
+    }
+
+    /// Execute one scheduled run. Runs NBO `runs` times per hop value in
+    /// the tier's sequence (the paper: "the actual number of runs is
+    /// proportional to the network size"), keeps the best proposal, and
+    /// accepts it only if it beats the incumbent plan's NetP.
+    pub fn run(&mut self, view: &NetworkView, tier: ScheduleTier) -> PlanResult {
+        let incumbent = Plan::current(view);
+        let incumbent_score = net_p_ln(&self.params, view, &incumbent);
+        // Runs proportional to network size (log-scaled to stay cheap on
+        // 600-AP networks), at least runs_per_tier.
+        let runs =
+            self.runs_per_tier + (view.len() as f64).log2().ceil().max(0.0) as usize;
+
+        let mut best_plan = incumbent.clone();
+        let mut best_score = incumbent_score;
+        let mut total_runs = 0;
+        // "Whenever a single run of NBO increases NetP, the new proposed
+        // channel plan replaces the assigned channel plan for the
+        // following rounds": we emulate by applying the best-so-far plan
+        // as the working view's current assignment between hop tiers.
+        let mut working = view.clone();
+        for &i in tier.hop_sequence() {
+            for _ in 0..runs {
+                total_runs += 1;
+                let proposal = nbo(&self.params, &working, i, &mut self.rng);
+                let score = net_p_ln(&self.params, view, &proposal);
+                if score > best_score {
+                    best_score = score;
+                    best_plan = proposal;
+                    for (ap, &ch) in working.aps.iter_mut().zip(best_plan.channels.iter()) {
+                        ap.current = ch;
+                    }
+                }
+            }
+        }
+        PlanResult {
+            improved: best_score > incumbent_score,
+            plan: best_plan,
+            net_p_ln: best_score,
+            incumbent_net_p_ln: incumbent_score,
+            runs: total_runs,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::{ApLoad, ApReport};
+    use phy80211::channels::Band;
+
+    fn loaded_ap(ch: Channel, neighbors: Vec<usize>) -> ApReport {
+        let mut a = ApReport::idle_on(ch);
+        a.neighbors = neighbors;
+        a.has_clients = true;
+        a.load = ApLoad {
+            by_width: vec![(Width::W80, 1.0)],
+        };
+        a
+    }
+
+    #[test]
+    fn acc_avoids_busy_channel() {
+        let mut ap = loaded_ap(Channel::five(36), vec![]);
+        for s in [36, 40, 44, 48] {
+            ap.external_busy.insert(s, 0.95);
+        }
+        let view = NetworkView {
+            band: Band::Band5,
+            aps: vec![ap],
+        };
+        let assigned = vec![None];
+        let ch = acc(&MetricParams::default(), &view, &assigned, 0);
+        assert!(
+            !ch.subchannel_numbers().unwrap().iter().any(|s| (36..=48).contains(s)),
+            "picked {ch}"
+        );
+    }
+
+    #[test]
+    fn acc_separates_from_neighbor() {
+        let view = NetworkView {
+            band: Band::Band5,
+            aps: vec![
+                loaded_ap(Channel::new(Band::Band5, 36, Width::W80).unwrap(), vec![1]),
+                loaded_ap(Channel::new(Band::Band5, 36, Width::W80).unwrap(), vec![0]),
+            ],
+        };
+        let assigned = vec![Some(view.aps[0].current), None];
+        let ch = acc(&MetricParams::default(), &view, &assigned, 1);
+        assert!(!ch.overlaps(&view.aps[0].current), "picked {ch}");
+    }
+
+    /// The paper's §4.3.2 example: A on 36, B on 149; an interferer
+    /// appears on 149 near B. Greedy (i=0) keeps A at 36 and strands B.
+    /// With ψ (i≥1) the pair lands on {149-clean-for-A? no: A moves to a
+    /// clean channel and B takes A's old one or any clean one}.
+    #[test]
+    fn psi_escapes_local_optimum() {
+        // Restrict the world to two channels to force the dilemma: only
+        // 36 and 149 exist as candidates. We emulate by saturating every
+        // other channel for both APs.
+        let mut a = loaded_ap(Channel::five(36), vec![1]);
+        let mut b = loaded_ap(Channel::five(149), vec![0]);
+        for ch in phy80211::channels::US_5GHZ_20 {
+            if ch != 36 && ch != 149 {
+                a.external_busy.insert(ch, 1.0);
+                b.external_busy.insert(ch, 1.0);
+            }
+        }
+        // Interferer near B on 149 (B suffers, A does not hear it).
+        b.external_busy.insert(149, 0.6);
+        // Clients are 20MHz-only so bonding never pulls in other channels.
+        a.load = ApLoad {
+            by_width: vec![(Width::W20, 1.0)],
+        };
+        b.load = ApLoad {
+            by_width: vec![(Width::W20, 1.0)],
+        };
+        let view = NetworkView {
+            band: Band::Band5,
+            aps: vec![a, b],
+        };
+        let params = MetricParams::default();
+
+        // Greedy per-AP (i=0 semantics): B sees A on 36, stays on 149.
+        let assigned = vec![Some(Channel::five(36)), None];
+        let greedy_b = acc(&params, &view, &assigned, 1);
+        assert_eq!(greedy_b, Channel::five(149), "locally optimal trap");
+
+        // With A's channel ignored (ψ), B takes 36 and A lands on 149.
+        let mut rng = Rng::new(5);
+        let plan = nbo(&params, &view, 1, &mut rng);
+        let (ca, cb) = (plan.channels[0], plan.channels[1]);
+        assert_eq!(cb, Channel::five(36), "B escapes to the clean channel");
+        assert_eq!(ca, Channel::five(149), "A absorbs the interferer side");
+    }
+
+    #[test]
+    fn nbo_i0_assigns_all_and_respects_current_neighbors() {
+        let view = NetworkView {
+            band: Band::Band5,
+            aps: vec![
+                loaded_ap(Channel::five(36), vec![1, 2]),
+                loaded_ap(Channel::five(36), vec![0, 2]),
+                loaded_ap(Channel::five(36), vec![0, 1]),
+            ],
+        };
+        let mut rng = Rng::new(1);
+        let plan = nbo(&MetricParams::default(), &view, 0, &mut rng);
+        assert_eq!(plan.channels.len(), 3);
+        // Three mutually-interfering APs must end on pairwise
+        // non-overlapping channels — there is plenty of 5 GHz spectrum.
+        for i in 0..3 {
+            for j in (i + 1)..3 {
+                assert!(
+                    !plan.channels[i].overlaps(&plan.channels[j]),
+                    "{} vs {}",
+                    plan.channels[i],
+                    plan.channels[j]
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn turboca_improves_cochannel_mess() {
+        // 8 APs in a clique, all on channel 36.
+        let n = 8;
+        let aps: Vec<ApReport> = (0..n)
+            .map(|i| {
+                loaded_ap(
+                    Channel::five(36),
+                    (0..n).filter(|&j| j != i).collect(),
+                )
+            })
+            .collect();
+        let view = NetworkView {
+            band: Band::Band5,
+            aps,
+        };
+        let mut tca = TurboCa::new(42);
+        let result = tca.run(&view, ScheduleTier::Medium);
+        assert!(result.improved);
+        assert!(result.net_p_ln > result.incumbent_net_p_ln);
+        // The plan should spread across several distinct channels.
+        let distinct: std::collections::HashSet<u16> =
+            result.plan.channels.iter().map(|c| c.primary).collect();
+        assert!(distinct.len() >= 4, "only {distinct:?}");
+    }
+
+    #[test]
+    fn turboca_stays_put_when_already_good() {
+        // Two far-apart APs on clean, disjoint channels: no churn.
+        let view = NetworkView {
+            band: Band::Band5,
+            aps: vec![
+                loaded_ap(Channel::new(Band::Band5, 36, Width::W80).unwrap(), vec![]),
+                loaded_ap(Channel::new(Band::Band5, 149, Width::W80).unwrap(), vec![]),
+            ],
+        };
+        let mut tca = TurboCa::new(7);
+        let result = tca.run(&view, ScheduleTier::Fast);
+        assert_eq!(
+            result.plan.switches_from_current(&view),
+            0,
+            "stability: already-optimal assignment unchanged"
+        );
+    }
+
+    #[test]
+    fn fallback_present_exactly_for_dfs_assignments() {
+        let view = NetworkView {
+            band: Band::Band5,
+            aps: vec![
+                loaded_ap(Channel::five(52), vec![]),
+                loaded_ap(Channel::five(36), vec![]),
+            ],
+        };
+        let channels = vec![Channel::five(52), Channel::five(36)];
+        let fb = fallback_channels(&view, &channels);
+        assert!(fb[0].is_some());
+        assert!(!fb[0].unwrap().requires_dfs());
+        assert!(fb[1].is_none());
+    }
+
+    #[test]
+    fn schedule_tiers_match_paper() {
+        assert_eq!(ScheduleTier::Fast.hop_sequence(), &[0]);
+        assert_eq!(ScheduleTier::Medium.hop_sequence(), &[1, 0]);
+        assert_eq!(ScheduleTier::Slow.hop_sequence(), &[2, 1, 0]);
+        assert_eq!(ScheduleTier::Fast.period(), SimDuration::from_mins(15));
+        assert_eq!(ScheduleTier::Medium.period(), SimDuration::from_hours(3));
+        assert_eq!(ScheduleTier::Slow.period(), SimDuration::from_hours(24));
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let view = NetworkView {
+            band: Band::Band5,
+            aps: (0..6)
+                .map(|i| loaded_ap(Channel::five(36), (0..6).filter(|&j| j != i).collect()))
+                .collect(),
+        };
+        let p1 = TurboCa::new(123).run(&view, ScheduleTier::Medium).plan;
+        let p2 = TurboCa::new(123).run(&view, ScheduleTier::Medium).plan;
+        assert_eq!(p1, p2);
+    }
+}

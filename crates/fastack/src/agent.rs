@@ -1,0 +1,978 @@
+//! The FastACK agent: the packet-processing brain that runs on the AP.
+//!
+//! Implemented as a pure packet function — each entry point takes one
+//! event (wire data arrived / 802.11 ACK observed / client TCP ACK
+//! arrived) and returns the [`Action`]s the forwarding plane must carry
+//! out. This mirrors the paper's Click-element structure (Figs. 11–12)
+//! and keeps the agent unit-testable without any simulator.
+//!
+//! Paper § map:
+//! * §5.4 "TCP Data Flow", cases (i)–(iv) → [`Agent::on_wire_data`]
+//! * §5.4 "802.11 ACK Flow" (q_seq continuity) → [`Agent::on_mac_ack`]
+//! * §5.4 "TCP ACK flow" (suppression) + §5.5.1 (local retransmission)
+//!   → [`Agent::on_client_ack`]
+//! * §5.5.2 rx'_win = rx_win − out_bytes → carried in every fast ACK
+//! * §5.5.3 TCP holes → dupACK emulation with SACK towards the sender
+//! * §5.5.4 roaming → [`Agent::export_flow`] / [`Agent::import_flow`]
+
+use crate::cache::{CachedSegment, RetransmissionCache};
+use crate::classifier::{Classifier, FlowPolicy};
+use crate::state::FlowState;
+use std::collections::{BTreeSet, HashMap};
+use tcpsim::segment::{AckSegment, DataSegment, FlowId};
+
+/// What the forwarding plane must do with a packet.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Action {
+    /// Queue the data segment for wireless transmission. `priority`
+    /// elevates it ahead of the queue (case (ii): end-to-end
+    /// retransmissions must not sit behind a full queue).
+    Forward { seg: DataSegment, priority: bool },
+    /// Discard the data segment (case (i): spurious retransmission).
+    DropData(DataSegment),
+    /// Transmit an ACK upstream to the TCP sender (fast ACKs, emulated
+    /// hole dupACKs, and pass-through client ACKs).
+    SendAckUpstream(AckSegment),
+    /// Swallow the client's TCP ACK (already fast-ACKed).
+    SuppressClientAck(AckSegment),
+    /// Retransmit a cached segment over the wireless link, with priority.
+    LocalRetransmit(DataSegment),
+}
+
+/// Agent configuration.
+#[derive(Debug, Clone)]
+pub struct AgentConfig {
+    /// Runtime toggle — the paper notes FastACK "can be toggled at
+    /// run-time" (§5.6.3). Disabled = everything passes through.
+    pub enabled: bool,
+    /// Per-flow retransmission-cache budget. Must comfortably exceed the
+    /// client receive window, since un-client-ACKed bytes ≤ rx_win.
+    pub cache_capacity_bytes: u64,
+    /// Client receive window assumed before the first client ACK is seen.
+    pub initial_client_rwnd: u64,
+    /// Emulate client dupACKs for upstream holes (§5.5.3); off = ablation.
+    pub emulate_holes: bool,
+    /// Client dupACKs tolerated before a local retransmission fires.
+    pub local_retx_dupack_threshold: u32,
+    /// Which flows to accelerate (§5.4 footnote 10).
+    pub flow_policy: FlowPolicy,
+    /// Optional per-flow AP-queue budget in bytes. When set, advertised
+    /// windows are additionally capped by the budget minus the bytes
+    /// already sitting at the AP awaiting transmission
+    /// (`seq_exp − seq_fack`), so the fast-ACK clock applies queue
+    /// backpressure instead of overflowing a finite driver queue.
+    pub queue_budget_bytes: Option<u64>,
+}
+
+impl Default for AgentConfig {
+    fn default() -> Self {
+        AgentConfig {
+            enabled: true,
+            cache_capacity_bytes: 16 << 20,
+            initial_client_rwnd: 4 << 20,
+            emulate_holes: true,
+            local_retx_dupack_threshold: 2,
+            flow_policy: FlowPolicy::All,
+            queue_budget_bytes: None,
+        }
+    }
+}
+
+/// Counters for the evaluation harness.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct AgentStats {
+    pub fast_acks_sent: u64,
+    pub client_acks_suppressed: u64,
+    pub client_acks_forwarded: u64,
+    pub local_retransmits: u64,
+    pub spurious_drops: u64,
+    pub priority_forwards: u64,
+    pub holes_detected: u64,
+    pub hole_dupacks_sent: u64,
+    pub cache_bypasses: u64,
+    pub queue_drops: u64,
+}
+
+#[derive(Clone)]
+struct Flow {
+    state: FlowState,
+    cache: RetransmissionCache,
+    /// Segment starts forwarded without caching (cache full): these must
+    /// never be fast-ACKed, so continuity intentionally stalls on them
+    /// and the flow degrades to ordinary end-to-end TCP.
+    uncached: BTreeSet<u64>,
+}
+
+/// The FastACK agent: one per AP, holding state for every accelerated
+/// flow through it.
+#[derive(Clone)]
+pub struct Agent {
+    cfg: AgentConfig,
+    flows: HashMap<FlowId, Flow>,
+    classifier: Classifier,
+    pub stats: AgentStats,
+}
+
+impl Agent {
+    pub fn new(cfg: AgentConfig) -> Agent {
+        Agent {
+            classifier: Classifier::new(cfg.flow_policy),
+            cfg,
+            flows: HashMap::new(),
+            stats: AgentStats::default(),
+        }
+    }
+
+    /// Is the agent accelerating anything right now?
+    pub fn flow_count(&self) -> usize {
+        self.flows.len()
+    }
+
+    /// Runtime toggle.
+    pub fn set_enabled(&mut self, enabled: bool) {
+        self.cfg.enabled = enabled;
+    }
+
+    /// Read-only view of a flow's Table-3 state (tests, debugging).
+    pub fn flow_state(&self, flow: FlowId) -> Option<&FlowState> {
+        self.flows.get(&flow).map(|f| &f.state)
+    }
+
+    /// Window to advertise for a flow: the paper's rx'_win, additionally
+    /// capped by the AP queue budget when configured.
+    fn advertised_rwnd(cfg: &AgentConfig, state: &FlowState) -> u64 {
+        let rx = state.fast_ack_rwnd();
+        match cfg.queue_budget_bytes {
+            Some(budget) => {
+                // Bytes actually at the AP: received-and-unacked minus
+                // known holes (dropped or lost before the queue).
+                let queued = state
+                    .seq_exp
+                    .saturating_sub(state.seq_fack)
+                    .saturating_sub(state.hole_bytes());
+                rx.min(budget.saturating_sub(queued))
+            }
+            None => rx,
+        }
+    }
+
+    /// §5.4 TCP data flow: a data segment arrived from the wired side.
+    pub fn on_wire_data(&mut self, seg: &DataSegment) -> Vec<Action> {
+        if !self.cfg.enabled {
+            return vec![Action::Forward {
+                seg: *seg,
+                priority: false,
+            }];
+        }
+        // Flow classification (§5.4 footnote 10): unpromoted flows pass
+        // through untouched; a flow crossing the elephant threshold is
+        // adopted mid-stream, with the current segment as its baseline
+        // (everything before it is treated as already TCP-acknowledged).
+        if !self.flows.contains_key(&seg.flow) && !self.classifier.observe(seg.flow, seg.len) {
+            return vec![Action::Forward {
+                seg: *seg,
+                priority: false,
+            }];
+        }
+        let emulate_holes = self.cfg.emulate_holes;
+        // Field-disjoint borrow of `self.flows` (entry API inline so the
+        // stats counters stay writable below).
+        let initial_rwnd = self.cfg.initial_client_rwnd;
+        let cache_cap = self.cfg.cache_capacity_bytes;
+        let baseline = seg.seq;
+        let flow = self.flows.entry(seg.flow).or_insert_with(|| {
+            let mut state = FlowState::new(initial_rwnd);
+            // Mid-stream adoption baseline (0 for fresh flows). Until the
+            // client proves it holds everything below the baseline, fast
+            // ACKs stay gated: a cumulative ACK at baseline+len would
+            // otherwise vouch for pre-baseline bytes the agent never saw
+            // (and could never repair — they are not in the cache).
+            state.seq_exp = baseline;
+            state.seq_fack = baseline;
+            state.seq_tcp = baseline;
+            state.seq_high = baseline;
+            if baseline > 0 {
+                state.gate_until = Some(baseline);
+            }
+            Flow {
+                state,
+                cache: RetransmissionCache::new(cache_cap),
+                uncached: BTreeSet::new(),
+            }
+        });
+        let (start, end) = (seg.seq, seg.end());
+        let mut actions = Vec::new();
+
+        if let Some(gate) = flow.state.gate_until {
+            if start < gate {
+                // Pre-baseline traffic during mid-stream adoption: the
+                // endpoints own it entirely (we never vouched for it and
+                // cannot serve it from the cache). Pure pass-through,
+                // with retransmissions keeping their priority.
+                return vec![Action::Forward {
+                    seg: *seg,
+                    priority: seg.retransmit,
+                }];
+            }
+        }
+
+        if end <= flow.state.seq_fack {
+            // Case (i): entirely below the fast-ACK point — the sender
+            // has already been told; this is a spurious retransmission.
+            self.stats.spurious_drops += 1;
+            return vec![Action::DropData(*seg)];
+        }
+
+        if start < flow.state.seq_exp {
+            // Case (ii): an end-to-end retransmission for data the AP has
+            // (at least partly) seen or recorded as a hole. Refresh the
+            // cache and forward ahead of the queue.
+            flow.state.fill_hole(start, end);
+            flow.cache.insert(start, seg.len);
+            flow.state.seq_high = flow.state.seq_high.max(end);
+            self.stats.priority_forwards += 1;
+            actions.push(Action::Forward {
+                seg: *seg,
+                priority: true,
+            });
+            return actions;
+        }
+
+        if start > flow.state.seq_exp {
+            // Case (iv): a gap — something was dropped upstream of the
+            // AP. Record the hole, then emulate the client's dupACKs so
+            // the sender repairs it without waiting for the wireless
+            // round trip (§5.5.3).
+            flow.state.add_hole(flow.state.seq_exp, start);
+            self.stats.holes_detected += 1;
+        }
+
+        // Case (iii) (and the tail of (iv)): in-sequence new data.
+        let cached = flow.cache.insert(start, seg.len);
+        if !cached {
+            flow.uncached.insert(start);
+            self.stats.cache_bypasses += 1;
+        }
+        flow.state.seq_exp = end;
+        flow.state.seq_high = flow.state.seq_high.max(end);
+        actions.push(Action::Forward {
+            seg: *seg,
+            priority: false,
+        });
+
+        if emulate_holes && !flow.state.holes.is_empty() {
+            // One emulated dupACK per arriving segment above the hole —
+            // the same cadence a real receiver would produce, so the
+            // sender's fast-retransmit machinery engages normally.
+            let ack = flow.state.seq_fack;
+            let sack = sack_blocks(&flow.state);
+            let rwnd = flow.state.fast_ack_rwnd();
+            self.stats.hole_dupacks_sent += 1;
+            actions.push(Action::SendAckUpstream(AckSegment {
+                flow: seg.flow,
+                ack,
+                rwnd,
+                sack,
+            }));
+        }
+        actions
+    }
+
+    /// §5.4 802.11 ACK flow: the MAC delivered (BlockAck'd) the data
+    /// segment `[seq, seq+len)` to the client.
+    pub fn on_mac_ack(&mut self, flow_id: FlowId, seq: u64, len: u32) -> Vec<Action> {
+        if !self.cfg.enabled {
+            return Vec::new();
+        }
+        let Some(flow) = self.flows.get_mut(&flow_id) else {
+            return Vec::new();
+        };
+        if flow.uncached.contains(&seq) {
+            // Forwarded without a cached copy: unsafe to fast-ACK
+            // (a client dupACK could not be served locally).
+            return Vec::new();
+        }
+        flow.state.enqueue_acked(seq, seq + len as u64);
+        if flow.state.gate_until.is_some() {
+            // Adoption gate closed: accumulate continuity silently; the
+            // backlog is released when the client ack opens the gate.
+            let _ = flow.state.drain_contiguous();
+            return Vec::new();
+        }
+        match flow.state.drain_contiguous() {
+            Some(fack) => {
+                self.stats.fast_acks_sent += 1;
+                let rwnd = Self::advertised_rwnd(&self.cfg, &flow.state);
+                flow.state.last_advertised_rwnd = rwnd;
+                vec![Action::SendAckUpstream(AckSegment {
+                    flow: flow_id,
+                    ack: fack,
+                    rwnd,
+                    sack: Vec::new(),
+                })]
+            }
+            None => Vec::new(),
+        }
+    }
+
+    /// §5.4 TCP ACK flow + §5.5.1 retransmission strategy: the client's
+    /// own TCP ACK arrived over the wireless link.
+    pub fn on_client_ack(&mut self, ack: &AckSegment) -> Vec<Action> {
+        if !self.cfg.enabled {
+            return vec![Action::SendAckUpstream(ack.clone())];
+        }
+        let Some(flow) = self.flows.get_mut(&ack.flow) else {
+            return vec![Action::SendAckUpstream(ack.clone())];
+        };
+        flow.state.client_rwnd = ack.rwnd;
+        let threshold = self.cfg.local_retx_dupack_threshold;
+
+        if let Some(gate) = flow.state.gate_until {
+            if ack.ack >= gate {
+                // The client vouches for everything below the adoption
+                // baseline: open the gate, resync, and forward this ack
+                // (the sender has not heard anything from us yet).
+                flow.state.gate_until = None;
+                flow.state.seq_tcp = flow.state.seq_tcp.max(ack.ack);
+                flow.state.seq_fack = flow.state.seq_fack.max(ack.ack);
+                let _ = flow.state.drain_contiguous();
+                flow.cache.release_below(ack.ack);
+                self.stats.client_acks_forwarded += 1;
+                let mut actions = vec![Action::SendAckUpstream(ack.clone())];
+                if flow.state.seq_fack > ack.ack {
+                    // Release the fast-ack backlog accumulated while gated.
+                    self.stats.fast_acks_sent += 1;
+                    let rwnd = Self::advertised_rwnd(&self.cfg, &flow.state);
+                    flow.state.last_advertised_rwnd = rwnd;
+                    actions.push(Action::SendAckUpstream(AckSegment {
+                        flow: ack.flow,
+                        ack: flow.state.seq_fack,
+                        rwnd,
+                        sack: Vec::new(),
+                    }));
+                }
+                return actions;
+            }
+            // Pre-baseline traffic: entirely the endpoints' business.
+            self.stats.client_acks_forwarded += 1;
+            return vec![Action::SendAckUpstream(ack.clone())];
+        }
+
+        if ack.ack > flow.state.seq_tcp {
+            // Progress at the client's transport layer: release the cache.
+            flow.state.seq_tcp = ack.ack;
+            flow.state.client_dup_acks = 0;
+            flow.state.last_fire_dup = 0;
+            flow.cache.release_below(ack.ack);
+            let keys: Vec<u64> = flow
+                .uncached
+                .range(..ack.ack)
+                .copied()
+                .collect();
+            for k in keys {
+                flow.uncached.remove(&k);
+            }
+
+            if ack.ack > flow.state.seq_fack {
+                // The client is ahead of our fast-ACK point (bad hints or
+                // cache-bypassed segments): the sender has NOT seen this
+                // ACK yet — forward it and resync.
+                flow.state.seq_fack = ack.ack;
+                // Continuity may hold again past the resync point.
+                let _ = flow.state.drain_contiguous();
+                self.stats.client_acks_forwarded += 1;
+                return vec![Action::SendAckUpstream(ack.clone())];
+            }
+            // Normal case: the fast ACK already covered this. The data
+            // acknowledgment is suppressed — but the client's progress
+            // reopened rx'_win, and the sender (whose clock we now own)
+            // must hear about it or a window-limited flow deadlocks.
+            // Emit a pure window update when the window grew.
+            self.stats.client_acks_suppressed += 1;
+            let mut actions = vec![Action::SuppressClientAck(ack.clone())];
+            let rwnd = Self::advertised_rwnd(&self.cfg, &flow.state);
+            if rwnd > flow.state.last_advertised_rwnd {
+                flow.state.last_advertised_rwnd = rwnd;
+                actions.push(Action::SendAckUpstream(AckSegment {
+                    flow: ack.flow,
+                    ack: flow.state.seq_fack,
+                    rwnd,
+                    sack: Vec::new(),
+                }));
+            }
+            return actions;
+        }
+
+        if ack.ack < flow.state.seq_tcp {
+            // Below the flow's TCP-acknowledged point: either a reordered
+            // stale ACK or (after mid-stream adoption) an ACK for
+            // pre-adoption data the sender is still waiting on. Forward.
+            self.stats.client_acks_forwarded += 1;
+            return vec![Action::SendAckUpstream(ack.clone())];
+        }
+
+        // Duplicate ACK from the client: something fast-ACKed never
+        // reached its transport layer (a "bad hint", footnote 15) or was
+        // reordered. Serve it from the local cache (§5.5.1) rather than
+        // letting it shrink the sender's cwnd. Each hole is served once
+        // at the threshold; because dupACKs arrive at line rate while
+        // the repair rides the ordinary wireless round trip, re-fires
+        // back off exponentially (at 4× the previous firing count) —
+        // re-firing per dupACK would storm duplicates at the client.
+        flow.state.client_dup_acks += 1;
+        let mut actions = Vec::new();
+        let d = flow.state.client_dup_acks;
+        let fire = d == threshold
+            || (flow.state.last_fire_dup > 0 && d >= flow.state.last_fire_dup.saturating_mul(4));
+        if fire {
+            flow.state.last_fire_dup = d;
+            let mut to_retx: Vec<CachedSegment> = Vec::new();
+            if let Some(c) = flow.cache.lookup_containing(ack.ack) {
+                to_retx.push(c);
+            }
+            // SACK-based: fill every advertised gap from the cache.
+            let mut cursor = ack.ack;
+            for &(s, e) in &ack.sack {
+                if s > cursor {
+                    to_retx.extend(flow.cache.lookup_range(cursor, s));
+                }
+                cursor = cursor.max(e);
+            }
+            to_retx.sort_by_key(|c| c.seq);
+            to_retx.dedup();
+            if to_retx.is_empty() {
+                // Nothing cached to serve — let the sender handle it.
+                self.stats.client_acks_forwarded += 1;
+                return vec![Action::SendAckUpstream(ack.clone())];
+            }
+            for c in to_retx {
+                self.stats.local_retransmits += 1;
+                actions.push(Action::LocalRetransmit(
+                    flow.cache.to_segment(ack.flow, c),
+                ));
+            }
+        }
+        self.stats.client_acks_suppressed += 1;
+        actions.push(Action::SuppressClientAck(ack.clone()));
+        actions
+    }
+
+    /// The forwarding plane dropped a just-forwarded segment at the
+    /// transmit queue (tail drop). In the Click pipeline the agent sits
+    /// at that queue and observes the drop directly. The segment becomes
+    /// a hole — the same machinery as an upstream drop (§5.5.3): the
+    /// occupancy estimate excludes it and an emulated dupACK (with SACK)
+    /// prompts the sender to retransmit it; the retransmission arrives as
+    /// case (ii) with priority and bypasses the queue cap.
+    pub fn on_queue_drop(&mut self, flow_id: FlowId, seq: u64, len: u32) -> Vec<Action> {
+        if !self.cfg.enabled {
+            return Vec::new();
+        }
+        let Some(flow) = self.flows.get_mut(&flow_id) else {
+            return Vec::new();
+        };
+        flow.state.add_hole(seq, seq + len as u64);
+        self.stats.queue_drops += 1;
+        if !self.cfg.emulate_holes {
+            return Vec::new();
+        }
+        let sack = sack_blocks(&flow.state);
+        let rwnd = Self::advertised_rwnd(&self.cfg, &flow.state);
+        self.stats.hole_dupacks_sent += 1;
+        vec![Action::SendAckUpstream(AckSegment {
+            flow: flow_id,
+            ack: flow.state.seq_fack,
+            rwnd,
+            sack,
+        })]
+    }
+
+    /// Liveness backstop for bad hints (footnote 15): when the client's
+    /// TCP ACK point (`seq_tcp`) sits below the fast-ACK point
+    /// (`seq_fack`) the sender has discarded that data and only the AP
+    /// can repair the flow — but if the client has nothing new arriving
+    /// it will never emit another dupACK to trigger §5.5.1's local
+    /// retransmission, and the flow deadlocks. The agent itself holds no
+    /// timers (§5.5.1); the forwarding plane calls this when it observes
+    /// a flow making no client-side progress, and the agent re-serves
+    /// the segment at the client's ACK point from the cache.
+    pub fn force_repair(&mut self, flow_id: FlowId) -> Vec<Action> {
+        if !self.cfg.enabled {
+            return Vec::new();
+        }
+        let Some(flow) = self.flows.get_mut(&flow_id) else {
+            return Vec::new();
+        };
+        if flow.state.seq_tcp >= flow.state.seq_fack {
+            return Vec::new(); // client is caught up; nothing to repair
+        }
+        match flow.cache.lookup_containing(flow.state.seq_tcp) {
+            Some(c) => {
+                self.stats.local_retransmits += 1;
+                vec![Action::LocalRetransmit(flow.cache.to_segment(flow_id, c))]
+            }
+            None => Vec::new(),
+        }
+    }
+
+    /// §5.5.4 roaming: extract a flow's state for transfer to the
+    /// roam-to AP. Removes the flow from this agent.
+    pub fn export_flow(&mut self, flow: FlowId) -> Option<(FlowState, Vec<CachedSegment>)> {
+        self.flows
+            .remove(&flow)
+            .map(|f| (f.state, f.cache.export()))
+    }
+
+    /// §5.5.4 roaming: adopt a flow exported by the roam-from AP.
+    pub fn import_flow(&mut self, flow: FlowId, state: FlowState, cache: Vec<CachedSegment>) {
+        let mut c = RetransmissionCache::new(self.cfg.cache_capacity_bytes);
+        c.import(&cache);
+        self.flows.insert(
+            flow,
+            Flow {
+                state,
+                cache: c,
+                uncached: BTreeSet::new(),
+            },
+        );
+    }
+
+    /// Drop a completed flow's state.
+    pub fn remove_flow(&mut self, flow: FlowId) {
+        self.flows.remove(&flow);
+        self.classifier.forget(flow);
+    }
+
+    /// Deep copy including per-flow state — benchmark/testing helper.
+    pub fn clone_for_bench(&self) -> Agent {
+        self.clone()
+    }
+}
+
+/// SACK blocks describing what the AP *has* seen above the holes:
+/// the complement of `holes` within `[seq_exp_of_first_hole, seq_high)`,
+/// capped at 3 blocks (TCP option-space limit).
+fn sack_blocks(state: &FlowState) -> Vec<(u64, u64)> {
+    let mut holes = state.holes.clone();
+    holes.sort_by_key(|h| h.start);
+    let mut blocks = Vec::new();
+    let mut cursor = None::<u64>;
+    for h in &holes {
+        if let Some(c) = cursor {
+            if h.start > c {
+                blocks.push((c, h.start));
+            }
+        }
+        cursor = Some(h.end);
+    }
+    if let Some(c) = cursor {
+        if state.seq_high > c {
+            blocks.push((c, state.seq_high));
+        }
+    }
+    blocks.truncate(3);
+    blocks
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const MSS: u32 = 1460;
+
+    fn seg(seq: u64, len: u32) -> DataSegment {
+        DataSegment {
+            flow: FlowId(1),
+            seq,
+            len,
+            retransmit: false,
+        }
+    }
+
+    fn client_ack(a: u64) -> AckSegment {
+        AckSegment::plain(FlowId(1), a, 1 << 20)
+    }
+
+    fn mk() -> Agent {
+        Agent::new(AgentConfig::default())
+    }
+
+    /// Drive n in-order segments through data + MAC-ACK paths.
+    fn pump(agent: &mut Agent, n: u64) {
+        for i in 0..n {
+            agent.on_wire_data(&seg(i * MSS as u64, MSS));
+            agent.on_mac_ack(FlowId(1), i * MSS as u64, MSS);
+        }
+    }
+
+    #[test]
+    fn in_order_data_forwards_and_fast_acks() {
+        let mut a = mk();
+        let acts = a.on_wire_data(&seg(0, MSS));
+        assert_eq!(
+            acts,
+            vec![Action::Forward {
+                seg: seg(0, MSS),
+                priority: false
+            }]
+        );
+        let acts = a.on_mac_ack(FlowId(1), 0, MSS);
+        assert_eq!(acts.len(), 1);
+        match &acts[0] {
+            Action::SendAckUpstream(ack) => {
+                assert_eq!(ack.ack, MSS as u64);
+                assert!(ack.sack.is_empty());
+            }
+            other => panic!("expected fast ack, got {other:?}"),
+        }
+        assert_eq!(a.stats.fast_acks_sent, 1);
+    }
+
+    #[test]
+    fn case_i_spurious_retransmission_dropped() {
+        let mut a = mk();
+        pump(&mut a, 3);
+        // Sender retransmits segment 0 even though it was fast-ACKed.
+        let acts = a.on_wire_data(&seg(0, MSS));
+        assert_eq!(acts, vec![Action::DropData(seg(0, MSS))]);
+        assert_eq!(a.stats.spurious_drops, 1);
+    }
+
+    #[test]
+    fn case_ii_end_to_end_retransmission_gets_priority() {
+        let mut a = mk();
+        // Data seen but NOT yet mac-acked (so not fast-acked): a
+        // retransmission for it is case (ii).
+        a.on_wire_data(&seg(0, MSS));
+        a.on_wire_data(&seg(MSS as u64, MSS));
+        let acts = a.on_wire_data(&seg(0, MSS));
+        assert_eq!(
+            acts,
+            vec![Action::Forward {
+                seg: seg(0, MSS),
+                priority: true
+            }]
+        );
+        assert_eq!(a.stats.priority_forwards, 1);
+    }
+
+    #[test]
+    fn case_iv_hole_detected_and_dupacks_emulated() {
+        let mut a = mk();
+        a.on_wire_data(&seg(0, MSS));
+        // Segment 1 lost upstream; segment 2 arrives.
+        let acts = a.on_wire_data(&seg(2 * MSS as u64, MSS));
+        assert_eq!(a.stats.holes_detected, 1);
+        // Forward + emulated dupACK.
+        assert_eq!(acts.len(), 2);
+        match &acts[1] {
+            Action::SendAckUpstream(ack) => {
+                assert_eq!(ack.ack, 0, "dupack at the fast-ack point");
+                assert_eq!(
+                    ack.sack,
+                    vec![(2 * MSS as u64, 3 * MSS as u64)],
+                    "SACK names the received block above the hole"
+                );
+            }
+            other => panic!("expected dupack, got {other:?}"),
+        }
+        let st = a.flow_state(FlowId(1)).unwrap();
+        assert_eq!(st.holes.len(), 1);
+        assert_eq!(st.holes[0].start, MSS as u64);
+        assert_eq!(st.holes[0].end, 2 * MSS as u64);
+
+        // The sender's retransmission repairs the hole (case ii).
+        a.on_wire_data(&seg(MSS as u64, MSS));
+        assert!(a.flow_state(FlowId(1)).unwrap().holes.is_empty());
+    }
+
+    #[test]
+    fn mac_acks_out_of_order_block_then_release_fast_acks() {
+        // The paper's continuity requirement: TCP ACKs are cumulative so
+        // a missing 802.11 ACK must gate all later fast ACKs.
+        let mut a = mk();
+        for i in 0..3u64 {
+            a.on_wire_data(&seg(i * MSS as u64, MSS));
+        }
+        // MAC acks arrive for segments 0 and 2 only.
+        let f1 = a.on_mac_ack(FlowId(1), 0, MSS);
+        assert!(matches!(&f1[0], Action::SendAckUpstream(k) if k.ack == MSS as u64));
+        let f2 = a.on_mac_ack(FlowId(1), 2 * MSS as u64, MSS);
+        assert!(f2.is_empty(), "continuity broken at segment 1");
+        // Straggler MAC ack for segment 1 releases both.
+        let f3 = a.on_mac_ack(FlowId(1), MSS as u64, MSS);
+        assert_eq!(f3.len(), 1);
+        assert!(matches!(&f3[0], Action::SendAckUpstream(k) if k.ack == 3 * MSS as u64));
+        assert_eq!(a.stats.fast_acks_sent, 2);
+    }
+
+    #[test]
+    fn client_acks_below_fack_are_suppressed() {
+        // Pin the assumed initial window to the test ACKs' 1 MB so the
+        // window-update emission condition is deterministic here.
+        let mut a = Agent::new(AgentConfig {
+            initial_client_rwnd: 1 << 20,
+            ..AgentConfig::default()
+        });
+        pump(&mut a, 4);
+        let acts = a.on_client_ack(&client_ack(2 * MSS as u64));
+        assert!(matches!(acts[0], Action::SuppressClientAck(_)));
+        // The client's progress reopened rx'_win: a pure window update
+        // (same ack point, larger window, no SACK) goes to the sender.
+        assert_eq!(acts.len(), 2);
+        match &acts[1] {
+            Action::SendAckUpstream(w) => {
+                assert_eq!(w.ack, 4 * MSS as u64, "at the fast-ack point");
+                assert!(w.sack.is_empty());
+            }
+            other => panic!("expected window update, got {other:?}"),
+        }
+        assert_eq!(a.stats.client_acks_suppressed, 1);
+        // Cache released below the client ack.
+        let st = a.flow_state(FlowId(1)).unwrap();
+        assert_eq!(st.seq_tcp, 2 * MSS as u64);
+    }
+
+    #[test]
+    fn client_ack_ahead_of_fack_is_forwarded() {
+        let mut a = mk();
+        // Data forwarded but never MAC-acked (bad hint in the other
+        // direction: MAC ack lost) — client acks anyway.
+        a.on_wire_data(&seg(0, MSS));
+        let acts = a.on_client_ack(&client_ack(MSS as u64));
+        assert_eq!(acts.len(), 1);
+        assert!(matches!(&acts[0], Action::SendAckUpstream(k) if k.ack == MSS as u64));
+        let st = a.flow_state(FlowId(1)).unwrap();
+        assert_eq!(st.seq_fack, MSS as u64, "fast-ack point resynced");
+    }
+
+    #[test]
+    fn client_dupacks_trigger_local_retransmit_from_cache() {
+        let mut a = mk();
+        pump(&mut a, 4);
+        a.on_client_ack(&client_ack(2 * MSS as u64));
+        // Client dup-acks at 2*MSS: segment 2 was fast-ACKed (bad hint)
+        // but never reached the client's transport.
+        let first = a.on_client_ack(&client_ack(2 * MSS as u64));
+        assert!(
+            first.iter().all(|x| matches!(x, Action::SuppressClientAck(_))),
+            "below threshold: only suppression"
+        );
+        let second = a.on_client_ack(&client_ack(2 * MSS as u64));
+        let retx: Vec<_> = second
+            .iter()
+            .filter_map(|x| match x {
+                Action::LocalRetransmit(d) => Some(*d),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(retx.len(), 1);
+        assert_eq!(retx[0].seq, 2 * MSS as u64);
+        assert!(retx[0].retransmit);
+        assert_eq!(a.stats.local_retransmits, 1);
+        // The dupACK itself never reaches the sender.
+        assert!(second.iter().any(|x| matches!(x, Action::SuppressClientAck(_))));
+    }
+
+    #[test]
+    fn client_dupack_with_sack_fills_all_gaps() {
+        let mut a = mk();
+        pump(&mut a, 6);
+        a.on_client_ack(&client_ack(MSS as u64));
+        let mut dup = client_ack(MSS as u64);
+        // Client holds [3,4) and [5,6) but is missing [1,3) and [4,5).
+        dup.sack = vec![
+            (3 * MSS as u64, 4 * MSS as u64),
+            (5 * MSS as u64, 6 * MSS as u64),
+        ];
+        a.on_client_ack(&dup);
+        let acts = a.on_client_ack(&dup);
+        let retx: Vec<u64> = acts
+            .iter()
+            .filter_map(|x| match x {
+                Action::LocalRetransmit(d) => Some(d.seq),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(
+            retx,
+            vec![MSS as u64, 2 * MSS as u64, 4 * MSS as u64],
+            "every hole served from cache"
+        );
+    }
+
+    #[test]
+    fn dupack_with_nothing_cached_is_forwarded() {
+        let mut a = mk();
+        pump(&mut a, 2);
+        // Client acks everything; cache drains.
+        a.on_client_ack(&client_ack(2 * MSS as u64));
+        // Now it dup-acks twice at the same point with nothing cached
+        // above: the agent must punt to the sender.
+        a.on_client_ack(&client_ack(2 * MSS as u64));
+        let acts = a.on_client_ack(&client_ack(2 * MSS as u64));
+        assert!(acts.iter().any(|x| matches!(x, Action::SendAckUpstream(_))));
+    }
+
+    #[test]
+    fn fast_ack_advertises_clamped_window() {
+        let mut a = Agent::new(AgentConfig {
+            initial_client_rwnd: 4 * MSS as u64,
+            ..AgentConfig::default()
+        });
+        // 3 segments forwarded, none client-acked: out_bytes = 3 MSS.
+        for i in 0..3u64 {
+            a.on_wire_data(&seg(i * MSS as u64, MSS));
+        }
+        let acts = a.on_mac_ack(FlowId(1), 0, MSS);
+        match &acts[0] {
+            Action::SendAckUpstream(ack) => {
+                assert_eq!(ack.rwnd, MSS as u64, "rx_win - out_bytes = 4-3 MSS");
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn window_never_negative() {
+        let mut a = Agent::new(AgentConfig {
+            initial_client_rwnd: 2 * MSS as u64,
+            ..AgentConfig::default()
+        });
+        for i in 0..5u64 {
+            a.on_wire_data(&seg(i * MSS as u64, MSS));
+        }
+        let acts = a.on_mac_ack(FlowId(1), 0, MSS);
+        match &acts[0] {
+            Action::SendAckUpstream(ack) => assert_eq!(ack.rwnd, 0),
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn disabled_agent_is_transparent() {
+        let mut a = Agent::new(AgentConfig {
+            enabled: false,
+            ..AgentConfig::default()
+        });
+        let acts = a.on_wire_data(&seg(0, MSS));
+        assert_eq!(
+            acts,
+            vec![Action::Forward {
+                seg: seg(0, MSS),
+                priority: false
+            }]
+        );
+        assert!(a.on_mac_ack(FlowId(1), 0, MSS).is_empty());
+        let acts = a.on_client_ack(&client_ack(MSS as u64));
+        assert!(matches!(acts[0], Action::SendAckUpstream(_)));
+        assert_eq!(a.stats, AgentStats::default());
+    }
+
+    #[test]
+    fn unknown_flow_acks_pass_through() {
+        let mut a = mk();
+        let acts = a.on_client_ack(&client_ack(100));
+        assert!(matches!(acts[0], Action::SendAckUpstream(_)));
+        assert!(a.on_mac_ack(FlowId(77), 0, 100).is_empty());
+    }
+
+    #[test]
+    fn cache_overflow_degrades_gracefully() {
+        let mut a = Agent::new(AgentConfig {
+            cache_capacity_bytes: 2 * MSS as u64,
+            ..AgentConfig::default()
+        });
+        for i in 0..4u64 {
+            a.on_wire_data(&seg(i * MSS as u64, MSS));
+        }
+        assert_eq!(a.stats.cache_bypasses, 2);
+        // MAC acks for everything: fast acks stop at the uncached region.
+        a.on_mac_ack(FlowId(1), 0, MSS);
+        a.on_mac_ack(FlowId(1), MSS as u64, MSS);
+        let stalled = a.on_mac_ack(FlowId(1), 2 * MSS as u64, MSS);
+        assert!(stalled.is_empty(), "uncached segment is never fast-acked");
+        assert_eq!(a.stats.fast_acks_sent, 2);
+        // The client's own ACK covers it and resyncs the flow.
+        let acts = a.on_client_ack(&client_ack(3 * MSS as u64));
+        assert!(matches!(&acts[0], Action::SendAckUpstream(k) if k.ack == 3 * MSS as u64));
+    }
+
+    #[test]
+    fn roaming_export_import_preserves_flow() {
+        let mut a = mk();
+        pump(&mut a, 3);
+        a.on_client_ack(&client_ack(MSS as u64));
+        let (state, cache) = a.export_flow(FlowId(1)).expect("flow exists");
+        assert_eq!(a.flow_count(), 0);
+        assert_eq!(state.seq_fack, 3 * MSS as u64);
+
+        let mut b = mk();
+        b.import_flow(FlowId(1), state, cache);
+        // The roam-to AP can serve a local retransmission immediately.
+        b.on_client_ack(&client_ack(MSS as u64)); // progress? no: equal seq_tcp
+        let acts = b.on_client_ack(&client_ack(MSS as u64));
+        assert!(acts
+            .iter()
+            .any(|x| matches!(x, Action::LocalRetransmit(d) if d.seq == MSS as u64)));
+    }
+
+    #[test]
+    fn elephant_policy_adopts_midstream() {
+        use crate::classifier::FlowPolicy;
+        let mut a = Agent::new(AgentConfig {
+            flow_policy: FlowPolicy::Elephants {
+                threshold_bytes: 3 * MSS as u64,
+            },
+            ..AgentConfig::default()
+        });
+        // Segments 0 and 1: below threshold, pure pass-through.
+        for i in 0..2u64 {
+            let acts = a.on_wire_data(&seg(i * MSS as u64, MSS));
+            assert_eq!(
+                acts,
+                vec![Action::Forward {
+                    seg: seg(i * MSS as u64, MSS),
+                    priority: false
+                }]
+            );
+        }
+        assert!(a.flow_state(FlowId(1)).is_none(), "not yet adopted");
+        assert!(a.on_mac_ack(FlowId(1), 0, MSS).is_empty(), "no fast acks yet");
+        // Third segment crosses 3*MSS: adopted, baseline at its seq,
+        // emission gated until the client vouches for the prefix.
+        a.on_wire_data(&seg(2 * MSS as u64, MSS));
+        let st = a.flow_state(FlowId(1)).expect("adopted");
+        assert_eq!(st.seq_fack, 2 * MSS as u64);
+        assert_eq!(st.seq_exp, 3 * MSS as u64);
+        assert_eq!(st.gate_until, Some(2 * MSS as u64));
+        // MAC acks accumulate silently while gated (no cumulative fast
+        // ACK may vouch for pre-baseline bytes the agent never saw).
+        let acts = a.on_mac_ack(FlowId(1), 2 * MSS as u64, MSS);
+        assert!(acts.is_empty(), "{acts:?}");
+        // A late client ACK for pre-adoption data is forwarded untouched.
+        let acts = a.on_client_ack(&client_ack(MSS as u64));
+        assert!(matches!(acts[0], Action::SendAckUpstream(_)));
+        // The client reaching the baseline opens the gate: the original
+        // ack is forwarded AND the gated fast-ack backlog is released.
+        let acts = a.on_client_ack(&client_ack(2 * MSS as u64));
+        assert_eq!(acts.len(), 2, "{acts:?}");
+        assert!(matches!(&acts[0], Action::SendAckUpstream(k) if k.ack == 2 * MSS as u64));
+        assert!(matches!(&acts[1], Action::SendAckUpstream(k) if k.ack == 3 * MSS as u64));
+        assert!(a.flow_state(FlowId(1)).unwrap().gate_until.is_none());
+        assert_eq!(a.stats.local_retransmits, 0);
+    }
+
+    #[test]
+    fn stats_accumulate_consistently() {
+        let mut a = mk();
+        pump(&mut a, 10);
+        for i in 1..=10u64 {
+            a.on_client_ack(&client_ack(i * MSS as u64));
+        }
+        assert_eq!(a.stats.fast_acks_sent, 10);
+        assert_eq!(a.stats.client_acks_suppressed, 10);
+        assert_eq!(a.stats.client_acks_forwarded, 0);
+        assert_eq!(a.stats.local_retransmits, 0);
+    }
+}

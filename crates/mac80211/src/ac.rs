@@ -1,0 +1,202 @@
+//! 802.11e EDCA access categories.
+//!
+//! The four ACs (§3.2.4 of the paper): Background (BK), Best Effort (BE),
+//! Video (VI) and Voice (VO), from least to most aggressive. A more
+//! aggressive AC has a shorter arbitration wait (AIFSN) and smaller
+//! contention windows, so it wins the medium sooner — but "exhausts retry
+//! attempts more quickly" (the paper observes higher loss for VO than VI
+//! partly for this reason). Parameter values are the 802.11 defaults.
+
+use sim::SimDuration;
+use std::fmt;
+
+/// EDCA access category, ordered least → most aggressive.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum AccessCategory {
+    Background,
+    BestEffort,
+    Video,
+    Voice,
+}
+
+impl AccessCategory {
+    pub const ALL: [AccessCategory; 4] = [
+        AccessCategory::Background,
+        AccessCategory::BestEffort,
+        AccessCategory::Video,
+        AccessCategory::Voice,
+    ];
+
+    /// Short name used in reports ("BK"/"BE"/"VI"/"VO").
+    pub const fn abbrev(self) -> &'static str {
+        match self {
+            AccessCategory::Background => "BK",
+            AccessCategory::BestEffort => "BE",
+            AccessCategory::Video => "VI",
+            AccessCategory::Voice => "VO",
+        }
+    }
+
+    /// Map a DSCP code point to an AC, following the common WMM mapping
+    /// (the paper notes ACs are "often mapped from DSCP bits").
+    pub fn from_dscp(dscp: u8) -> AccessCategory {
+        // EF (46) is voice regardless of its precedence bits.
+        if dscp == 46 {
+            return AccessCategory::Voice;
+        }
+        match dscp >> 3 {
+            // Precedence 1 (CS1, AF1x): background.
+            1 => AccessCategory::Background,
+            // Precedence 4–5 (CS4/CS5, AF4x): video.
+            4 | 5 => AccessCategory::Video,
+            // Precedence 6–7 (CS6/CS7): network control, treated as voice.
+            6 | 7 => AccessCategory::Voice,
+            _ => AccessCategory::BestEffort,
+        }
+    }
+}
+
+impl fmt::Display for AccessCategory {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.abbrev())
+    }
+}
+
+/// EDCA parameter set for one AC.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct EdcaParams {
+    /// Arbitration interframe spacing number: slots waited after SIFS
+    /// before backoff countdown may begin.
+    pub aifsn: u32,
+    /// Minimum contention window (slots); backoff drawn uniformly from
+    /// `[0, cw]`.
+    pub cw_min: u32,
+    /// Maximum contention window after exponential growth.
+    pub cw_max: u32,
+    /// Retry limit before the frame is dropped (the paper's "loss means
+    /// failure after exhausting retransmission attempts").
+    pub retry_limit: u32,
+    /// EDCA TXOP limit: the longest airtime one medium grab may occupy.
+    /// `None` = unlimited by the AC (the A-MPDU duration cap still
+    /// applies). Standard values: VO 1.504 ms, VI 3.008 ms; BE/BK are
+    /// nominally single-exchange but enterprise APs run them unlimited
+    /// to enable deep aggregation.
+    pub txop_limit: Option<SimDuration>,
+}
+
+impl EdcaParams {
+    /// 802.11 default EDCA parameters for 5 GHz OFDM PHYs.
+    pub const fn for_ac(ac: AccessCategory) -> EdcaParams {
+        match ac {
+            AccessCategory::Background => EdcaParams {
+                aifsn: 7,
+                cw_min: 15,
+                cw_max: 1023,
+                retry_limit: 7,
+                txop_limit: None,
+            },
+            AccessCategory::BestEffort => EdcaParams {
+                aifsn: 3,
+                cw_min: 15,
+                cw_max: 1023,
+                retry_limit: 7,
+                txop_limit: None,
+            },
+            AccessCategory::Video => EdcaParams {
+                aifsn: 2,
+                cw_min: 7,
+                cw_max: 15,
+                retry_limit: 4,
+                txop_limit: Some(SimDuration::from_micros(3_008)),
+            },
+            AccessCategory::Voice => EdcaParams {
+                aifsn: 2,
+                cw_min: 3,
+                cw_max: 7,
+                retry_limit: 4,
+                txop_limit: Some(SimDuration::from_micros(1_504)),
+            },
+        }
+    }
+
+    /// Contention window for the given retry count (exponential growth,
+    /// capped at `cw_max`).
+    pub fn cw_for_retry(&self, retries: u32) -> u32 {
+        let mut cw = self.cw_min;
+        for _ in 0..retries {
+            cw = ((cw + 1) * 2 - 1).min(self.cw_max);
+            if cw == self.cw_max {
+                break;
+            }
+        }
+        cw
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn aggressiveness_ordering() {
+        // More aggressive ACs have smaller/equal AIFSN and CWmin.
+        let p: Vec<EdcaParams> = AccessCategory::ALL
+            .iter()
+            .map(|&ac| EdcaParams::for_ac(ac))
+            .collect();
+        for w in p.windows(2) {
+            assert!(w[1].aifsn <= w[0].aifsn);
+            assert!(w[1].cw_min <= w[0].cw_min);
+        }
+    }
+
+    #[test]
+    fn cw_doubles_then_caps() {
+        let be = EdcaParams::for_ac(AccessCategory::BestEffort);
+        assert_eq!(be.cw_for_retry(0), 15);
+        assert_eq!(be.cw_for_retry(1), 31);
+        assert_eq!(be.cw_for_retry(2), 63);
+        assert_eq!(be.cw_for_retry(6), 1023);
+        assert_eq!(be.cw_for_retry(20), 1023, "capped");
+        let vo = EdcaParams::for_ac(AccessCategory::Voice);
+        assert_eq!(vo.cw_for_retry(0), 3);
+        assert_eq!(vo.cw_for_retry(1), 7);
+        assert_eq!(vo.cw_for_retry(5), 7);
+    }
+
+    #[test]
+    fn dscp_mapping() {
+        assert_eq!(AccessCategory::from_dscp(0), AccessCategory::BestEffort);
+        assert_eq!(AccessCategory::from_dscp(8), AccessCategory::Background); // CS1
+        assert_eq!(AccessCategory::from_dscp(34), AccessCategory::Video); // AF41
+        assert_eq!(AccessCategory::from_dscp(46), AccessCategory::Voice); // EF
+        assert_eq!(AccessCategory::from_dscp(48), AccessCategory::Voice); // CS6
+    }
+
+    #[test]
+    fn abbrevs() {
+        let names: Vec<&str> = AccessCategory::ALL.iter().map(|a| a.abbrev()).collect();
+        assert_eq!(names, vec!["BK", "BE", "VI", "VO"]);
+    }
+
+    #[test]
+    fn txop_limits_match_the_standard() {
+        use sim::SimDuration;
+        assert_eq!(
+            EdcaParams::for_ac(AccessCategory::Voice).txop_limit,
+            Some(SimDuration::from_micros(1_504))
+        );
+        assert_eq!(
+            EdcaParams::for_ac(AccessCategory::Video).txop_limit,
+            Some(SimDuration::from_micros(3_008))
+        );
+        assert_eq!(EdcaParams::for_ac(AccessCategory::BestEffort).txop_limit, None);
+    }
+
+    #[test]
+    fn voice_runs_out_of_retries_sooner() {
+        let vo = EdcaParams::for_ac(AccessCategory::Voice);
+        let be = EdcaParams::for_ac(AccessCategory::BestEffort);
+        assert!(vo.retry_limit < be.retry_limit);
+    }
+}

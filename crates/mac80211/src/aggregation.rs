@@ -1,0 +1,278 @@
+//! A-MPDU aggregation and BlockAck accounting.
+//!
+//! The mechanism at the center of the paper's §5: an 802.11ac transmit
+//! opportunity carries an Aggregate MPDU — up to 64 MPDUs (one BlockAck
+//! window) or 5.3 ms of airtime, whichever binds first. The *aggregate
+//! size achieved* is determined by how many packets are sitting in the
+//! per-destination queue when the TXOP is won; FastACK's entire purpose
+//! is to keep those queues full so this builder can emit large
+//! aggregates.
+
+use phy80211::airtime::{ampdu_duration, MAX_AMPDU_DURATION, MAX_AMPDU_FRAMES};
+use phy80211::channels::Width;
+use phy80211::mcs::{GuardInterval, Mcs};
+use sim::SimDuration;
+
+/// One MPDU queued for a destination: an opaque payload id plus its size.
+/// The id lets higher layers (TCP, FastACK) map MAC delivery reports back
+/// to their packets.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct QueuedMpdu {
+    /// Caller-assigned identifier (e.g. TCP segment key).
+    pub id: u64,
+    /// MSDU payload bytes (IP packet size).
+    pub bytes: usize,
+}
+
+/// An assembled A-MPDU ready for transmission.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Ampdu {
+    pub mpdus: Vec<QueuedMpdu>,
+    /// Airtime of the aggregate at the chosen rate.
+    pub duration: SimDuration,
+}
+
+impl Ampdu {
+    /// Number of MPDUs — the paper's "aggregate size".
+    pub fn size(&self) -> usize {
+        self.mpdus.len()
+    }
+
+    /// Total payload bytes carried.
+    pub fn payload_bytes(&self) -> usize {
+        self.mpdus.iter().map(|m| m.bytes).sum()
+    }
+}
+
+/// Limits applied when building an aggregate.
+#[derive(Debug, Clone, Copy)]
+pub struct AggLimits {
+    /// Max MPDUs per aggregate (BlockAck window; default 64).
+    pub max_frames: usize,
+    /// Max airtime per aggregate (802.11ac wave-2: 5.3 ms).
+    pub max_duration: SimDuration,
+}
+
+impl Default for AggLimits {
+    fn default() -> Self {
+        AggLimits {
+            max_frames: MAX_AMPDU_FRAMES,
+            max_duration: MAX_AMPDU_DURATION,
+        }
+    }
+}
+
+/// Build the largest legal A-MPDU from the head of `queue` at the given
+/// rate, removing the consumed MPDUs from the queue.
+///
+/// Returns `None` if the queue is empty or the rate is invalid. A single
+/// MPDU is always allowed even if it alone exceeds `max_duration`
+/// (otherwise low rates could never transmit at all).
+pub fn build_ampdu(
+    queue: &mut Vec<QueuedMpdu>,
+    mcs: Mcs,
+    nss: u8,
+    width: Width,
+    gi: GuardInterval,
+    limits: AggLimits,
+) -> Option<Ampdu> {
+    if queue.is_empty() {
+        return None;
+    }
+    let mut take = 0usize;
+    let mut sizes: Vec<usize> = Vec::new();
+    let mut duration = SimDuration::ZERO;
+    while take < queue.len() && take < limits.max_frames {
+        sizes.push(queue[take].bytes);
+        let d = ampdu_duration(&sizes, mcs, nss, width, gi)?;
+        if d > limits.max_duration && take > 0 {
+            sizes.pop();
+            break;
+        }
+        duration = d;
+        take += 1;
+        if duration > limits.max_duration {
+            break; // single over-long MPDU: allowed, but nothing more
+        }
+    }
+    let mpdus: Vec<QueuedMpdu> = queue.drain(..take).collect();
+    Some(Ampdu { mpdus, duration })
+}
+
+/// Receiver-side BlockAck bookkeeping: which MPDUs of the last aggregate
+/// arrived intact. The transmitter re-queues the failures.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct BlockAck {
+    /// (id, delivered) per transmitted MPDU, in aggregate order.
+    pub per_mpdu: Vec<(u64, bool)>,
+}
+
+impl BlockAck {
+    /// Ids successfully delivered.
+    pub fn acked(&self) -> impl Iterator<Item = u64> + '_ {
+        self.per_mpdu.iter().filter(|(_, ok)| *ok).map(|&(id, _)| id)
+    }
+
+    /// Ids that failed and need retransmission.
+    pub fn failed(&self) -> impl Iterator<Item = u64> + '_ {
+        self.per_mpdu.iter().filter(|(_, ok)| !*ok).map(|&(id, _)| id)
+    }
+
+    /// True if every MPDU was delivered.
+    pub fn all_acked(&self) -> bool {
+        self.per_mpdu.iter().all(|(_, ok)| *ok)
+    }
+
+    /// True if no MPDU was delivered (whole-PPDU loss: the BlockAck
+    /// itself would not even be generated; the transmitter times out).
+    pub fn none_acked(&self) -> bool {
+        self.per_mpdu.iter().all(|(_, ok)| !*ok)
+    }
+
+    /// Count of delivered MPDUs.
+    pub fn acked_count(&self) -> usize {
+        self.per_mpdu.iter().filter(|(_, ok)| *ok).count()
+    }
+}
+
+/// Running statistic of achieved aggregate sizes — the quantity plotted
+/// in the paper's Fig. 15.
+#[derive(Debug, Clone, Default)]
+pub struct AggregationStats {
+    pub aggregates: u64,
+    pub mpdus: u64,
+    pub max_size: usize,
+    pub min_size: usize,
+}
+
+impl AggregationStats {
+    pub fn record(&mut self, size: usize) {
+        self.aggregates += 1;
+        self.mpdus += size as u64;
+        self.max_size = self.max_size.max(size);
+        self.min_size = if self.aggregates == 1 {
+            size
+        } else {
+            self.min_size.min(size)
+        };
+    }
+
+    /// Mean MPDUs per aggregate.
+    pub fn mean(&self) -> f64 {
+        if self.aggregates == 0 {
+            0.0
+        } else {
+            self.mpdus as f64 / self.aggregates as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const SGI: GuardInterval = GuardInterval::Short;
+
+    fn q(n: usize, bytes: usize) -> Vec<QueuedMpdu> {
+        (0..n)
+            .map(|i| QueuedMpdu {
+                id: i as u64,
+                bytes,
+            })
+            .collect()
+    }
+
+    #[test]
+    fn empty_queue_builds_nothing() {
+        let mut queue = Vec::new();
+        assert!(build_ampdu(&mut queue, Mcs(9), 2, Width::W80, SGI, AggLimits::default()).is_none());
+    }
+
+    #[test]
+    fn takes_up_to_64_frames_at_high_rate() {
+        let mut queue = q(100, 1460);
+        let a = build_ampdu(&mut queue, Mcs(9), 3, Width::W80, SGI, AggLimits::default()).unwrap();
+        assert_eq!(a.size(), 64);
+        assert_eq!(queue.len(), 36);
+        assert!(a.duration < MAX_AMPDU_DURATION);
+        // Consumed in FIFO order.
+        assert_eq!(a.mpdus[0].id, 0);
+        assert_eq!(a.mpdus[63].id, 63);
+    }
+
+    #[test]
+    fn duration_cap_binds_at_low_rate() {
+        // At MCS0 20MHz a 1460B MPDU takes ~0.9ms: only ~5 fit in 5.3ms.
+        let mut queue = q(64, 1460);
+        let a = build_ampdu(&mut queue, Mcs(0), 1, Width::W20, SGI, AggLimits::default()).unwrap();
+        assert!(a.size() < 10, "size = {}", a.size());
+        assert!(a.duration <= MAX_AMPDU_DURATION);
+    }
+
+    #[test]
+    fn single_overlong_mpdu_is_still_sent() {
+        let mut queue = q(3, 60_000); // jumbo payload exceeding cap alone
+        let a = build_ampdu(&mut queue, Mcs(0), 1, Width::W20, SGI, AggLimits::default()).unwrap();
+        assert_eq!(a.size(), 1);
+        assert!(a.duration > MAX_AMPDU_DURATION);
+        assert_eq!(queue.len(), 2);
+    }
+
+    #[test]
+    fn small_queue_is_fully_drained() {
+        let mut queue = q(7, 1460);
+        let a = build_ampdu(&mut queue, Mcs(9), 2, Width::W80, SGI, AggLimits::default()).unwrap();
+        assert_eq!(a.size(), 7);
+        assert!(queue.is_empty());
+    }
+
+    #[test]
+    fn custom_frame_limit() {
+        let mut queue = q(64, 1460);
+        let limits = AggLimits {
+            max_frames: 16,
+            ..AggLimits::default()
+        };
+        let a = build_ampdu(&mut queue, Mcs(9), 2, Width::W80, SGI, limits).unwrap();
+        assert_eq!(a.size(), 16);
+    }
+
+    #[test]
+    fn payload_accounting() {
+        let mut queue = q(4, 1000);
+        let a = build_ampdu(&mut queue, Mcs(9), 2, Width::W80, SGI, AggLimits::default()).unwrap();
+        assert_eq!(a.payload_bytes(), 4000);
+    }
+
+    #[test]
+    fn blockack_partitions_ids() {
+        let ba = BlockAck {
+            per_mpdu: vec![(10, true), (11, false), (12, true)],
+        };
+        assert_eq!(ba.acked().collect::<Vec<_>>(), vec![10, 12]);
+        assert_eq!(ba.failed().collect::<Vec<_>>(), vec![11]);
+        assert!(!ba.all_acked());
+        assert!(!ba.none_acked());
+        assert_eq!(ba.acked_count(), 2);
+    }
+
+    #[test]
+    fn aggregation_stats_track_mean_and_extremes() {
+        let mut s = AggregationStats::default();
+        for size in [10, 20, 30] {
+            s.record(size);
+        }
+        assert_eq!(s.mean(), 20.0);
+        assert_eq!(s.max_size, 30);
+        assert_eq!(s.min_size, 10);
+        assert_eq!(AggregationStats::default().mean(), 0.0);
+    }
+
+    #[test]
+    fn invalid_rate_returns_none_and_preserves_queue() {
+        let mut queue = q(5, 1460);
+        let r = build_ampdu(&mut queue, Mcs(10), 1, Width::W20, SGI, AggLimits::default());
+        assert!(r.is_none());
+        assert_eq!(queue.len(), 5);
+    }
+}

@@ -1,0 +1,512 @@
+//! A single-collision-domain MAC simulator.
+//!
+//! Couples [`Backoff`]/[`resolve`] contention, A-MPDU aggregation and a
+//! per-link error probability into a runnable medium. This is the
+//! workhorse behind the per-AC latency/loss figures (Fig. 4) and the
+//! "802.11 latency" measurements of Fig. 10: the interval between a
+//! frame entering the transmit queue and its link-layer acknowledgment,
+//! including queuing, contention and retransmission — exactly the
+//! paper's definition.
+
+use crate::ac::{AccessCategory, EdcaParams};
+use crate::aggregation::{build_ampdu, AggLimits, Ampdu, BlockAck, QueuedMpdu};
+use crate::backoff::Backoff;
+use crate::contention::resolve;
+use phy80211::airtime::{block_ack_duration, SIFS};
+use phy80211::channels::Width;
+use phy80211::mcs::{GuardInterval, Mcs};
+use sim::{Rng, SimDuration, SimTime};
+
+/// Identifies a transmit queue in the domain.
+pub type QueueId = usize;
+
+/// A frame waiting in a queue.
+#[derive(Debug, Clone, Copy)]
+struct Pending {
+    mpdu: QueuedMpdu,
+    enqueued_at: SimTime,
+}
+
+/// Transmit parameters for one queue (one link).
+#[derive(Debug, Clone, Copy)]
+pub struct LinkParams {
+    pub ac: AccessCategory,
+    pub mcs: Mcs,
+    pub nss: u8,
+    pub width: Width,
+    /// Probability that an individual MPDU is corrupted in flight.
+    pub mpdu_error_rate: f64,
+    /// If false, frames are sent singly (no A-MPDU) — legacy behaviour.
+    pub aggregation: bool,
+}
+
+impl LinkParams {
+    pub fn clean(ac: AccessCategory) -> LinkParams {
+        LinkParams {
+            ac,
+            mcs: Mcs(8),
+            nss: 2,
+            width: Width::W80,
+            mpdu_error_rate: 0.0,
+            aggregation: true,
+        }
+    }
+}
+
+/// A delivery report for one MPDU.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Delivery {
+    pub queue: QueueId,
+    pub id: u64,
+    /// Queue-entry → link-layer-ACK interval (the paper's 802.11 latency).
+    pub latency: SimDuration,
+    pub completed_at: SimTime,
+}
+
+/// A drop report (retry limit exhausted).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Drop {
+    pub queue: QueueId,
+    pub id: u64,
+}
+
+/// What happened during one step of the medium.
+#[derive(Debug, Clone, Default)]
+pub struct StepReport {
+    pub deliveries: Vec<Delivery>,
+    pub drops: Vec<Drop>,
+    /// True if this step was a collision (all participants failed).
+    pub collision: bool,
+    /// Aggregate sizes transmitted this step (one entry per transmitter).
+    pub aggregate_sizes: Vec<(QueueId, usize)>,
+}
+
+struct Queue {
+    params: LinkParams,
+    backoff: Backoff,
+    frames: Vec<Pending>,
+    /// MPDUs committed to the in-flight aggregate awaiting (re)transmission.
+    inflight: Vec<Pending>,
+}
+
+/// The collision domain.
+pub struct MediumSim {
+    queues: Vec<Queue>,
+    now: SimTime,
+    rng: Rng,
+    limits: AggLimits,
+    gi: GuardInterval,
+    /// Cumulative airtime the medium was busy (for utilization).
+    pub busy_time: SimDuration,
+}
+
+impl MediumSim {
+    pub fn new(seed: u64) -> MediumSim {
+        MediumSim {
+            queues: Vec::new(),
+            now: SimTime::ZERO,
+            rng: Rng::new(seed),
+            limits: AggLimits::default(),
+            gi: GuardInterval::Short,
+            busy_time: SimDuration::ZERO,
+        }
+    }
+
+    /// Register a queue (a station/AC pair). Returns its id.
+    pub fn add_queue(&mut self, params: LinkParams) -> QueueId {
+        self.queues.push(Queue {
+            backoff: Backoff::new(EdcaParams::for_ac(params.ac)),
+            params,
+            frames: Vec::new(),
+            inflight: Vec::new(),
+        });
+        self.queues.len() - 1
+    }
+
+    /// Current simulated time.
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// Advance the clock across an idle period (drivers with timed
+    /// arrivals use this to jump to the next enqueue instant).
+    pub fn advance_to(&mut self, to: SimTime) {
+        debug_assert!(to >= self.now);
+        self.now = self.now.max(to);
+    }
+
+    /// Enqueue a frame for transmission.
+    pub fn enqueue(&mut self, queue: QueueId, id: u64, bytes: usize) {
+        let at = self.now;
+        self.queues[queue].frames.push(Pending {
+            mpdu: QueuedMpdu { id, bytes },
+            enqueued_at: at,
+        });
+    }
+
+    /// Number of frames waiting (queued + in flight) on a queue.
+    pub fn backlog(&self, queue: QueueId) -> usize {
+        self.queues[queue].frames.len() + self.queues[queue].inflight.len()
+    }
+
+    /// True when no queue has anything to send.
+    pub fn idle(&self) -> bool {
+        self.queues.iter().all(|q| q.frames.is_empty() && q.inflight.is_empty())
+    }
+
+    /// Run one contention round + transmission. Returns what happened,
+    /// or `None` if the medium is idle.
+    pub fn step(&mut self) -> Option<StepReport> {
+        let contenders: Vec<QueueId> = (0..self.queues.len())
+            .filter(|&i| !self.queues[i].frames.is_empty() || !self.queues[i].inflight.is_empty())
+            .collect();
+        if contenders.is_empty() {
+            return None;
+        }
+
+        // Resolve contention among the active queues.
+        let outcome = {
+            let mut refs: Vec<&mut Backoff> = Vec::with_capacity(contenders.len());
+            // Split borrows: collect raw pointers safely via split_at_mut
+            // is awkward for arbitrary indices; use index-based loop with
+            // unsafe-free approach: take backoffs out, resolve, put back.
+            let mut taken: Vec<Backoff> = contenders
+                .iter()
+                .map(|&i| self.queues[i].backoff.clone())
+                .collect();
+            for b in taken.iter_mut() {
+                refs.push(b);
+            }
+            let outcome = resolve(&mut refs, &mut self.rng).expect("non-empty");
+            drop(refs);
+            for (&i, b) in contenders.iter().zip(taken.into_iter()) {
+                self.queues[i].backoff = b;
+            }
+            outcome
+        };
+
+        self.now += outcome.idle_time;
+        let winners: Vec<QueueId> = outcome.winners.iter().map(|&w| contenders[w]).collect();
+        let collision = winners.len() > 1;
+
+        let mut report = StepReport {
+            collision,
+            ..Default::default()
+        };
+
+        // Each winner assembles and transmits its aggregate. On collision
+        // every transmission fails; the medium is busy for the longest one.
+        let mut max_air = SimDuration::ZERO;
+        for &w in &winners {
+            let ampdu = self.assemble(w);
+            let Some(ampdu) = ampdu else { continue };
+            max_air = max_air.max(ampdu.duration);
+            report.aggregate_sizes.push((w, ampdu.size()));
+            if collision {
+                self.fail_aggregate(w, &mut report);
+            } else {
+                self.finish_aggregate(w, &ampdu, &mut report);
+            }
+        }
+        // Busy period: data + SIFS + BlockAck (winner side), even on
+        // collision (the air was occupied for the colliding PPDUs).
+        let busy = max_air + SIFS + block_ack_duration();
+        self.now += busy;
+        self.busy_time += busy;
+        Some(report)
+    }
+
+    /// Run until all queues drain or `deadline` passes.
+    pub fn run_until_idle(&mut self, deadline: SimTime) -> Vec<StepReport> {
+        let mut out = Vec::new();
+        while self.now < deadline {
+            match self.step() {
+                Some(r) => out.push(r),
+                None => break,
+            }
+        }
+        out
+    }
+
+    fn assemble(&mut self, w: QueueId) -> Option<Ampdu> {
+        let q = &mut self.queues[w];
+        if q.inflight.is_empty() {
+            // Move frames into the in-flight set according to the limits:
+            // the A-MPDU caps, tightened by the AC's EDCA TXOP limit.
+            let mut raw: Vec<QueuedMpdu> = q.frames.iter().map(|p| p.mpdu).collect();
+            let mut limits = if q.params.aggregation {
+                self.limits
+            } else {
+                AggLimits {
+                    max_frames: 1,
+                    ..self.limits
+                }
+            };
+            if let Some(txop) = EdcaParams::for_ac(q.params.ac).txop_limit {
+                limits.max_duration = limits.max_duration.min(txop);
+            }
+            let ampdu = build_ampdu(
+                &mut raw,
+                q.params.mcs,
+                q.params.nss,
+                q.params.width,
+                self.gi,
+                limits,
+            )?;
+            let taken = ampdu.size();
+            q.inflight = q.frames.drain(..taken).collect();
+            Some(ampdu)
+        } else {
+            // Retransmission of the in-flight remainder.
+            let sizes: Vec<QueuedMpdu> = q.inflight.iter().map(|p| p.mpdu).collect();
+            let duration = phy80211::airtime::ampdu_duration(
+                &sizes.iter().map(|m| m.bytes).collect::<Vec<_>>(),
+                q.params.mcs,
+                q.params.nss,
+                q.params.width,
+                self.gi,
+            )?;
+            Some(Ampdu {
+                mpdus: sizes,
+                duration,
+            })
+        }
+    }
+
+    fn finish_aggregate(&mut self, w: QueueId, ampdu: &Ampdu, report: &mut StepReport) {
+        let per = self.queues[w].params.mpdu_error_rate;
+        let ba = BlockAck {
+            per_mpdu: ampdu
+                .mpdus
+                .iter()
+                .map(|m| (m.id, !self.rng.chance(per)))
+                .collect(),
+        };
+        let now = self.now + ampdu.duration + SIFS + block_ack_duration();
+        let q = &mut self.queues[w];
+        let mut still_inflight = Vec::new();
+        for p in q.inflight.drain(..) {
+            let delivered = ba
+                .per_mpdu
+                .iter()
+                .any(|&(id, ok)| id == p.mpdu.id && ok);
+            if delivered {
+                report.deliveries.push(Delivery {
+                    queue: w,
+                    id: p.mpdu.id,
+                    latency: now.saturating_since(p.enqueued_at),
+                    completed_at: now,
+                });
+            } else {
+                still_inflight.push(p);
+            }
+        }
+        if still_inflight.is_empty() {
+            q.backoff.on_success();
+        } else {
+            q.inflight = still_inflight;
+            let exhausted = q.backoff.on_failure();
+            if exhausted {
+                for p in q.inflight.drain(..) {
+                    report.drops.push(Drop {
+                        queue: w,
+                        id: p.mpdu.id,
+                    });
+                }
+                q.backoff.on_drop();
+            }
+        }
+    }
+
+    fn fail_aggregate(&mut self, w: QueueId, report: &mut StepReport) {
+        let q = &mut self.queues[w];
+        let exhausted = q.backoff.on_failure();
+        if exhausted {
+            for p in q.inflight.drain(..) {
+                report.drops.push(Drop {
+                    queue: w,
+                    id: p.mpdu.id,
+                });
+            }
+            q.backoff.on_drop();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn single_queue_delivers_everything() {
+        let mut m = MediumSim::new(1);
+        let q = m.add_queue(LinkParams::clean(AccessCategory::BestEffort));
+        for i in 0..10 {
+            m.enqueue(q, i, 1460);
+        }
+        let reports = m.run_until_idle(SimTime::from_secs(1));
+        let delivered: usize = reports.iter().map(|r| r.deliveries.len()).sum();
+        assert_eq!(delivered, 10);
+        assert!(m.idle());
+    }
+
+    #[test]
+    fn aggregation_packs_queue_into_one_txop() {
+        let mut m = MediumSim::new(2);
+        let q = m.add_queue(LinkParams::clean(AccessCategory::BestEffort));
+        for i in 0..40 {
+            m.enqueue(q, i, 1460);
+        }
+        let r = m.step().unwrap();
+        assert_eq!(r.aggregate_sizes, vec![(q, 40)]);
+        assert_eq!(r.deliveries.len(), 40);
+    }
+
+    #[test]
+    fn no_aggregation_sends_singly() {
+        let mut m = MediumSim::new(3);
+        let mut p = LinkParams::clean(AccessCategory::BestEffort);
+        p.aggregation = false;
+        let q = m.add_queue(p);
+        for i in 0..5 {
+            m.enqueue(q, i, 1460);
+        }
+        let r = m.step().unwrap();
+        assert_eq!(r.aggregate_sizes, vec![(q, 1)]);
+    }
+
+    #[test]
+    fn lossy_link_retries_until_delivery() {
+        let mut m = MediumSim::new(4);
+        let mut p = LinkParams::clean(AccessCategory::BestEffort);
+        p.mpdu_error_rate = 0.5;
+        let q = m.add_queue(p);
+        for i in 0..20 {
+            m.enqueue(q, i, 1460);
+        }
+        let reports = m.run_until_idle(SimTime::from_secs(5));
+        let delivered: usize = reports.iter().map(|r| r.deliveries.len()).sum();
+        let dropped: usize = reports.iter().map(|r| r.drops.len()).sum();
+        assert_eq!(delivered + dropped, 20);
+        assert!(delivered >= 18, "50% PER with 7 retries rarely drops");
+        // Retransmissions mean more steps than aggregates strictly needed.
+        assert!(reports.len() > 1);
+    }
+
+    #[test]
+    fn hopeless_link_drops_by_retry_limit() {
+        let mut m = MediumSim::new(5);
+        let mut p = LinkParams::clean(AccessCategory::Voice);
+        p.mpdu_error_rate = 1.0;
+        let q = m.add_queue(p);
+        m.enqueue(q, 0, 500);
+        let reports = m.run_until_idle(SimTime::from_secs(5));
+        let dropped: usize = reports.iter().map(|r| r.drops.len()).sum();
+        assert_eq!(dropped, 1);
+        assert!(m.idle());
+    }
+
+    #[test]
+    fn contention_raises_latency() {
+        let latency_with_n = |n: usize| {
+            let mut m = MediumSim::new(42);
+            let qs: Vec<QueueId> = (0..n)
+                .map(|_| m.add_queue(LinkParams::clean(AccessCategory::BestEffort)))
+                .collect();
+            for (k, &q) in qs.iter().enumerate() {
+                for i in 0..20 {
+                    m.enqueue(q, (k * 100 + i) as u64, 1460);
+                }
+            }
+            let reports = m.run_until_idle(SimTime::from_secs(10));
+            let (sum, cnt) = reports
+                .iter()
+                .flat_map(|r| r.deliveries.iter())
+                .fold((0.0, 0usize), |(s, c), d| (s + d.latency.as_secs_f64(), c + 1));
+            sum / cnt as f64
+        };
+        let l1 = latency_with_n(1);
+        let l10 = latency_with_n(10);
+        assert!(l10 > 3.0 * l1, "l1={l1} l10={l10}");
+    }
+
+    #[test]
+    fn voice_latency_beats_background_under_load() {
+        let mut m = MediumSim::new(7);
+        let vo = m.add_queue(LinkParams::clean(AccessCategory::Voice));
+        let bk = m.add_queue(LinkParams::clean(AccessCategory::Background));
+        for i in 0..200 {
+            m.enqueue(vo, i, 300);
+            m.enqueue(bk, 1000 + i, 300);
+        }
+        let reports = m.run_until_idle(SimTime::from_secs(20));
+        let mean = |qid: QueueId| {
+            let (s, c) = reports
+                .iter()
+                .flat_map(|r| r.deliveries.iter())
+                .filter(|d| d.queue == qid)
+                .fold((0.0, 0usize), |(s, c), d| (s + d.latency.as_secs_f64(), c + 1));
+            s / c.max(1) as f64
+        };
+        assert!(mean(vo) < mean(bk), "vo={} bk={}", mean(vo), mean(bk));
+    }
+
+    #[test]
+    fn voice_txop_limit_caps_aggregates() {
+        // At a slow link rate (MCS4 1SS 20MHz ≈ 39 Mbps) 64 frames need
+        // ~19 ms of air — VO's 1.504 ms TXOP fits only a handful, while
+        // a BE queue at the same rate is bound by the 5.3 ms A-MPDU cap.
+        let slow = |ac| {
+            let mut lp = LinkParams::clean(ac);
+            lp.mcs = Mcs(4);
+            lp.nss = 1;
+            lp.width = Width::W20;
+            lp
+        };
+        let mut m = MediumSim::new(12);
+        let q = m.add_queue(slow(AccessCategory::Voice));
+        for i in 0..64 {
+            m.enqueue(q, i, 1460);
+        }
+        let r = m.step().unwrap();
+        let (_, vo_size) = r.aggregate_sizes[0];
+        assert!(vo_size <= 5, "VO TXOP must bind hard: {vo_size}");
+
+        let mut m2 = MediumSim::new(12);
+        let q2 = m2.add_queue(slow(AccessCategory::BestEffort));
+        for i in 0..64 {
+            m2.enqueue(q2, i, 1460);
+        }
+        let r2 = m2.step().unwrap();
+        let (_, be_size) = r2.aggregate_sizes[0];
+        assert!(be_size > 2 * vo_size, "BE rides the larger A-MPDU cap: {be_size}");
+    }
+
+    #[test]
+    fn busy_time_accumulates() {
+        let mut m = MediumSim::new(8);
+        let q = m.add_queue(LinkParams::clean(AccessCategory::BestEffort));
+        m.enqueue(q, 0, 1460);
+        m.step();
+        assert!(m.busy_time > SimDuration::ZERO);
+    }
+
+    #[test]
+    fn deterministic_replay() {
+        let run = || {
+            let mut m = MediumSim::new(99);
+            let a = m.add_queue(LinkParams::clean(AccessCategory::BestEffort));
+            let b = m.add_queue(LinkParams::clean(AccessCategory::Video));
+            for i in 0..50 {
+                m.enqueue(a, i, 1200);
+                m.enqueue(b, 100 + i, 400);
+            }
+            let reports = m.run_until_idle(SimTime::from_secs(10));
+            reports
+                .iter()
+                .flat_map(|r| r.deliveries.iter().map(|d| (d.queue, d.id, d.latency)))
+                .collect::<Vec<_>>()
+        };
+        assert_eq!(run(), run());
+    }
+}

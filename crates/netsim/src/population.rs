@@ -1,0 +1,282 @@
+//! Client-device capability populations (paper §3.2.1, Fig. 1) and AP
+//! channel-width configurations (Table 1).
+//!
+//! The paper's Fig. 1 reports what 1.7 M client devices *advertise* to
+//! APs, in 2015 vs 2017. Those marginals parameterize this generator;
+//! the Fig. 1 experiment then runs the measurement pipeline over a
+//! synthetic population and verifies the pipeline recovers them
+//! (see DESIGN.md §1 on what this does and does not validate).
+
+use phy80211::channels::Width;
+use sim::Rng;
+
+/// 802.11 generation a client implements.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Standard {
+    /// 802.11g (2.4 GHz only).
+    G,
+    /// 802.11n.
+    N,
+    /// 802.11ac.
+    Ac,
+}
+
+/// Capabilities a client advertises in its association request.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ClientCaps {
+    pub standard: Standard,
+    /// Supports the 5 GHz band at all.
+    pub five_ghz: bool,
+    /// Maximum channel width.
+    pub max_width: Width,
+    /// Spatial streams.
+    pub nss: u8,
+}
+
+impl ClientCaps {
+    /// Maximum PHY rate this client can reach (SGI), in bps.
+    pub fn max_rate_bps(&self) -> u64 {
+        use phy80211::mcs::{ht_rate_bps, vht_rate_bps, GuardInterval, Mcs};
+        match self.standard {
+            Standard::G => 54_000_000,
+            Standard::N => ht_rate_bps(
+                Mcs(7),
+                self.nss,
+                self.max_width.min(Width::W40),
+                GuardInterval::Short,
+            )
+            .unwrap_or(54_000_000),
+            Standard::Ac => {
+                // Highest valid MCS at this (nss, width).
+                for m in (0..=9u8).rev() {
+                    if let Some(r) =
+                        vht_rate_bps(Mcs(m), self.nss, self.max_width, GuardInterval::Short)
+                    {
+                        return r;
+                    }
+                }
+                54_000_000
+            }
+        }
+    }
+}
+
+/// Marginals of the advertised-capability population for one year.
+#[derive(Debug, Clone, Copy)]
+pub struct PopulationProfile {
+    /// Fraction of clients that are 802.11ac.
+    pub ac_share: f64,
+    /// Fraction that support only 2.4 GHz.
+    pub two4_only_share: f64,
+    /// Fraction with ≥ 2 spatial streams.
+    pub two_stream_share: f64,
+    /// Fraction supporting 40 MHz (among 5 GHz-capable).
+    pub w40_share: f64,
+    /// Fraction supporting 80 MHz (subset of ac).
+    pub w80_share: f64,
+}
+
+impl PopulationProfile {
+    /// The paper's 2015 numbers (Fig. 1 / ref.\[18\]).
+    pub const Y2015: PopulationProfile = PopulationProfile {
+        ac_share: 0.18,
+        two4_only_share: 0.40,
+        two_stream_share: 0.19,
+        w40_share: 0.45,
+        w80_share: 0.18,
+    };
+
+    /// The paper's 2017 numbers.
+    pub const Y2017: PopulationProfile = PopulationProfile {
+        ac_share: 0.46,
+        two4_only_share: 0.40,
+        two_stream_share: 0.37,
+        w40_share: 0.80,
+        w80_share: 0.46,
+    };
+
+    /// Draw one client.
+    pub fn sample(&self, rng: &mut Rng) -> ClientCaps {
+        let two4_only = rng.chance(self.two4_only_share);
+        // 2.4-only devices cannot be 802.11ac.
+        let ac = !two4_only && rng.chance(self.ac_share / (1.0 - self.two4_only_share));
+        let standard = if ac {
+            Standard::Ac
+        } else if two4_only && rng.chance(0.05) {
+            Standard::G
+        } else {
+            Standard::N
+        };
+        let nss = if rng.chance(self.two_stream_share) {
+            if rng.chance(0.15) {
+                3
+            } else {
+                2
+            }
+        } else {
+            1
+        };
+        let max_width = if two4_only {
+            // Fig. 1 counts the *advertised* 40 MHz capability bit, and
+            // most 2.4 GHz-only devices advertise HT40 even though dense
+            // deployments never run 40 MHz in 2.4 GHz.
+            if rng.chance(self.w40_share * 0.72) {
+                Width::W40
+            } else {
+                Width::W20
+            }
+        } else if ac && rng.chance(self.w80_share / self.ac_share.max(1e-9)) {
+            Width::W80
+        } else if rng.chance(self.w40_share) {
+            Width::W40
+        } else {
+            Width::W20
+        };
+        ClientCaps {
+            standard,
+            five_ghz: !two4_only,
+            max_width,
+            nss,
+        }
+    }
+
+    /// Generate a population of `n` clients.
+    pub fn generate(&self, n: usize, rng: &mut Rng) -> Vec<ClientCaps> {
+        (0..n).map(|_| self.sample(rng)).collect()
+    }
+}
+
+/// Advertised-capability shares recovered from a population — the
+/// measurement side of Fig. 1.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PopulationStats {
+    pub ac_share: f64,
+    pub two4_only_share: f64,
+    pub two_stream_share: f64,
+    pub w40_share: f64,
+    pub w80_share: f64,
+}
+
+/// Measure a population.
+pub fn measure(pop: &[ClientCaps]) -> PopulationStats {
+    let n = pop.len().max(1) as f64;
+    let frac = |f: &dyn Fn(&ClientCaps) -> bool| pop.iter().filter(|c| f(c)).count() as f64 / n;
+    PopulationStats {
+        ac_share: frac(&|c| c.standard == Standard::Ac),
+        two4_only_share: frac(&|c| !c.five_ghz),
+        two_stream_share: frac(&|c| c.nss >= 2),
+        w40_share: frac(&|c| c.max_width >= Width::W40),
+        w80_share: frac(&|c| c.max_width >= Width::W80),
+    }
+}
+
+/// Table 1: administrator width configuration for 80 MHz-capable APs.
+/// Returns the (20, 40, 80 MHz) shares for a network of `n_aps`.
+pub fn width_config_shares(n_aps: usize) -> (f64, f64, f64) {
+    if n_aps > 10 {
+        (0.173, 0.194, 0.633)
+    } else {
+        (0.149, 0.191, 0.660)
+    }
+}
+
+/// Draw a configured width for one 80 MHz-capable AP.
+pub fn sample_width_config(n_aps: usize, rng: &mut Rng) -> Width {
+    let (w20, w40, _) = width_config_shares(n_aps);
+    let x = rng.f64();
+    if x < w20 {
+        Width::W20
+    } else if x < w20 + w40 {
+        Width::W40
+    } else {
+        Width::W80
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn y2017_population_recovers_marginals() {
+        let mut rng = Rng::new(1);
+        let pop = PopulationProfile::Y2017.generate(100_000, &mut rng);
+        let s = measure(&pop);
+        assert!((s.ac_share - 0.46).abs() < 0.02, "{s:?}");
+        assert!((s.two4_only_share - 0.40).abs() < 0.02, "{s:?}");
+        assert!((s.two_stream_share - 0.37).abs() < 0.02, "{s:?}");
+    }
+
+    #[test]
+    fn y2015_vs_y2017_trend() {
+        let mut rng = Rng::new(2);
+        let s15 = measure(&PopulationProfile::Y2015.generate(50_000, &mut rng));
+        let s17 = measure(&PopulationProfile::Y2017.generate(50_000, &mut rng));
+        assert!(s17.ac_share > 2.0 * s15.ac_share, "ac grew 18->46");
+        assert!(s17.two_stream_share > 1.5 * s15.two_stream_share);
+        assert!(
+            (s17.two4_only_share - s15.two4_only_share).abs() < 0.03,
+            "2.4-only steady"
+        );
+        assert!(s17.w80_share > s15.w80_share);
+    }
+
+    #[test]
+    fn consistency_constraints_hold() {
+        let mut rng = Rng::new(3);
+        for _ in 0..10_000 {
+            let c = PopulationProfile::Y2017.sample(&mut rng);
+            if !c.five_ghz {
+                assert_ne!(c.standard, Standard::Ac, "2.4-only can't be ac");
+                assert!(c.max_width <= Width::W40, "HT40 at most in 2.4GHz");
+            }
+            if c.max_width == Width::W80 {
+                assert_eq!(c.standard, Standard::Ac, "80MHz implies ac");
+            }
+            assert!((1..=3).contains(&c.nss));
+        }
+    }
+
+    #[test]
+    fn max_rates_match_paper_typicals() {
+        // "typical 802.11n/ac clients will have maximum bit rates of
+        // 300 Mbps and 867 Mbps respectively".
+        let n_client = ClientCaps {
+            standard: Standard::N,
+            five_ghz: true,
+            max_width: Width::W40,
+            nss: 2,
+        };
+        assert_eq!(n_client.max_rate_bps(), 300_000_000);
+        let ac_client = ClientCaps {
+            standard: Standard::Ac,
+            five_ghz: true,
+            max_width: Width::W80,
+            nss: 2,
+        };
+        assert_eq!(ac_client.max_rate_bps(), 866_666_666);
+        let g_client = ClientCaps {
+            standard: Standard::G,
+            five_ghz: false,
+            max_width: Width::W20,
+            nss: 1,
+        };
+        assert_eq!(g_client.max_rate_bps(), 54_000_000);
+    }
+
+    #[test]
+    fn width_config_matches_table1() {
+        let (a, b, c) = width_config_shares(5);
+        assert!((a + b + c - 1.0).abs() < 0.001);
+        assert_eq!(c, 0.660);
+        let (_, _, c_large) = width_config_shares(50);
+        assert_eq!(c_large, 0.633);
+        let mut rng = Rng::new(4);
+        let n = 50_000;
+        let narrowed = (0..n)
+            .filter(|_| sample_width_config(50, &mut rng) != Width::W80)
+            .count() as f64
+            / n as f64;
+        assert!((narrowed - 0.367).abs() < 0.01, "{narrowed}");
+    }
+}

@@ -1,0 +1,254 @@
+//! The dedicated scanning radio (paper §2.1): every Meraki 802.11ac AP
+//! carries a single-antenna radio that "scans all available channels
+//! over 150 ms intervals, gathering neighbor and channel information."
+//! This module models that pipeline — dwell-limited sampling noise and
+//! beacon-detection probability included — and produces the per-AP
+//! reports the planner consumes, closing the measure→plan loop with
+//! realistic (imperfect) inputs instead of oracle ones.
+
+use crate::topology::Topology;
+use phy80211::channels::{Band, US_2_4GHZ, US_5GHZ_20};
+use sim::{Rng, SimDuration};
+use std::collections::BTreeMap;
+
+/// One channel's worth of observations from one dwell.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ChannelObservation {
+    pub channel: u16,
+    /// Estimated busy fraction during the dwell.
+    pub busy: f64,
+    /// In-network neighbor APs heard on this channel (index, RSSI dBm).
+    pub neighbors_heard: Vec<(usize, f64)>,
+}
+
+/// A full scan cycle's report from one AP.
+#[derive(Debug, Clone, Default)]
+pub struct ScanReport {
+    pub observations: Vec<ChannelObservation>,
+}
+
+impl ScanReport {
+    /// Busy estimate for a channel (None if never dwelled).
+    pub fn busy_on(&self, channel: u16) -> Option<f64> {
+        self.observations
+            .iter()
+            .find(|o| o.channel == channel)
+            .map(|o| o.busy)
+    }
+
+    /// Every distinct neighbor heard across channels.
+    pub fn neighbors(&self) -> Vec<usize> {
+        let mut out: Vec<usize> = self
+            .observations
+            .iter()
+            .flat_map(|o| o.neighbors_heard.iter().map(|&(n, _)| n))
+            .collect();
+        out.sort_unstable();
+        out.dedup();
+        out
+    }
+}
+
+/// Scanner configuration.
+#[derive(Debug, Clone)]
+pub struct ScannerConfig {
+    /// Dwell per channel (the paper: 150 ms).
+    pub dwell: SimDuration,
+    /// Beacon interval of neighbor APs (102.4 ms nominal).
+    pub beacon_interval: SimDuration,
+    /// Std-dev of the busy-fraction estimate from one dwell.
+    pub busy_noise: f64,
+}
+
+impl Default for ScannerConfig {
+    fn default() -> Self {
+        ScannerConfig {
+            dwell: SimDuration::from_millis(150),
+            beacon_interval: SimDuration::from_micros(102_400),
+            busy_noise: 0.06,
+        }
+    }
+}
+
+impl ScannerConfig {
+    /// Probability of catching at least one beacon from an active
+    /// neighbor during one dwell: dwell / beacon-interval, capped.
+    pub fn beacon_catch_prob(&self) -> f64 {
+        (self.dwell.as_secs_f64() / self.beacon_interval.as_secs_f64()).min(1.0)
+    }
+
+    /// Duration of one full scan cycle over a band's channel list.
+    pub fn cycle_duration(&self, band: Band) -> SimDuration {
+        let n = match band {
+            Band::Band2_4 => US_2_4GHZ.len(),
+            Band::Band5 => US_5GHZ_20.len(),
+        } as u64;
+        self.dwell * n
+    }
+}
+
+/// Run one scan cycle for AP `ap` over `band`, given ground truth:
+/// per-channel external busy fractions and the audible topology with
+/// each neighbor's current (primary) channel.
+pub fn scan_cycle(
+    cfg: &ScannerConfig,
+    topo: &Topology,
+    ap: usize,
+    true_busy: &BTreeMap<u16, f64>,
+    neighbor_channels: &[u16],
+    rng: &mut Rng,
+) -> ScanReport {
+    let channels: &[u16] = match topo.band {
+        Band::Band2_4 => &US_2_4GHZ,
+        Band::Band5 => &US_5GHZ_20,
+    };
+    let catch = cfg.beacon_catch_prob();
+    let mut observations = Vec::with_capacity(channels.len());
+    for &ch in channels {
+        let truth = true_busy.get(&ch).copied().unwrap_or(0.0);
+        let busy = (truth + rng.normal(0.0, cfg.busy_noise)).clamp(0.0, 1.0);
+        let mut heard = Vec::new();
+        for &n in &topo.audible[ap] {
+            if neighbor_channels[n] == ch && rng.chance(catch) {
+                // RSSI estimate with single-antenna measurement noise.
+                let d = topo.aps[ap].position.distance(&topo.aps[n].position);
+                let prop = phy80211::propagation::Propagation::indoor(topo.band);
+                let rssi = topo.aps[n]
+                    .radio
+                    .rssi_dbm(prop.path_loss_db(d))
+                    + rng.normal(0.0, 2.0);
+                heard.push((n, rssi));
+            }
+        }
+        observations.push(ChannelObservation {
+            channel: ch,
+            busy,
+            neighbors_heard: heard,
+        });
+    }
+    ScanReport { observations }
+}
+
+/// Merge several cycles into smoothed estimates (EWMA over cycles) —
+/// what the AP actually reports to the backend between polls.
+pub fn merge_cycles(cycles: &[ScanReport], alpha: f64) -> ScanReport {
+    let mut busy: BTreeMap<u16, f64> = BTreeMap::new();
+    let mut neigh: BTreeMap<u16, BTreeMap<usize, f64>> = BTreeMap::new();
+    for cycle in cycles {
+        for o in &cycle.observations {
+            let e = busy.entry(o.channel).or_insert(o.busy);
+            *e = (1.0 - alpha) * *e + alpha * o.busy;
+            let m = neigh.entry(o.channel).or_default();
+            for &(n, rssi) in &o.neighbors_heard {
+                let r = m.entry(n).or_insert(rssi);
+                *r = (1.0 - alpha) * *r + alpha * rssi;
+            }
+        }
+    }
+    ScanReport {
+        observations: busy
+            .into_iter()
+            .map(|(channel, b)| ChannelObservation {
+                channel,
+                busy: b,
+                neighbors_heard: neigh
+                    .remove(&channel)
+                    .unwrap_or_default()
+                    .into_iter()
+                    .collect(),
+            })
+            .collect(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::topology;
+
+    fn setup() -> (Topology, BTreeMap<u16, f64>, Vec<u16>) {
+        let mut rng = Rng::new(1);
+        let topo = topology::grid(3, 3, 12.0, 1.0, Band::Band5, &mut rng);
+        let mut busy = BTreeMap::new();
+        busy.insert(36, 0.6);
+        busy.insert(149, 0.1);
+        let neighbor_channels = vec![36; topo.len()];
+        (topo, busy, neighbor_channels)
+    }
+
+    #[test]
+    fn cycle_covers_every_channel() {
+        let (topo, busy, chans) = setup();
+        let mut rng = Rng::new(2);
+        let cfg = ScannerConfig::default();
+        let r = scan_cycle(&cfg, &topo, 0, &busy, &chans, &mut rng);
+        assert_eq!(r.observations.len(), US_5GHZ_20.len());
+        assert_eq!(
+            cfg.cycle_duration(Band::Band5),
+            SimDuration::from_millis(150 * 25)
+        );
+    }
+
+    #[test]
+    fn busy_estimates_converge_with_merging() {
+        let (topo, busy, chans) = setup();
+        let mut rng = Rng::new(3);
+        let cfg = ScannerConfig::default();
+        let cycles: Vec<ScanReport> = (0..40)
+            .map(|_| scan_cycle(&cfg, &topo, 0, &busy, &chans, &mut rng))
+            .collect();
+        let merged = merge_cycles(&cycles, 0.2);
+        let est = merged.busy_on(36).unwrap();
+        assert!((est - 0.6).abs() < 0.08, "{est}");
+        let est = merged.busy_on(149).unwrap();
+        assert!((est - 0.1).abs() < 0.08, "{est}");
+        let est = merged.busy_on(100).unwrap();
+        assert!(est < 0.12, "idle channel reads near zero: {est}");
+    }
+
+    #[test]
+    fn neighbors_on_our_channel_are_heard_eventually() {
+        let (topo, busy, chans) = setup();
+        let mut rng = Rng::new(4);
+        let cfg = ScannerConfig::default();
+        let cycles: Vec<ScanReport> = (0..10)
+            .map(|_| scan_cycle(&cfg, &topo, 0, &busy, &chans, &mut rng))
+            .collect();
+        let merged = merge_cycles(&cycles, 0.5);
+        let heard = merged.neighbors();
+        // All audible neighbors sit on ch36; over 10 cycles the catch
+        // probability (~1.0 at 150ms dwell vs 102.4ms beacons) finds them.
+        assert_eq!(heard, {
+            let mut v = topo.audible[0].clone();
+            v.sort_unstable();
+            v
+        });
+    }
+
+    #[test]
+    fn single_dwell_catches_most_beacons() {
+        let cfg = ScannerConfig::default();
+        assert_eq!(cfg.beacon_catch_prob(), 1.0, "150ms dwell > 102.4ms interval");
+        let short = ScannerConfig {
+            dwell: SimDuration::from_millis(50),
+            ..ScannerConfig::default()
+        };
+        assert!((short.beacon_catch_prob() - 0.488).abs() < 0.01);
+    }
+
+    #[test]
+    fn neighbors_off_channel_are_not_heard_there() {
+        let (topo, busy, mut chans) = setup();
+        // Neighbors all on 149; dwell on 36 must hear nobody.
+        for c in chans.iter_mut() {
+            *c = 149;
+        }
+        let mut rng = Rng::new(5);
+        let cfg = ScannerConfig::default();
+        let r = scan_cycle(&cfg, &topo, 0, &busy, &chans, &mut rng);
+        let on36 = r.observations.iter().find(|o| o.channel == 36).unwrap();
+        assert!(on36.neighbors_heard.is_empty());
+        let on149 = r.observations.iter().find(|o| o.channel == 149).unwrap();
+        assert!(!on149.neighbors_heard.is_empty());
+    }
+}

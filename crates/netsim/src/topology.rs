@@ -1,0 +1,211 @@
+//! AP placement and interference graphs (paper §3.2.3, Fig. 3).
+//!
+//! Generates floor-plan topologies (grid offices, random campus halls),
+//! computes which APs can hear which over the indoor propagation model,
+//! and counts *interferers* exactly as the paper defines them: "other
+//! APs within transmission range on the same channel".
+
+use phy80211::channels::{Band, Channel};
+use phy80211::propagation::{Point, Propagation, Radio, CCA_THRESHOLD_DBM};
+use sim::Rng;
+
+/// A placed AP.
+#[derive(Debug, Clone)]
+pub struct PlacedAp {
+    pub position: Point,
+    pub radio: Radio,
+}
+
+/// A physical deployment: AP positions plus the band-specific audibility
+/// graph (who can carrier-sense whom).
+#[derive(Debug, Clone)]
+pub struct Topology {
+    pub aps: Vec<PlacedAp>,
+    /// `audible[i]` = indices of APs whose transmissions AP i receives
+    /// above the CCA threshold (band-dependent; symmetric by
+    /// construction).
+    pub audible: Vec<Vec<usize>>,
+    pub band: Band,
+}
+
+/// Generate a jittered grid of APs (office/floor deployment): `cols ×
+/// rows` APs spaced `spacing` meters apart, each displaced by up to
+/// `jitter` meters. Audibility uses the CCA threshold.
+pub fn grid(
+    cols: usize,
+    rows: usize,
+    spacing: f64,
+    jitter: f64,
+    band: Band,
+    rng: &mut Rng,
+) -> Topology {
+    grid_with_threshold(cols, rows, spacing, jitter, band, CCA_THRESHOLD_DBM, rng)
+}
+
+/// [`grid`] with an explicit audibility threshold (dBm): use a higher
+/// value (e.g. −75) to count only contention-relevant neighbors rather
+/// than everything above preamble-detect.
+pub fn grid_with_threshold(
+    cols: usize,
+    rows: usize,
+    spacing: f64,
+    jitter: f64,
+    band: Band,
+    threshold_dbm: f64,
+    rng: &mut Rng,
+) -> Topology {
+    let mut aps = Vec::with_capacity(cols * rows);
+    for r in 0..rows {
+        for c in 0..cols {
+            let x = c as f64 * spacing + rng.uniform(-jitter, jitter);
+            let y = r as f64 * spacing + rng.uniform(-jitter, jitter);
+            aps.push(PlacedAp {
+                position: Point::new(x, y),
+                radio: Radio::AP_DEFAULT,
+            });
+        }
+    }
+    build(aps, band, threshold_dbm, rng)
+}
+
+/// Uniform random placement over a `w × h` meter area (campus halls,
+/// museum galleries). Audibility uses the CCA threshold.
+pub fn random_area(n: usize, w: f64, h: f64, band: Band, rng: &mut Rng) -> Topology {
+    random_area_with_threshold(n, w, h, band, CCA_THRESHOLD_DBM, rng)
+}
+
+/// [`random_area`] with an explicit audibility threshold (dBm).
+pub fn random_area_with_threshold(
+    n: usize,
+    w: f64,
+    h: f64,
+    band: Band,
+    threshold_dbm: f64,
+    rng: &mut Rng,
+) -> Topology {
+    let aps = (0..n)
+        .map(|_| PlacedAp {
+            position: Point::new(rng.uniform(0.0, w), rng.uniform(0.0, h)),
+            radio: Radio::AP_DEFAULT,
+        })
+        .collect();
+    build(aps, band, threshold_dbm, rng)
+}
+
+fn build(aps: Vec<PlacedAp>, band: Band, threshold_dbm: f64, rng: &mut Rng) -> Topology {
+    let prop = Propagation::indoor(band);
+    let n = aps.len();
+    let mut audible = vec![Vec::new(); n];
+    for i in 0..n {
+        for j in (i + 1)..n {
+            let d = aps[i].position.distance(&aps[j].position);
+            // One symmetric shadowing draw per link.
+            let pl = prop.path_loss_shadowed_db(d, rng);
+            let rssi = aps[i].radio.rssi_dbm(pl);
+            if rssi >= threshold_dbm {
+                audible[i].push(j);
+                audible[j].push(i);
+            }
+        }
+    }
+    Topology { aps, audible, band }
+}
+
+impl Topology {
+    pub fn len(&self) -> usize {
+        self.aps.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.aps.is_empty()
+    }
+
+    /// Interferer count per AP given a channel assignment: audible APs
+    /// whose channel overlaps (the paper's Fig. 3 metric).
+    pub fn interferers(&self, channels: &[Channel]) -> Vec<usize> {
+        assert_eq!(channels.len(), self.len());
+        (0..self.len())
+            .map(|i| {
+                self.audible[i]
+                    .iter()
+                    .filter(|&&j| channels[i].overlaps(&channels[j]))
+                    .count()
+            })
+            .collect()
+    }
+
+    /// Mean audible-neighbor degree (channel-agnostic density).
+    pub fn mean_degree(&self) -> f64 {
+        if self.is_empty() {
+            return 0.0;
+        }
+        self.audible.iter().map(|v| v.len()).sum::<usize>() as f64 / self.len() as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use phy80211::channels::Width;
+
+    #[test]
+    fn grid_places_all_aps() {
+        let mut rng = Rng::new(1);
+        let t = grid(4, 3, 20.0, 2.0, Band::Band5, &mut rng);
+        assert_eq!(t.len(), 12);
+    }
+
+    #[test]
+    fn audibility_is_symmetric() {
+        let mut rng = Rng::new(2);
+        let t = random_area(30, 100.0, 60.0, Band::Band5, &mut rng);
+        for i in 0..t.len() {
+            for &j in &t.audible[i] {
+                assert!(t.audible[j].contains(&i));
+            }
+        }
+    }
+
+    #[test]
+    fn closer_spacing_means_denser_graph() {
+        let mut rng = Rng::new(3);
+        let dense = grid(5, 5, 10.0, 1.0, Band::Band5, &mut rng);
+        let sparse = grid(5, 5, 60.0, 1.0, Band::Band5, &mut rng);
+        assert!(dense.mean_degree() > sparse.mean_degree());
+    }
+
+    #[test]
+    fn two4_hears_farther_than_5ghz() {
+        // Lower path loss at 2.4 GHz -> more audible neighbors for the
+        // same geometry (one reason 2.4 GHz sees more interferers).
+        let mut r1 = Rng::new(4);
+        let mut r2 = Rng::new(4);
+        let t24 = grid(6, 6, 25.0, 1.0, Band::Band2_4, &mut r1);
+        let t5 = grid(6, 6, 25.0, 1.0, Band::Band5, &mut r2);
+        assert!(t24.mean_degree() > t5.mean_degree());
+    }
+
+    #[test]
+    fn interferers_depend_on_channels() {
+        let mut rng = Rng::new(5);
+        let t = grid(3, 3, 10.0, 0.5, Band::Band5, &mut rng);
+        // Everyone on channel 36: interferers = audible degree.
+        let same: Vec<Channel> = (0..t.len()).map(|_| Channel::five(36)).collect();
+        let i_same = t.interferers(&same);
+        for (i, &cnt) in i_same.iter().enumerate() {
+            assert_eq!(cnt, t.audible[i].len());
+        }
+        // Disjoint channels for each AP: zero interferers (9 APs, but
+        // only distinct 20MHz channels needed).
+        let pool = phy80211::channels::all_channels(Band::Band5, Width::W20);
+        let distinct: Vec<Channel> = (0..t.len()).map(|i| pool[i]).collect();
+        assert!(t.interferers(&distinct).iter().all(|&c| c == 0));
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let t1 = random_area(20, 80.0, 80.0, Band::Band5, &mut Rng::new(7));
+        let t2 = random_area(20, 80.0, 80.0, Band::Band5, &mut Rng::new(7));
+        assert_eq!(t1.audible, t2.audible);
+    }
+}

@@ -1,0 +1,243 @@
+//! Frame airtime computation and 802.11 timing constants.
+//!
+//! Everything FastACK's benefit rests on is airtime arithmetic: a
+//! transmit opportunity costs a fixed overhead (backoff + preamble +
+//! SIFS + BlockAck), so packing more MPDUs into one A-MPDU amortizes
+//! that overhead. These functions compute exact durations so the
+//! simulator reproduces the efficiency-vs-aggregate-size curve.
+
+use crate::channels::Width;
+use crate::mcs::{GuardInterval, Mcs, LEGACY_CONTROL_RATE_BPS};
+use sim::SimDuration;
+
+/// Short Interframe Space for OFDM PHYs (5 GHz): 16 µs.
+pub const SIFS: SimDuration = SimDuration::from_micros(16);
+/// Slot time for OFDM PHYs: 9 µs.
+pub const SLOT: SimDuration = SimDuration::from_micros(9);
+/// DIFS = SIFS + 2 × slot.
+pub const DIFS: SimDuration = SimDuration::from_micros(16 + 2 * 9);
+
+/// Legacy OFDM preamble + PLCP header: 20 µs.
+pub const LEGACY_PREAMBLE: SimDuration = SimDuration::from_micros(20);
+
+/// Maximum MPDUs in one A-MPDU under a single BlockAck window (footnote
+/// 14 of the paper: "A-MPDU will aggregate up to 64 packets in one frame").
+pub const MAX_AMPDU_FRAMES: usize = 64;
+
+/// Maximum A-MPDU duration: 802.11ac wave-2 allows ~5.3 ms of airtime in
+/// a single transmission (paper footnote 6).
+pub const MAX_AMPDU_DURATION: SimDuration = SimDuration::from_micros(5_300);
+
+/// Per-MPDU overhead inside an A-MPDU: 4-byte delimiter + up to 3 bytes
+/// of padding; plus MAC header (26 B QoS data) + FCS (4 B).
+pub const AMPDU_DELIMITER_BYTES: usize = 4;
+/// MAC header + FCS bytes for a QoS data frame.
+pub const MAC_OVERHEAD_BYTES: usize = 30;
+
+/// VHT preamble: L-STF(8) + L-LTF(8) + L-SIG(4) + VHT-SIG-A(8) +
+/// VHT-STF(4) + VHT-LTF(4·N_LTF) + VHT-SIG-B(4) µs. N_LTF is 1/2/4/4 for
+/// 1/2/3/4 streams (3 streams uses 4 LTFs).
+pub fn vht_preamble(nss: u8) -> SimDuration {
+    let n_ltf: u64 = match nss {
+        1 => 1,
+        2 => 2,
+        _ => 4,
+    };
+    SimDuration::from_micros(8 + 8 + 4 + 8 + 4 + 4 * n_ltf + 4)
+}
+
+/// Duration of the data portion of a PPDU carrying `payload_bytes` of
+/// PSDU at the given rate: number of OFDM symbols × symbol time.
+/// Includes the 16-bit SERVICE field and 6 tail bits.
+pub fn psdu_duration(
+    psdu_bytes: usize,
+    mcs: Mcs,
+    nss: u8,
+    width: Width,
+    gi: GuardInterval,
+) -> Option<SimDuration> {
+    let bps = crate::mcs::vht_rate_bps(mcs, nss, width, gi)?;
+    let sym_ns = gi.symbol_ns();
+    // bits per symbol = rate × T_sym
+    let bits_per_sym = bps * sym_ns / 1_000_000_000;
+    if bits_per_sym == 0 {
+        return None;
+    }
+    let total_bits = 16 + 8 * psdu_bytes as u64 + 6;
+    let symbols = total_bits.div_ceil(bits_per_sym);
+    Some(SimDuration::from_nanos(symbols * sym_ns))
+}
+
+/// Full duration of a data PPDU: VHT preamble + data symbols.
+pub fn ppdu_duration(
+    psdu_bytes: usize,
+    mcs: Mcs,
+    nss: u8,
+    width: Width,
+    gi: GuardInterval,
+) -> Option<SimDuration> {
+    Some(vht_preamble(nss) + psdu_duration(psdu_bytes, mcs, nss, width, gi)?)
+}
+
+/// Airtime of an A-MPDU containing MPDUs with the given MSDU payload
+/// sizes (TCP/IP packet sizes). Adds per-MPDU MAC and delimiter overhead.
+pub fn ampdu_duration(
+    msdu_bytes: &[usize],
+    mcs: Mcs,
+    nss: u8,
+    width: Width,
+    gi: GuardInterval,
+) -> Option<SimDuration> {
+    let psdu: usize = msdu_bytes
+        .iter()
+        .map(|&b| b + MAC_OVERHEAD_BYTES + AMPDU_DELIMITER_BYTES)
+        .sum();
+    ppdu_duration(psdu, mcs, nss, width, gi)
+}
+
+/// Duration of a legacy control frame (ACK = 14 bytes, RTS = 20, CTS = 14,
+/// BlockAck = 32) at the basic control rate.
+pub fn control_frame_duration(frame_bytes: usize) -> SimDuration {
+    let bits_per_sym = LEGACY_CONTROL_RATE_BPS * 4_000 / 1_000_000_000; // 96 bits @ 24Mbps, 4us symbols
+    let total_bits = 16 + 8 * frame_bytes as u64 + 6;
+    let symbols = total_bits.div_ceil(bits_per_sym);
+    LEGACY_PREAMBLE + SimDuration::from_nanos(symbols * 4_000)
+}
+
+/// 802.11 ACK frame duration (normal ACK, 14 bytes).
+pub fn ack_duration() -> SimDuration {
+    control_frame_duration(14)
+}
+
+/// Compressed BlockAck frame duration (32 bytes).
+pub fn block_ack_duration() -> SimDuration {
+    control_frame_duration(32)
+}
+
+/// RTS frame duration (20 bytes).
+pub fn rts_duration() -> SimDuration {
+    control_frame_duration(20)
+}
+
+/// CTS frame duration (14 bytes).
+pub fn cts_duration() -> SimDuration {
+    control_frame_duration(14)
+}
+
+/// MAC efficiency of a transmit opportunity: payload airtime ÷ total
+/// airtime including average backoff, preamble, SIFS and BlockAck. This
+/// is the quantity FastACK improves by growing `n_mpdus`.
+pub fn txop_efficiency(
+    msdu_bytes: usize,
+    n_mpdus: usize,
+    mcs: Mcs,
+    nss: u8,
+    width: Width,
+    gi: GuardInterval,
+    avg_backoff_slots: f64,
+) -> Option<f64> {
+    let sizes = vec![msdu_bytes; n_mpdus];
+    let data = ampdu_duration(&sizes, mcs, nss, width, gi)?;
+    let overhead = DIFS
+        + SimDuration::from_secs_f64(avg_backoff_slots * SLOT.as_secs_f64())
+        + SIFS
+        + block_ack_duration();
+    // "Useful" time: the MSDU bits at the PHY rate with no per-frame costs.
+    let bps = crate::mcs::vht_rate_bps(mcs, nss, width, gi)?;
+    let useful = SimDuration::from_secs_f64((msdu_bytes * n_mpdus * 8) as f64 / bps as f64);
+    Some(useful / (data + overhead))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const SGI: GuardInterval = GuardInterval::Short;
+
+    #[test]
+    fn timing_constants() {
+        assert_eq!(SIFS.as_micros(), 16);
+        assert_eq!(SLOT.as_micros(), 9);
+        assert_eq!(DIFS.as_micros(), 34);
+    }
+
+    #[test]
+    fn vht_preamble_grows_with_streams() {
+        // 36 us base (L-STF 8 + L-LTF 8 + L-SIG 4 + VHT-SIG-A 8 +
+        // VHT-STF 4 + VHT-SIG-B 4) + 4 us per VHT-LTF (1/2/4/4 LTFs).
+        assert_eq!(vht_preamble(1).as_micros(), 40);
+        assert_eq!(vht_preamble(2).as_micros(), 44);
+        assert_eq!(vht_preamble(3).as_micros(), 52);
+        assert_eq!(vht_preamble(4).as_micros(), 52);
+    }
+
+    #[test]
+    fn psdu_duration_is_symbol_quantized() {
+        // 1500B at MCS9 2SS 80MHz SGI: 3120 bits/sym,
+        // (16 + 12000 + 6) = 12022 bits -> 4 symbols -> 14.4us
+        let d = psdu_duration(1500, Mcs(9), 2, Width::W80, SGI).unwrap();
+        assert_eq!(d.as_nanos(), 4 * 3_600);
+    }
+
+    #[test]
+    fn ampdu_amortizes_preamble() {
+        // One 1500B MPDU vs 32: per-MPDU airtime must drop sharply.
+        let one = ampdu_duration(&[1534], Mcs(9), 2, Width::W80, SGI).unwrap();
+        let many = ampdu_duration(&vec![1534; 32], Mcs(9), 2, Width::W80, SGI).unwrap();
+        let per_one = one.as_nanos();
+        let per_many = many.as_nanos() / 32;
+        assert!(per_many < per_one, "{per_many} !< {per_one}");
+    }
+
+    #[test]
+    fn control_frames_cost_tens_of_microseconds() {
+        // ACK: preamble 20us + ceil((16+112+6)/96)*4us = 20 + 8 = 28us.
+        assert_eq!(ack_duration().as_micros(), 28);
+        assert_eq!(block_ack_duration().as_micros(), 32);
+        assert_eq!(rts_duration().as_micros(), 28);
+        assert_eq!(cts_duration().as_micros(), 28);
+    }
+
+    #[test]
+    fn max_ampdu_of_full_mpdus_fits_duration_cap() {
+        // 64 × 1534B at a mid rate must stay under 5.3ms at high rates
+        // but exceed it at low rates — the MAC must honour both caps.
+        let hi = ampdu_duration(&vec![1534; 64], Mcs(9), 3, Width::W80, SGI).unwrap();
+        assert!(hi < MAX_AMPDU_DURATION, "{hi}");
+        let lo = ampdu_duration(&vec![1534; 64], Mcs(0), 1, Width::W20, SGI).unwrap();
+        assert!(lo > MAX_AMPDU_DURATION, "{lo}");
+    }
+
+    #[test]
+    fn efficiency_increases_with_aggregation() {
+        let e1 = txop_efficiency(1460, 1, Mcs(9), 2, Width::W80, SGI, 7.5).unwrap();
+        let e16 = txop_efficiency(1460, 16, Mcs(9), 2, Width::W80, SGI, 7.5).unwrap();
+        let e64 = txop_efficiency(1460, 64, Mcs(9), 2, Width::W80, SGI, 7.5).unwrap();
+        assert!(e1 < e16 && e16 < e64, "{e1} {e16} {e64}");
+        // Single-MPDU efficiency at 867Mbps is abysmal (<15%); 64-deep is >75%.
+        assert!(e1 < 0.15, "{e1}");
+        assert!(e64 > 0.75, "{e64}");
+    }
+
+    #[test]
+    fn higher_rate_needs_more_aggregation_for_same_efficiency() {
+        // At 6.5Mbps even a single MPDU is efficient; at 867Mbps it is not.
+        let slow = txop_efficiency(1460, 1, Mcs(0), 1, Width::W20, SGI, 7.5).unwrap();
+        let fast = txop_efficiency(1460, 1, Mcs(9), 2, Width::W80, SGI, 7.5).unwrap();
+        assert!(slow > 0.8, "{slow}");
+        assert!(fast < 0.15, "{fast}");
+    }
+
+    #[test]
+    fn ppdu_includes_preamble() {
+        let psdu = psdu_duration(1500, Mcs(4), 1, Width::W40, SGI).unwrap();
+        let ppdu = ppdu_duration(1500, Mcs(4), 1, Width::W40, SGI).unwrap();
+        assert_eq!(ppdu - psdu, vht_preamble(1));
+    }
+
+    #[test]
+    fn invalid_mcs_propagates_none() {
+        assert!(psdu_duration(100, Mcs(9), 1, Width::W20, SGI).is_none());
+        assert!(ampdu_duration(&[100], Mcs(10), 1, Width::W20, SGI).is_none());
+    }
+}

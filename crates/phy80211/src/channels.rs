@@ -1,0 +1,472 @@
+//! 802.11 channelization and US (FCC) regulatory tables.
+//!
+//! Reproduces the spectrum facts the paper leans on (§4.1.1): in the US
+//! there are twenty-five 20 MHz, twelve 40 MHz, six 80 MHz and two
+//! 160 MHz channels in 5 GHz, versus three non-overlapping channels in
+//! 2.4 GHz; DFS rules remove all but nine 20 MHz / four 40 MHz / two
+//! 80 MHz / zero 160 MHz of them for non-DFS-certified devices (§4.5.2).
+//! Unit tests pin each of those counts.
+
+use std::fmt;
+
+/// Radio band.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum Band {
+    /// 2.4 GHz ISM band (channels 1–11 in the US).
+    Band2_4,
+    /// 5 GHz U-NII bands.
+    Band5,
+}
+
+impl fmt::Display for Band {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Band::Band2_4 => write!(f, "2.4GHz"),
+            Band::Band5 => write!(f, "5GHz"),
+        }
+    }
+}
+
+/// Channel width. 80+80 MHz is intentionally unsupported: the paper's
+/// deployments do not use it and no Meraki AP of that era shipped it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum Width {
+    W20,
+    W40,
+    W80,
+    W160,
+}
+
+impl Width {
+    /// Width in MHz.
+    pub const fn mhz(self) -> u32 {
+        match self {
+            Width::W20 => 20,
+            Width::W40 => 40,
+            Width::W80 => 80,
+            Width::W160 => 160,
+        }
+    }
+
+    /// Number of 20 MHz sub-channels.
+    pub const fn subchannels(self) -> u32 {
+        self.mhz() / 20
+    }
+
+    /// The next narrower width, or `None` at 20 MHz. Used when stepping
+    /// a bonded channel down under contention.
+    pub const fn narrower(self) -> Option<Width> {
+        match self {
+            Width::W20 => None,
+            Width::W40 => Some(Width::W20),
+            Width::W80 => Some(Width::W40),
+            Width::W160 => Some(Width::W80),
+        }
+    }
+
+    /// All widths, narrow to wide.
+    pub const ALL: [Width; 4] = [Width::W20, Width::W40, Width::W80, Width::W160];
+
+    /// Widths up to and including `self`, narrow to wide — the range the
+    /// paper's `NodeP` product iterates over (`b = 20MHz .. cw`).
+    pub fn up_to(self) -> &'static [Width] {
+        match self {
+            Width::W20 => &[Width::W20],
+            Width::W40 => &[Width::W20, Width::W40],
+            Width::W80 => &[Width::W20, Width::W40, Width::W80],
+            Width::W160 => &[Width::W20, Width::W40, Width::W80, Width::W160],
+        }
+    }
+}
+
+impl fmt::Display for Width {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}MHz", self.mhz())
+    }
+}
+
+/// An operating channel: a band, a primary 20 MHz channel number, and a
+/// bonded width. Equality is structural; two channels interfere when any
+/// of their 20 MHz sub-channels overlap in frequency (see
+/// [`Channel::overlaps`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Channel {
+    pub band: Band,
+    /// Primary 20 MHz channel number (e.g. 36, 149, or 1–11 in 2.4 GHz).
+    pub primary: u16,
+    pub width: Width,
+}
+
+/// US 20 MHz channel numbers in 5 GHz: U-NII-1, U-NII-2A (DFS),
+/// U-NII-2C (DFS), U-NII-3. 25 channels total.
+pub const US_5GHZ_20: [u16; 25] = [
+    36, 40, 44, 48, // U-NII-1
+    52, 56, 60, 64, // U-NII-2A (DFS)
+    100, 104, 108, 112, 116, 120, 124, 128, 132, 136, 140, 144, // U-NII-2C (DFS)
+    149, 153, 157, 161, 165, // U-NII-3
+];
+
+/// US 2.4 GHz channel numbers (1–11).
+pub const US_2_4GHZ: [u16; 11] = [1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11];
+
+/// The three non-overlapping 2.4 GHz channels.
+pub const US_2_4GHZ_NON_OVERLAPPING: [u16; 3] = [1, 6, 11];
+
+/// Is this 5 GHz 20 MHz channel number subject to Dynamic Frequency
+/// Selection (radar detection + 1-minute CAC)?
+pub fn is_dfs_20(primary: u16) -> bool {
+    (52..=64).contains(&primary) || (100..=144).contains(&primary)
+}
+
+/// Center frequency in MHz of a 20 MHz channel number.
+pub fn center_freq_mhz(band: Band, ch: u16) -> u32 {
+    match band {
+        Band::Band2_4 => 2407 + 5 * ch as u32,
+        Band::Band5 => 5000 + 5 * ch as u32,
+    }
+}
+
+impl Channel {
+    /// Construct a channel, validating that the (band, primary, width)
+    /// triple is a legal US configuration.
+    pub fn new(band: Band, primary: u16, width: Width) -> Result<Channel, ChannelError> {
+        let c = Channel {
+            band,
+            primary,
+            width,
+        };
+        c.validate()?;
+        Ok(c)
+    }
+
+    /// 20 MHz channel in 5 GHz (panics on invalid number — test helper).
+    pub fn five(primary: u16) -> Channel {
+        Channel::new(Band::Band5, primary, Width::W20).expect("valid 5 GHz channel")
+    }
+
+    /// 2.4 GHz channel (always 20 MHz wide here; 40 MHz in 2.4 GHz is
+    /// disabled in enterprise deployments, matching Meraki practice).
+    pub fn two4(primary: u16) -> Channel {
+        Channel::new(Band::Band2_4, primary, Width::W20).expect("valid 2.4 GHz channel")
+    }
+
+    fn validate(&self) -> Result<(), ChannelError> {
+        match self.band {
+            Band::Band2_4 => {
+                if !US_2_4GHZ.contains(&self.primary) {
+                    return Err(ChannelError::UnknownPrimary(self.primary));
+                }
+                if self.width != Width::W20 {
+                    // 40 MHz in 2.4 GHz exists in the standard but is
+                    // rejected here by policy (it always overlaps the
+                    // three usable channels and Meraki never enables it).
+                    return Err(ChannelError::WidthNotAllowed(self.width));
+                }
+                Ok(())
+            }
+            Band::Band5 => {
+                if !US_5GHZ_20.contains(&self.primary) {
+                    return Err(ChannelError::UnknownPrimary(self.primary));
+                }
+                if self.subchannel_numbers().is_none() {
+                    return Err(ChannelError::InvalidBond(self.primary, self.width));
+                }
+                Ok(())
+            }
+        }
+    }
+
+    /// The 20 MHz channel numbers covered by this (possibly bonded)
+    /// channel, or `None` if the bond is not a legal US configuration
+    /// (e.g. an 80 MHz bond straddling 144/149, or 160 MHz anywhere
+    /// except 36–64 / 100–128).
+    pub fn subchannel_numbers(&self) -> Option<Vec<u16>> {
+        if self.band == Band::Band2_4 {
+            return Some(vec![self.primary]);
+        }
+        let n = self.width.subchannels() as u16;
+        // A bonded block starts at a channel number aligned to the block:
+        // blocks are consecutive runs of n 20MHz channels within one
+        // contiguous U-NII segment.
+        let segments: [&[u16]; 3] = [
+            &US_5GHZ_20[0..8],   // 36..64 contiguous
+            &US_5GHZ_20[8..20],  // 100..144 contiguous
+            &US_5GHZ_20[20..25], // 149..165 contiguous
+        ];
+        for seg in segments {
+            if let Some(pos) = seg.iter().position(|&c| c == self.primary) {
+                let block_start = pos - pos % n as usize;
+                let block = &seg[block_start..];
+                if block.len() < n as usize {
+                    return None;
+                }
+                let block = &block[..n as usize];
+                // 160 MHz is only legal in 36–64 and 100–128; channel 165
+                // cannot be part of any bond.
+                if self.width != Width::W20 && block.contains(&165) {
+                    return None;
+                }
+                if self.width == Width::W160 && block[0] != 36 && block[0] != 100 {
+                    return None;
+                }
+                // Channels 132–144 support 40/80 bonding (132+136, 140+144,
+                // 132–144 is only 4 channels which is not 80-aligned in the
+                // real table; the real 80MHz block is 132-144? Actually the
+                // FCC 80MHz blocks are 36-48,52-64,100-112,116-128,132-144,
+                // 149-161 — six blocks). Our segment arithmetic yields
+                // exactly those.
+                return Some(block.to_vec());
+            }
+        }
+        None
+    }
+
+    /// Frequency range [low, high) in MHz covered by this channel.
+    pub fn freq_range_mhz(&self) -> (u32, u32) {
+        match self.band {
+            Band::Band2_4 => {
+                // 2.4 GHz 802.11 transmissions occupy ~22 MHz (DSSS mask);
+                // we use ±11 MHz around the center.
+                let c = center_freq_mhz(self.band, self.primary);
+                (c - 11, c + 11)
+            }
+            Band::Band5 => {
+                let subs = self
+                    .subchannel_numbers()
+                    .expect("validated channel has subchannels");
+                let lo = center_freq_mhz(self.band, subs[0]) - 10;
+                let hi = center_freq_mhz(self.band, *subs.last().unwrap()) + 10;
+                (lo, hi)
+            }
+        }
+    }
+
+    /// Do two channels share any spectrum? This is the interference
+    /// predicate: for an 80 MHz transmission, energy on any of its four
+    /// 20 MHz sub-channels causes contention or corruption (§4.1.1).
+    pub fn overlaps(&self, other: &Channel) -> bool {
+        if self.band != other.band {
+            return false;
+        }
+        let (a_lo, a_hi) = self.freq_range_mhz();
+        let (b_lo, b_hi) = other.freq_range_mhz();
+        a_lo < b_hi && b_lo < a_hi
+    }
+
+    /// True if any 20 MHz sub-channel requires DFS.
+    pub fn requires_dfs(&self) -> bool {
+        self.band == Band::Band5
+            && self
+                .subchannel_numbers()
+                .map(|subs| subs.iter().any(|&c| is_dfs_20(c)))
+                .unwrap_or(false)
+    }
+
+    /// Same channel narrowed one step (keeps the primary).
+    pub fn narrowed(&self) -> Option<Channel> {
+        let w = self.width.narrower()?;
+        Channel::new(self.band, self.primary, w).ok()
+    }
+}
+
+impl fmt::Display for Channel {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} ch{}@{}", self.band, self.primary, self.width)
+    }
+}
+
+/// Errors from [`Channel::new`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ChannelError {
+    /// Channel number not in the US table for the band.
+    UnknownPrimary(u16),
+    /// Width not permitted in this band by policy.
+    WidthNotAllowed(Width),
+    /// The (primary, width) pair does not form a legal bonded block.
+    InvalidBond(u16, Width),
+}
+
+impl fmt::Display for ChannelError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ChannelError::UnknownPrimary(c) => write!(f, "unknown channel number {c}"),
+            ChannelError::WidthNotAllowed(w) => write!(f, "width {w} not allowed in this band"),
+            ChannelError::InvalidBond(c, w) => write!(f, "channel {c} cannot bond to {w}"),
+        }
+    }
+}
+
+impl std::error::Error for ChannelError {}
+
+/// Enumerate every legal US channel of the given band and width.
+pub fn all_channels(band: Band, width: Width) -> Vec<Channel> {
+    match band {
+        Band::Band2_4 => {
+            if width == Width::W20 {
+                US_2_4GHZ
+                    .iter()
+                    .map(|&c| Channel::two4(c))
+                    .collect()
+            } else {
+                Vec::new()
+            }
+        }
+        Band::Band5 => {
+            let mut out = Vec::new();
+            let mut seen_blocks: Vec<Vec<u16>> = Vec::new();
+            for &c in &US_5GHZ_20 {
+                if let Ok(ch) = Channel::new(Band::Band5, c, width) {
+                    let block = ch.subchannel_numbers().unwrap();
+                    if !seen_blocks.contains(&block) {
+                        seen_blocks.push(block);
+                        out.push(ch);
+                    }
+                }
+            }
+            out
+        }
+    }
+}
+
+/// Enumerate legal channels, excluding DFS-gated ones (the choice set for
+/// devices without DFS certification, §4.5.2).
+pub fn non_dfs_channels(band: Band, width: Width) -> Vec<Channel> {
+    all_channels(band, width)
+        .into_iter()
+        .filter(|c| !c.requires_dfs())
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    // The paper's §4.1.1 channel counts, pinned exactly.
+    #[test]
+    fn us_5ghz_channel_counts_match_fcc() {
+        assert_eq!(all_channels(Band::Band5, Width::W20).len(), 25);
+        assert_eq!(all_channels(Band::Band5, Width::W40).len(), 12);
+        assert_eq!(all_channels(Band::Band5, Width::W80).len(), 6);
+        assert_eq!(all_channels(Band::Band5, Width::W160).len(), 2);
+    }
+
+    // The paper's §4.5.2 non-DFS counts, pinned exactly.
+    #[test]
+    fn non_dfs_counts_match_paper() {
+        assert_eq!(non_dfs_channels(Band::Band5, Width::W20).len(), 9);
+        assert_eq!(non_dfs_channels(Band::Band5, Width::W40).len(), 4);
+        assert_eq!(non_dfs_channels(Band::Band5, Width::W80).len(), 2);
+        assert_eq!(non_dfs_channels(Band::Band5, Width::W160).len(), 0);
+    }
+
+    #[test]
+    fn two4_has_11_channels_3_clean() {
+        assert_eq!(all_channels(Band::Band2_4, Width::W20).len(), 11);
+        let c1 = Channel::two4(1);
+        let c6 = Channel::two4(6);
+        let c11 = Channel::two4(11);
+        assert!(!c1.overlaps(&c6));
+        assert!(!c6.overlaps(&c11));
+        assert!(!c1.overlaps(&c11));
+    }
+
+    #[test]
+    fn adjacent_two4_channels_overlap() {
+        assert!(Channel::two4(1).overlaps(&Channel::two4(3)));
+        assert!(Channel::two4(4).overlaps(&Channel::two4(6)));
+        assert!(!Channel::two4(1).overlaps(&Channel::two4(6)));
+    }
+
+    #[test]
+    fn bonding_blocks_are_correct() {
+        let c = Channel::new(Band::Band5, 44, Width::W80).unwrap();
+        assert_eq!(c.subchannel_numbers().unwrap(), vec![36, 40, 44, 48]);
+        let c = Channel::new(Band::Band5, 157, Width::W40).unwrap();
+        assert_eq!(c.subchannel_numbers().unwrap(), vec![157, 161]);
+        let c = Channel::new(Band::Band5, 56, Width::W160).unwrap();
+        assert_eq!(
+            c.subchannel_numbers().unwrap(),
+            vec![36, 40, 44, 48, 52, 56, 60, 64]
+        );
+    }
+
+    #[test]
+    fn ch165_cannot_bond() {
+        assert!(Channel::new(Band::Band5, 165, Width::W40).is_err());
+        assert!(Channel::new(Band::Band5, 165, Width::W80).is_err());
+        assert!(Channel::new(Band::Band5, 165, Width::W20).is_ok());
+    }
+
+    #[test]
+    fn no_160_in_unii3() {
+        assert!(Channel::new(Band::Band5, 149, Width::W160).is_err());
+        assert!(Channel::new(Band::Band5, 132, Width::W160).is_err());
+    }
+
+    #[test]
+    fn dfs_flags() {
+        assert!(!Channel::five(36).requires_dfs());
+        assert!(Channel::five(52).requires_dfs());
+        assert!(Channel::five(100).requires_dfs());
+        assert!(Channel::five(144).requires_dfs());
+        assert!(!Channel::five(149).requires_dfs());
+        // A 160 MHz bond at 36 spans DFS channels 52-64.
+        let wide = Channel::new(Band::Band5, 36, Width::W160).unwrap();
+        assert!(wide.requires_dfs());
+        // An 80 MHz bond at 36 does not.
+        let w80 = Channel::new(Band::Band5, 36, Width::W80).unwrap();
+        assert!(!w80.requires_dfs());
+    }
+
+    #[test]
+    fn overlap_is_symmetric_and_subchannel_based() {
+        let wide = Channel::new(Band::Band5, 36, Width::W80).unwrap();
+        let narrow = Channel::five(48);
+        assert!(wide.overlaps(&narrow));
+        assert!(narrow.overlaps(&wide));
+        let far = Channel::five(149);
+        assert!(!wide.overlaps(&far));
+    }
+
+    #[test]
+    fn different_bands_never_overlap() {
+        assert!(!Channel::two4(1).overlaps(&Channel::five(36)));
+    }
+
+    #[test]
+    fn narrowed_steps_down() {
+        let c = Channel::new(Band::Band5, 36, Width::W80).unwrap();
+        let n = c.narrowed().unwrap();
+        assert_eq!(n.width, Width::W40);
+        assert_eq!(n.primary, 36);
+        assert!(Channel::five(36).narrowed().is_none());
+    }
+
+    #[test]
+    fn freq_ranges() {
+        let c = Channel::five(36);
+        assert_eq!(c.freq_range_mhz(), (5170, 5190));
+        let w = Channel::new(Band::Band5, 36, Width::W80).unwrap();
+        assert_eq!(w.freq_range_mhz(), (5170, 5250));
+        assert_eq!(center_freq_mhz(Band::Band2_4, 6), 2437);
+    }
+
+    #[test]
+    fn width_up_to_matches_paper_product_range() {
+        assert_eq!(Width::W80.up_to(), &[Width::W20, Width::W40, Width::W80]);
+        assert_eq!(Width::W20.up_to(), &[Width::W20]);
+    }
+
+    #[test]
+    fn invalid_channels_rejected() {
+        assert!(Channel::new(Band::Band5, 37, Width::W20).is_err());
+        assert!(Channel::new(Band::Band2_4, 12, Width::W20).is_err());
+        assert!(Channel::new(Band::Band2_4, 6, Width::W40).is_err());
+    }
+
+    #[test]
+    fn display_formats() {
+        let c = Channel::new(Band::Band5, 36, Width::W80).unwrap();
+        assert_eq!(format!("{c}"), "5GHz ch36@80MHz");
+    }
+}

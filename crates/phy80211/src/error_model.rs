@@ -1,0 +1,124 @@
+//! SNR → packet-error-rate model.
+//!
+//! Each MCS has a threshold SNR (see [`crate::mcs::snr_requirement_db`]);
+//! around that threshold the PER follows a logistic ("waterfall") curve,
+//! which is the standard abstraction of coded-OFDM link behaviour: a few
+//! dB above threshold the link is clean, a few dB below it is unusable.
+//! PER also scales with frame length (more bits, more chances to break).
+
+use crate::channels::Width;
+use crate::mcs::{snr_requirement_db, Mcs};
+
+/// Steepness of the PER waterfall, per dB. 1.0–2.0 matches measured
+/// 802.11 receiver curves; we use 1.5.
+const WATERFALL_SLOPE: f64 = 1.5;
+
+/// Reference frame length for the threshold tables (bytes).
+const REF_FRAME_BYTES: f64 = 1024.0;
+
+/// Probability that a single MPDU of `frame_bytes` is corrupted when
+/// received at `snr_db` with the given MCS/width.
+///
+/// At `snr == threshold` the PER is 50% for a 1024-byte frame; +4 dB is
+/// effectively clean (<0.3%), −4 dB effectively dead (>99%).
+pub fn mpdu_error_rate(snr_db: f64, mcs: Mcs, width: Width, frame_bytes: usize) -> f64 {
+    let threshold = snr_requirement_db(mcs, width);
+    let margin = snr_db - threshold;
+    let per_ref = 1.0 / (1.0 + (WATERFALL_SLOPE * margin).exp());
+    // Convert to per-bit success and re-scale to the actual length:
+    // s_len = s_ref^(len/ref).
+    let success_ref = 1.0 - per_ref;
+    if success_ref <= 0.0 {
+        return 1.0;
+    }
+    let scale = frame_bytes as f64 / REF_FRAME_BYTES;
+    1.0 - success_ref.powf(scale.max(1e-3))
+}
+
+/// Probability that an MPDU survives.
+pub fn mpdu_success_rate(snr_db: f64, mcs: Mcs, width: Width, frame_bytes: usize) -> f64 {
+    1.0 - mpdu_error_rate(snr_db, mcs, width, frame_bytes)
+}
+
+/// Expected throughput utility of sending at (mcs, width) given the SNR:
+/// `rate × P(success)`. Rate selection maximizes this.
+pub fn expected_goodput_bps(
+    snr_db: f64,
+    mcs: Mcs,
+    nss: u8,
+    width: Width,
+    gi: crate::mcs::GuardInterval,
+    frame_bytes: usize,
+) -> f64 {
+    match crate::mcs::vht_rate_bps(mcs, nss, width, gi) {
+        Some(bps) => bps as f64 * mpdu_success_rate(snr_db, mcs, width, frame_bytes),
+        None => 0.0,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::mcs::GuardInterval;
+
+    #[test]
+    fn per_at_threshold_is_half() {
+        let t = snr_requirement_db(Mcs(4), Width::W20);
+        let per = mpdu_error_rate(t, Mcs(4), Width::W20, 1024);
+        assert!((per - 0.5).abs() < 1e-9, "{per}");
+    }
+
+    #[test]
+    fn per_waterfall_shape() {
+        let t = snr_requirement_db(Mcs(4), Width::W20);
+        assert!(mpdu_error_rate(t + 4.0, Mcs(4), Width::W20, 1024) < 0.01);
+        assert!(mpdu_error_rate(t - 4.0, Mcs(4), Width::W20, 1024) > 0.99);
+    }
+
+    #[test]
+    fn per_monotone_decreasing_in_snr() {
+        let mut prev = 1.1;
+        for snr in -10..50 {
+            let per = mpdu_error_rate(snr as f64, Mcs(7), Width::W40, 1460);
+            assert!(per <= prev);
+            prev = per;
+        }
+    }
+
+    #[test]
+    fn longer_frames_fail_more() {
+        let t = snr_requirement_db(Mcs(4), Width::W20) + 2.0;
+        let short = mpdu_error_rate(t, Mcs(4), Width::W20, 64);
+        let long = mpdu_error_rate(t, Mcs(4), Width::W20, 1460);
+        assert!(long > short, "{long} !> {short}");
+    }
+
+    #[test]
+    fn per_is_a_probability() {
+        for snr in [-50.0, 0.0, 15.0, 60.0] {
+            for m in 0..=9u8 {
+                let per = mpdu_error_rate(snr, Mcs(m), Width::W80, 1460);
+                assert!((0.0..=1.0).contains(&per), "snr={snr} mcs={m} per={per}");
+            }
+        }
+    }
+
+    #[test]
+    fn goodput_peaks_at_the_right_mcs() {
+        // At SNR 20 dB on 20 MHz, MCS6 (threshold 20) should beat both
+        // MCS9 (way above threshold -> PER ~1) and MCS0 (slow but clean).
+        let snr = 20.0;
+        let g = |m: u8| {
+            expected_goodput_bps(snr, Mcs(m), 1, Width::W20, GuardInterval::Short, 1460)
+        };
+        let best = (0..=9u8).max_by(|&a, &b| g(a).total_cmp(&g(b))).unwrap();
+        assert!((4..=6).contains(&best), "best = {best}");
+        assert!(g(best) > g(0) && g(best) > g(9));
+    }
+
+    #[test]
+    fn invalid_mcs_has_zero_goodput() {
+        let g = expected_goodput_bps(30.0, Mcs(9), 1, Width::W20, GuardInterval::Short, 1460);
+        assert_eq!(g, 0.0);
+    }
+}

@@ -1,0 +1,37 @@
+//! # sim — deterministic discrete-event simulation kernel
+//!
+//! The foundation every other crate in this workspace builds on:
+//!
+//! * [`SimTime`] / [`SimDuration`] — integer-nanosecond simulated time;
+//! * [`EventQueue`] — a monotone, FIFO-stable-on-ties event queue, generic
+//!   over the domain's event type;
+//! * [`Rng`] — a self-contained xoshiro256\*\* generator with the
+//!   distributions the workloads need (uniform, exponential, normal,
+//!   Poisson, Zipf, weighted choice);
+//! * [`Tracer`] — structured trace records with pluggable sinks.
+//!
+//! Design rules (see DESIGN.md §4): no wall-clock access, no global
+//! state, single-threaded, and one seed reproduces one run bit-for-bit.
+//!
+//! ```
+//! use sim::{EventQueue, SimDuration, SimTime};
+//!
+//! #[derive(Debug, PartialEq)]
+//! enum Ev { Ping, Pong }
+//!
+//! let mut q = EventQueue::new();
+//! q.schedule(SimTime::from_micros(10), Ev::Ping);
+//! q.schedule_in(SimDuration::from_micros(5), Ev::Pong);
+//! assert_eq!(q.pop().unwrap().1, Ev::Pong); // 5us < 10us
+//! assert_eq!(q.now(), SimTime::from_micros(5));
+//! ```
+
+pub mod queue;
+pub mod rng;
+pub mod time;
+pub mod trace;
+
+pub use queue::{EventId, EventQueue};
+pub use rng::Rng;
+pub use time::{SimDuration, SimTime};
+pub use trace::{Counting, Memory, MemoryTracer, Stderr, TraceEvent, TraceKind, TraceSink, Tracer};

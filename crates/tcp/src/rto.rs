@@ -1,0 +1,178 @@
+//! Retransmission-timeout estimation per RFC 6298.
+//!
+//! FastACK deliberately leaves timeout-based retransmission to the TCP
+//! sender endpoint (§5.5.1 of the paper), so the sender's RTO behaviour —
+//! smoothed RTT, variance, exponential backoff, Karn's algorithm — must
+//! be faithful for the "no 802.11 ACKs → sender times out → cwnd
+//! collapses" pathway to reproduce.
+
+use sim::{SimDuration, SimTime};
+
+/// RTT estimator + RTO calculator.
+#[derive(Debug, Clone)]
+pub struct RtoEstimator {
+    srtt: Option<SimDuration>,
+    rttvar: SimDuration,
+    rto: SimDuration,
+    backoff: u32,
+    min_rto: SimDuration,
+    max_rto: SimDuration,
+}
+
+impl RtoEstimator {
+    /// Fresh estimator. `min_rto` of 200 ms matches Linux rather than
+    /// RFC 6298's conservative 1 s; the paper's senders are Linux/Windows
+    /// hosts on a LAN where 200 ms is the binding constant.
+    pub fn new() -> RtoEstimator {
+        RtoEstimator {
+            srtt: None,
+            rttvar: SimDuration::ZERO,
+            rto: SimDuration::from_secs(1),
+            backoff: 0,
+            min_rto: SimDuration::from_millis(200),
+            max_rto: SimDuration::from_secs(60),
+        }
+    }
+
+    /// Incorporate an RTT sample (only for segments that were *not*
+    /// retransmitted — Karn's algorithm; the caller enforces that).
+    pub fn on_rtt_sample(&mut self, rtt: SimDuration) {
+        match self.srtt {
+            None => {
+                self.srtt = Some(rtt);
+                self.rttvar = rtt / 2;
+            }
+            Some(srtt) => {
+                // RFC 6298: beta = 1/4, alpha = 1/8.
+                let delta = if srtt > rtt { srtt - rtt } else { rtt - srtt };
+                self.rttvar = (self.rttvar * 3 + delta) / 4;
+                self.srtt = Some((srtt * 7 + rtt) / 8);
+            }
+        }
+        self.backoff = 0;
+        self.recompute();
+    }
+
+    fn recompute(&mut self) {
+        let srtt = self.srtt.unwrap_or(SimDuration::from_secs(1));
+        let candidate = srtt + self.rttvar.saturating_mul(4).max(SimDuration::from_millis(10));
+        let base = candidate.max(self.min_rto).min(self.max_rto);
+        self.rto = base.saturating_mul(1u64 << self.backoff.min(8)).min(self.max_rto);
+    }
+
+    /// Current RTO value.
+    pub fn rto(&self) -> SimDuration {
+        self.rto
+    }
+
+    /// Smoothed RTT (None before the first sample).
+    pub fn srtt(&self) -> Option<SimDuration> {
+        self.srtt
+    }
+
+    /// A timeout fired: double the RTO (exponential backoff).
+    pub fn on_timeout(&mut self) {
+        self.backoff += 1;
+        self.recompute();
+    }
+
+    /// Deadline for a segment sent at `sent_at`.
+    pub fn deadline(&self, sent_at: SimTime) -> SimTime {
+        sent_at + self.rto
+    }
+}
+
+impl Default for RtoEstimator {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ms(v: u64) -> SimDuration {
+        SimDuration::from_millis(v)
+    }
+
+    #[test]
+    fn initial_rto_is_one_second() {
+        let e = RtoEstimator::new();
+        assert_eq!(e.rto(), SimDuration::from_secs(1));
+        assert!(e.srtt().is_none());
+    }
+
+    #[test]
+    fn first_sample_initializes() {
+        let mut e = RtoEstimator::new();
+        e.on_rtt_sample(ms(100));
+        assert_eq!(e.srtt(), Some(ms(100)));
+        // RTO = srtt + 4*rttvar = 100 + 200 = 300ms.
+        assert_eq!(e.rto(), ms(300));
+    }
+
+    #[test]
+    fn min_rto_floor() {
+        let mut e = RtoEstimator::new();
+        for _ in 0..20 {
+            e.on_rtt_sample(ms(5));
+        }
+        assert_eq!(e.rto(), ms(200), "clamped to min RTO");
+    }
+
+    #[test]
+    fn smoothing_converges() {
+        let mut e = RtoEstimator::new();
+        for _ in 0..100 {
+            e.on_rtt_sample(ms(80));
+        }
+        let srtt = e.srtt().unwrap();
+        assert!((srtt.as_millis() as i64 - 80).abs() <= 1, "{srtt}");
+    }
+
+    #[test]
+    fn variance_reacts_to_jitter() {
+        let mut stable = RtoEstimator::new();
+        let mut jittery = RtoEstimator::new();
+        for i in 0..100 {
+            stable.on_rtt_sample(ms(100));
+            jittery.on_rtt_sample(ms(if i % 2 == 0 { 40 } else { 160 }));
+        }
+        assert!(jittery.rto() > stable.rto());
+    }
+
+    #[test]
+    fn timeout_backoff_doubles_and_caps() {
+        let mut e = RtoEstimator::new();
+        e.on_rtt_sample(ms(100));
+        let base = e.rto();
+        e.on_timeout();
+        assert_eq!(e.rto(), base * 2);
+        e.on_timeout();
+        assert_eq!(e.rto(), base * 4);
+        for _ in 0..20 {
+            e.on_timeout();
+        }
+        assert_eq!(e.rto(), SimDuration::from_secs(60), "capped at max");
+    }
+
+    #[test]
+    fn sample_resets_backoff() {
+        let mut e = RtoEstimator::new();
+        e.on_rtt_sample(ms(100));
+        e.on_timeout();
+        e.on_timeout();
+        e.on_rtt_sample(ms(100));
+        // Backoff cleared; rttvar has smoothed down: 100 + 4·37.5 = 250ms.
+        assert_eq!(e.rto(), ms(250));
+    }
+
+    #[test]
+    fn deadline_is_send_time_plus_rto() {
+        let mut e = RtoEstimator::new();
+        e.on_rtt_sample(ms(100));
+        let sent = SimTime::from_secs(5);
+        assert_eq!(e.deadline(sent), sent + ms(300));
+    }
+}

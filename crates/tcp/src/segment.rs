@@ -1,0 +1,78 @@
+//! Wire-visible TCP units exchanged in the simulator.
+//!
+//! Sequence positions are *unwrapped* 64-bit stream offsets (see
+//! [`crate::seq`] for the wrapped wire view). A data segment carries
+//! `[seq, seq + len)`; an ACK segment acknowledges every byte below
+//! `ack` (cumulative, the paper's footnote 11) and may carry SACK
+//! blocks and the receiver window.
+
+/// Identifies a TCP flow (one sender → one wireless client).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct FlowId(pub u64);
+
+/// A TCP data segment.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DataSegment {
+    pub flow: FlowId,
+    /// First byte offset carried.
+    pub seq: u64,
+    /// Payload length in bytes.
+    pub len: u32,
+    /// True if this is a (sender or middlebox) retransmission.
+    pub retransmit: bool,
+}
+
+impl DataSegment {
+    /// One past the last byte carried.
+    pub fn end(&self) -> u64 {
+        self.seq + self.len as u64
+    }
+}
+
+/// A TCP acknowledgment.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AckSegment {
+    pub flow: FlowId,
+    /// Cumulative ACK: all bytes below this offset are acknowledged.
+    pub ack: u64,
+    /// Receiver window in bytes (already scaled).
+    pub rwnd: u64,
+    /// SACK blocks `[start, end)`, most recently received first; empty
+    /// when the option is off or nothing is out of order.
+    pub sack: Vec<(u64, u64)>,
+}
+
+impl AckSegment {
+    /// A plain cumulative ACK.
+    pub fn plain(flow: FlowId, ack: u64, rwnd: u64) -> AckSegment {
+        AckSegment {
+            flow,
+            ack,
+            rwnd,
+            sack: Vec::new(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn segment_end() {
+        let s = DataSegment {
+            flow: FlowId(1),
+            seq: 1000,
+            len: 1460,
+            retransmit: false,
+        };
+        assert_eq!(s.end(), 2460);
+    }
+
+    #[test]
+    fn plain_ack_has_no_sack() {
+        let a = AckSegment::plain(FlowId(2), 5000, 65535);
+        assert!(a.sack.is_empty());
+        assert_eq!(a.ack, 5000);
+    }
+}

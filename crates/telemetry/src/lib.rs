@@ -1,0 +1,23 @@
+//! # telemetry — measurement plumbing
+//!
+//! The measurement side of the reproduction: summary statistics,
+//! percentiles, empirical CDFs/PDFs, histograms and Jain's fairness
+//! index ([`stats`]), plus a LittleTable-style time-series store
+//! ([`littletable`]) standing in for the Meraki backend the paper's
+//! data-collection pipeline writes into.
+//!
+//! ```
+//! use telemetry::stats::{Cdf, jain_fairness};
+//!
+//! let c = Cdf::new(&[1.0, 2.0, 3.0, 4.0]);
+//! assert_eq!(c.quantile(0.5), Some(2.5));
+//! assert_eq!(jain_fairness(&[5.0, 5.0]), Some(1.0));
+//! ```
+
+pub mod littletable;
+pub mod stats;
+pub mod streaming;
+
+pub use littletable::{Agg, LittleTable, SeriesKey};
+pub use stats::{jain_fairness, median, quantile, summarize, Cdf, Histogram, Summary};
+pub use streaming::{Ewma, P2Quantile, RateCounter};

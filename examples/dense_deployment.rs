@@ -1,0 +1,73 @@
+//! Fleet-scale measurement walk-through (the paper's §3): generate a
+//! population of networks, measure client capabilities, channel
+//! utilization and interferer counts with the telemetry pipeline, and
+//! print the distributional summaries the paper reports.
+//!
+//! ```text
+//! cargo run --release --example dense_deployment
+//! ```
+
+use wifi_core::netsim::deployment::{
+    fleet_utilization_samples, to_view, UtilizationProfile, ViewOptions,
+};
+use wifi_core::netsim::population::{measure, PopulationProfile};
+use wifi_core::netsim::topology;
+use wifi_core::prelude::*;
+use wifi_core::telemetry::stats::{quantile, Cdf};
+
+fn main() {
+    let mut rng = Rng::new(3);
+
+    println!("== client capabilities (Fig. 1) ==");
+    for (year, p) in [
+        ("2015", PopulationProfile::Y2015),
+        ("2017", PopulationProfile::Y2017),
+    ] {
+        let s = measure(&p.generate(100_000, &mut rng));
+        println!(
+            "{year}: 11ac {:>4.0}%   2.4GHz-only {:>4.0}%   2+ streams {:>4.0}%   80MHz {:>4.0}%",
+            s.ac_share * 100.0,
+            s.two4_only_share * 100.0,
+            s.two_stream_share * 100.0,
+            s.w80_share * 100.0
+        );
+    }
+
+    println!("\n== channel utilization (Fig. 2) ==");
+    let (u24, u5) = fleet_utilization_samples(
+        200,
+        UtilizationProfile::FLEET_2_4,
+        UtilizationProfile::FLEET_5,
+        &mut rng,
+    );
+    let med = |xs: &[f64]| quantile(xs, 0.5).unwrap() * 100.0;
+    println!("fleet (networks ≥10 APs): median 2.4 GHz {:.0}%, 5 GHz {:.0}%", med(&u24), med(&u5));
+    let hq24: Vec<f64> = (0..500).map(|_| UtilizationProfile::HQ_2_4.sample(&mut rng)).collect();
+    let hq5: Vec<f64> = (0..500).map(|_| UtilizationProfile::HQ_5.sample(&mut rng)).collect();
+    println!("HQ office:                median 2.4 GHz {:.0}%, 5 GHz {:.0}%", med(&hq24), med(&hq5));
+
+    println!("\n== interferers on a dense campus (Fig. 3) ==");
+    // Fleet measurements count co-channel APs of *all* surrounding
+    // networks, most running wide channels on static plans: use the
+    // Table-1 width mix for the "unplanned" comparison.
+    let topo =
+        topology::random_area_with_threshold(120, 220.0, 160.0, Band::Band5, -80.0, &mut rng);
+    let (view, _) = to_view(&topo, &ViewOptions::default(), &mut rng);
+    let mixed: Vec<Channel> = (0..topo.len())
+        .map(|_| {
+            let w = wifi_core::netsim::population::sample_width_config(50, &mut rng);
+            let pool = wifi_core::phy::channels::all_channels(Band::Band5, w);
+            pool[rng.below(pool.len() as u64) as usize]
+        })
+        .collect();
+    let turbo = TurboCa::new(9).run(&view, ScheduleTier::Slow).plan;
+    for (name, channels) in [("static width mix", &mixed), ("TurboCA", &turbo.channels)] {
+        let ints: Vec<f64> = topo.interferers(channels).iter().map(|&c| c as f64).collect();
+        let cdf = Cdf::new(&ints);
+        println!(
+            "{name:<16} median {:>4.1}   p90 {:>4.1} interferers",
+            cdf.quantile(0.5).unwrap(),
+            cdf.quantile(0.9).unwrap()
+        );
+    }
+}

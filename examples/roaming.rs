@@ -1,0 +1,81 @@
+//! Roaming (§5.5.4): a client moves between two FastACK APs mid-flow.
+//! The roam-from AP exports the flow's Table-3 state and retransmission
+//! cache; the roam-to AP imports them and can keep accelerating —
+//! including serving a local retransmission for a segment the *old* AP
+//! fast-ACKed but the client never received.
+//!
+//! ```text
+//! cargo run --release --example roaming
+//! ```
+
+use wifi_core::fastack::{Action, Agent, AgentConfig};
+use wifi_core::prelude::*;
+use wifi_core::tcp::{AckSegment, DataSegment};
+
+const MSS: u32 = 1460;
+
+fn seg(i: u64) -> DataSegment {
+    DataSegment {
+        flow: FlowId(1),
+        seq: i * MSS as u64,
+        len: MSS,
+        retransmit: false,
+    }
+}
+
+fn main() {
+    let mut ap1 = Agent::new(AgentConfig::default());
+
+    // 20 segments flow through AP1; segment 12's delivery is a bad hint
+    // (MAC-acked, never reached the client's transport).
+    let bad = 12u64;
+    for i in 0..20u64 {
+        ap1.on_wire_data(&seg(i));
+        ap1.on_mac_ack(FlowId(1), i * MSS as u64, MSS);
+    }
+    // Client acknowledged everything up to the bad segment.
+    ap1.on_client_ack(&AckSegment::plain(FlowId(1), bad * MSS as u64, 1 << 20));
+    println!(
+        "AP1: {} fast ACKs sent, client at byte {}, fast-ACK point at {}",
+        ap1.stats.fast_acks_sent,
+        bad * MSS as u64,
+        ap1.flow_state(FlowId(1)).unwrap().seq_fack
+    );
+
+    // The client roams. AP1 exports; AP2 imports.
+    let (state, cache) = ap1.export_flow(FlowId(1)).expect("flow active");
+    println!(
+        "roam: exporting state (seq_fack={}, seq_tcp={}) and {} cached segments",
+        state.seq_fack,
+        state.seq_tcp,
+        cache.len()
+    );
+    let mut ap2 = Agent::new(AgentConfig::default());
+    ap2.import_flow(FlowId(1), state, cache);
+
+    // At AP2 the client duplicate-ACKs for the missing segment; AP2
+    // serves it from the migrated cache — the sender never finds out.
+    ap2.on_client_ack(&AckSegment::plain(FlowId(1), bad * MSS as u64, 1 << 20));
+    let acts = ap2.on_client_ack(&AckSegment::plain(FlowId(1), bad * MSS as u64, 1 << 20));
+    for act in &acts {
+        if let Action::LocalRetransmit(s) = act {
+            println!(
+                "AP2: local retransmission of segment at byte {} ({} bytes) from the migrated cache",
+                s.seq, s.len
+            );
+        }
+    }
+    assert!(
+        acts.iter().any(|a| matches!(a, Action::LocalRetransmit(_))),
+        "the migrated cache must serve the repair"
+    );
+
+    // The repaired client acknowledges the rest; AP2 suppresses as usual.
+    let acts = ap2.on_client_ack(&AckSegment::plain(FlowId(1), 20 * MSS as u64, 1 << 20));
+    assert!(acts.iter().any(|a| matches!(a, Action::SuppressClientAck(_))));
+    println!(
+        "AP2: flow caught up to byte {}; {} local retransmissions total — roam was invisible to the sender",
+        20 * MSS as u64,
+        ap2.stats.local_retransmits
+    );
+}

@@ -1,0 +1,3 @@
+//! Root facade for the IMC'17 802.11ac reproduction. Re-exports the
+//! workspace public API; see `wifi_core` for the full documentation.
+pub use wifi_core::*;

@@ -1,0 +1,130 @@
+//! Cross-crate integration tests: whole-system behaviours that no single
+//! crate can verify alone.
+
+use wifi_core::netsim::deployment::{to_view, ViewOptions};
+use wifi_core::netsim::topology;
+use wifi_core::prelude::*;
+
+fn run_testbed(n: usize, fastack: bool, seed: u64, secs: u64) -> TestbedReport {
+    Testbed::new(TestbedConfig {
+        clients_per_ap: n,
+        fastack: vec![fastack],
+        seed,
+        ..TestbedConfig::default()
+    })
+    .run(SimDuration::from_secs(secs))
+}
+
+#[test]
+fn fastack_beats_baseline_under_contention() {
+    let base = run_testbed(20, false, 99, 4);
+    let fast = run_testbed(20, true, 99, 4);
+    assert!(
+        fast.total_mbps() > base.total_mbps(),
+        "fast {} !> base {}",
+        fast.total_mbps(),
+        base.total_mbps()
+    );
+    let mean = |xs: &[f64]| xs.iter().sum::<f64>() / xs.len() as f64;
+    assert!(mean(&fast.client_aggregation) > mean(&base.client_aggregation));
+}
+
+#[test]
+fn whole_stack_is_deterministic() {
+    let a = run_testbed(8, true, 1234, 2);
+    let b = run_testbed(8, true, 1234, 2);
+    assert_eq!(a.client_bytes, b.client_bytes);
+    assert_eq!(a.agent_stats, b.agent_stats);
+    assert_eq!(a.mac_latencies.len(), b.mac_latencies.len());
+}
+
+#[test]
+fn every_client_makes_progress() {
+    for fastack in [false, true] {
+        let r = run_testbed(15, fastack, 7, 4);
+        for (i, &bytes) in r.client_bytes.iter().enumerate() {
+            assert!(
+                bytes > 100_000,
+                "client {i} starved with fastack={fastack}: {bytes} bytes"
+            );
+        }
+    }
+}
+
+#[test]
+fn byte_conservation_through_the_stack() {
+    // Bytes the clients' transports delivered can never exceed bytes the
+    // senders had cumulatively acknowledged + in-flight window, and
+    // delivered bytes are what the AP counted.
+    let r = run_testbed(10, true, 55, 3);
+    let delivered: u64 = r.client_bytes.iter().sum();
+    let acked: u64 = r.sender_stats.iter().map(|s| s.acked_bytes).sum();
+    // Fast ACKs can run slightly ahead of client-transport delivery
+    // (bad hints pending repair), but not by more than the receive
+    // windows (4 MB each).
+    assert!(acked <= delivered + 10 * (4 << 20), "acked {acked} delivered {delivered}");
+    assert!(delivered > 0);
+    // The per-AP throughput counters are derived from the same delivered
+    // bytes; the two views must agree to within float rounding.
+    let ap_bytes: f64 = r.ap_mbps.iter().map(|m| m * r.duration_s * 1e6 / 8.0).sum();
+    assert!(
+        (ap_bytes - delivered as f64).abs() < delivered as f64 * 0.01 + 10.0,
+        "AP accounting {ap_bytes} vs delivered {delivered}"
+    );
+}
+
+#[test]
+fn multi_ap_medium_is_shared_fairly_when_symmetric() {
+    let r = Testbed::new(TestbedConfig {
+        n_aps: 2,
+        clients_per_ap: 8,
+        fastack: vec![true, true],
+        seed: 77,
+        ..TestbedConfig::default()
+    })
+    .run(SimDuration::from_secs(4));
+    let ratio = r.ap_mbps[0] / r.ap_mbps[1];
+    assert!((0.5..2.0).contains(&ratio), "unfair split: {:?}", r.ap_mbps);
+}
+
+#[test]
+fn planner_improves_generated_office() {
+    let mut rng = Rng::new(42);
+    let topo = topology::grid(5, 4, 13.0, 2.0, Band::Band5, &mut rng);
+    let (view, _) = to_view(&topo, &ViewOptions::default(), &mut rng);
+    let result = TurboCa::new(1).run(&view, ScheduleTier::Slow);
+    assert!(result.net_p_ln >= result.incumbent_net_p_ln);
+    // DFS invariant: every DFS assignment has a non-DFS fallback.
+    for (ch, fb) in result.plan.channels.iter().zip(result.plan.fallback.iter()) {
+        if ch.requires_dfs() {
+            let fb = fb.expect("fallback present for DFS channel");
+            assert!(!fb.requires_dfs());
+        } else {
+            assert!(fb.is_none());
+        }
+    }
+}
+
+#[test]
+fn turboca_beats_reserved_on_crowded_deployments() {
+    use wifi_core::chanassign::metrics::{net_p_ln, MetricParams};
+    let mut rng = Rng::new(9);
+    let topo = topology::grid(6, 4, 11.0, 1.5, Band::Band5, &mut rng);
+    let (view, _) = to_view(&topo, &ViewOptions::default(), &mut rng);
+    let params = MetricParams::default();
+    let reserved = ReservedCa::new(Width::W40).run(&view);
+    let turbo = TurboCa::new(3).run(&view, ScheduleTier::Slow).plan;
+    let s_r = net_p_ln(&params, &view, &reserved);
+    let s_t = net_p_ln(&params, &view, &turbo);
+    assert!(s_t >= s_r, "turbo {s_t} < reserved {s_r}");
+}
+
+#[test]
+fn runtime_toggle_matches_paper_claim() {
+    // "FastACK can be toggled at run-time": the disabled agent passes
+    // everything through and the testbed still works.
+    let r = run_testbed(5, false, 3, 2);
+    assert_eq!(r.agent_stats[0].fast_acks_sent, 0);
+    assert_eq!(r.agent_stats[0].client_acks_suppressed, 0);
+    assert!(r.total_mbps() > 10.0);
+}

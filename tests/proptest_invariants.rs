@@ -1,0 +1,278 @@
+//! Property-based tests over the core invariants (proptest).
+
+use proptest::prelude::*;
+use wifi_core::fastack::{Action, Agent, AgentConfig};
+use wifi_core::phy::channels::{all_channels, Band, Channel, Width};
+use wifi_core::prelude::*;
+use wifi_core::sim::queue::EventQueue;
+use wifi_core::sim::SimTime;
+use wifi_core::tcp::{DataSegment, ReceiverConfig, TcpReceiver, WireSeq};
+use wifi_core::telemetry::stats::Cdf;
+
+proptest! {
+    /// Events always pop in non-decreasing time order, with FIFO order on
+    /// ties, whatever the schedule.
+    #[test]
+    fn event_queue_is_monotone_and_stable(times in proptest::collection::vec(0u64..1_000, 1..200)) {
+        let mut q = EventQueue::new();
+        for (i, &t) in times.iter().enumerate() {
+            q.schedule(SimTime::from_micros(t), (t, i));
+        }
+        let mut last: Option<(u64, usize)> = None;
+        while let Some((at, (t, i))) = q.pop() {
+            prop_assert_eq!(at, SimTime::from_micros(t));
+            if let Some((lt, li)) = last {
+                prop_assert!(t > lt || (t == lt && i > li), "order violated");
+            }
+            last = Some((t, i));
+        }
+    }
+
+    /// Unwrapped offsets survive the 32-bit wire wrap for any forward
+    /// walk with bounded reordering.
+    #[test]
+    fn seq_unwrapper_tracks_wrapped_walk(
+        isn in any::<u32>(),
+        steps in proptest::collection::vec(1u32..100_000, 1..200),
+    ) {
+        let mut u = wifi_core::tcp::Unwrapper::new(isn);
+        let mut wire = WireSeq(isn);
+        let mut off = 0u64;
+        prop_assert_eq!(u.unwrap(wire), 0);
+        for &s in &steps {
+            off += s as u64;
+            wire = wire.add(s);
+            prop_assert_eq!(u.unwrap(wire), off);
+        }
+    }
+
+    /// The receiver delivers exactly the stream bytes once, in order,
+    /// for any segmentation, duplication and reordering of a stream.
+    #[test]
+    fn receiver_reassembly_is_exactly_once(
+        seed in any::<u64>(),
+        n_segments in 1usize..60,
+        dup_factor in 1usize..3,
+    ) {
+        let mut rng = wifi_core::sim::Rng::new(seed);
+        let seg_len = 1000u32;
+        let total = n_segments as u64 * seg_len as u64;
+        // Build the arrival sequence: each segment `dup_factor` times,
+        // then shuffle.
+        let mut arrivals: Vec<u64> = (0..n_segments as u64)
+            .flat_map(|i| std::iter::repeat(i * seg_len as u64).take(dup_factor))
+            .collect();
+        rng.shuffle(&mut arrivals);
+        let mut r = TcpReceiver::new(FlowId(1), ReceiverConfig::default());
+        for (k, &seq) in arrivals.iter().enumerate() {
+            let seg = DataSegment { flow: FlowId(1), seq, len: seg_len, retransmit: false };
+            let _ = r.on_data(&seg, SimTime::from_micros(k as u64));
+        }
+        prop_assert_eq!(r.delivered_bytes, total);
+        prop_assert_eq!(r.rcv_nxt(), total);
+    }
+
+    /// Agent safety: the fast-ACK point never regresses, never runs past
+    /// the data actually seen from the wire, and advertised windows never
+    /// exceed the client's.
+    #[test]
+    fn agent_fack_point_is_safe(
+        seed in any::<u64>(),
+        ops in proptest::collection::vec(0u8..3, 1..300),
+    ) {
+        let mut rng = wifi_core::sim::Rng::new(seed);
+        let mut agent = Agent::new(AgentConfig::default());
+        let mut sent: Vec<(u64, u32)> = Vec::new();
+        let mut next_seq = 0u64;
+        let mut last_fack = 0u64;
+        let client_rwnd = AgentConfig::default().initial_client_rwnd;
+        for &op in &ops {
+            match op {
+                // New data from the wire (sometimes skipping = upstream loss).
+                0 => {
+                    if rng.chance(0.1) {
+                        next_seq += 1460; // upstream drop: a hole
+                    }
+                    let seg = DataSegment { flow: FlowId(1), seq: next_seq, len: 1460, retransmit: false };
+                    agent.on_wire_data(&seg);
+                    sent.push((next_seq, 1460));
+                    next_seq += 1460;
+                }
+                // A MAC ack for a random previously-sent segment.
+                1 if !sent.is_empty() => {
+                    let (s, l) = sent[rng.below(sent.len() as u64) as usize];
+                    for act in agent.on_mac_ack(FlowId(1), s, l) {
+                        if let Action::SendAckUpstream(a) = act {
+                            if a.sack.is_empty() {
+                                prop_assert!(a.ack >= last_fack, "fast-ack regressed");
+                                if a.ack > last_fack { last_fack = a.ack; }
+                            }
+                            prop_assert!(a.rwnd <= client_rwnd);
+                        }
+                    }
+                }
+                // A client cumulative ack somewhere below the fack point.
+                _ => {
+                    let st = agent.flow_state(FlowId(1));
+                    if let Some(st) = st {
+                        let upto = st.seq_fack;
+                        if upto > 0 {
+                            let ackpt = rng.range_inclusive(0, upto);
+                            let ack = wifi_core::tcp::AckSegment::plain(FlowId(1), ackpt, client_rwnd);
+                            agent.on_client_ack(&ack);
+                        }
+                    }
+                }
+            }
+            if let Some(st) = agent.flow_state(FlowId(1)) {
+                prop_assert!(st.seq_fack <= st.seq_exp, "fack past data seen");
+                prop_assert!(st.seq_tcp <= st.seq_exp + 1460, "client past data seen");
+            }
+        }
+    }
+
+    /// Channel overlap is symmetric, and every channel overlaps itself.
+    #[test]
+    fn channel_overlap_symmetric(a_idx in 0usize..45, b_idx in 0usize..45) {
+        let mut pool: Vec<Channel> = Vec::new();
+        for w in Width::ALL {
+            pool.extend(all_channels(Band::Band5, w));
+        }
+        pool.extend(all_channels(Band::Band2_4, Width::W20));
+        let a = pool[a_idx % pool.len()];
+        let b = pool[b_idx % pool.len()];
+        prop_assert!(a.overlaps(&a));
+        prop_assert_eq!(a.overlaps(&b), b.overlaps(&a));
+    }
+
+    /// CDF sanity: quantile is monotone in q, at() is a CDF.
+    #[test]
+    fn cdf_properties(xs in proptest::collection::vec(-1e6f64..1e6, 1..200)) {
+        let cdf = Cdf::new(&xs);
+        let mut prev = f64::NEG_INFINITY;
+        for i in 0..=20 {
+            let q = i as f64 / 20.0;
+            let v = cdf.quantile(q).unwrap();
+            prop_assert!(v >= prev);
+            prev = v;
+        }
+        for &x in xs.iter().take(20) {
+            let p = cdf.at(x);
+            prop_assert!((0.0..=1.0).contains(&p));
+            prop_assert!(p > 0.0, "every sample has positive mass at itself");
+        }
+    }
+
+    /// NodeP monotonicity: raising external utilization on the candidate
+    /// channel can never improve the node metric.
+    #[test]
+    fn nodep_monotone_in_external_busy(busy in 0.0f64..0.95, extra in 0.01f64..0.5) {
+        use wifi_core::chanassign::metrics::{node_p_ln, MetricParams};
+        use wifi_core::chanassign::model::{ApLoad, ApReport, NetworkView};
+        let mk = |b: f64| {
+            let mut ap = ApReport::idle_on(Channel::five(36));
+            ap.has_clients = true;
+            ap.load = ApLoad { by_width: vec![(Width::W20, 1.0)] };
+            ap.external_busy.insert(36, b.min(1.0));
+            NetworkView { band: Band::Band5, aps: vec![ap] }
+        };
+        let params = MetricParams::default();
+        let chans = vec![Some(Channel::five(36))];
+        let lo = node_p_ln(&params, &mk(busy), &chans, 0, Channel::five(36));
+        let hi = node_p_ln(&params, &mk((busy + extra).min(1.0)), &chans, 0, Channel::five(36));
+        prop_assert!(hi <= lo, "more interference scored better: {hi} > {lo}");
+    }
+
+    /// Jain's index is always in [1/n, 1] for positive inputs.
+    #[test]
+    fn jain_bounds(xs in proptest::collection::vec(0.001f64..1e6, 1..100)) {
+        let j = wifi_core::telemetry::stats::jain_fairness(&xs).unwrap();
+        let n = xs.len() as f64;
+        prop_assert!(j <= 1.0 + 1e-9);
+        prop_assert!(j >= 1.0 / n - 1e-9);
+    }
+
+    /// MAC medium conservation: every enqueued frame is eventually either
+    /// delivered exactly once or dropped exactly once, never both, for
+    /// arbitrary station counts, loads and link error rates.
+    #[test]
+    fn medium_conserves_frames(
+        seed in any::<u64>(),
+        n_stations in 1usize..6,
+        frames_each in 1usize..30,
+        per_milli in 0u32..800,
+    ) {
+        use wifi_core::mac::medium::{LinkParams, MediumSim};
+        use wifi_core::mac::ac::AccessCategory;
+        let mut m = MediumSim::new(seed);
+        let mut expected = std::collections::HashSet::new();
+        for s_i in 0..n_stations {
+            let mut lp = LinkParams::clean(AccessCategory::BestEffort);
+            lp.mpdu_error_rate = per_milli as f64 / 1000.0;
+            let q = m.add_queue(lp);
+            for f_i in 0..frames_each {
+                let id = (s_i * 1_000 + f_i) as u64;
+                m.enqueue(q, id, 1000);
+                expected.insert(id);
+            }
+        }
+        let reports = m.run_until_idle(SimTime::from_secs(120));
+        let mut seen = std::collections::HashSet::new();
+        for r in &reports {
+            for d in &r.deliveries {
+                prop_assert!(seen.insert(d.id), "duplicate outcome for {}", d.id);
+            }
+            for dr in &r.drops {
+                prop_assert!(seen.insert(dr.id), "duplicate outcome for {}", dr.id);
+            }
+        }
+        prop_assert_eq!(&seen, &expected, "every frame resolved exactly once");
+        prop_assert!(m.idle());
+    }
+
+    /// Backoff freeze-resume never increases the residual counter, and
+    /// drawn values respect the CW for any retry count.
+    #[test]
+    fn backoff_freeze_monotone(
+        seed in any::<u64>(),
+        retries in 0u32..10,
+        observed in proptest::collection::vec(0u32..64, 1..20),
+    ) {
+        use wifi_core::mac::backoff::Backoff;
+        use wifi_core::mac::ac::{AccessCategory, EdcaParams};
+        let params = EdcaParams::for_ac(AccessCategory::BestEffort);
+        let mut b = Backoff::new(params);
+        b.retries = retries;
+        let mut rng = wifi_core::sim::Rng::new(seed);
+        let drawn = b.ensure_drawn(&mut rng);
+        prop_assert!(drawn <= params.cw_for_retry(retries));
+        let mut prev = drawn;
+        for &slots in &observed {
+            b.freeze_after_loss(slots);
+            let now = b.remaining_slots.unwrap();
+            prop_assert!(now <= prev, "freeze increased the counter");
+            prev = now;
+        }
+    }
+
+    /// Airtime shares are probabilities and shrink with contenders.
+    #[test]
+    fn airtime_is_a_share(n_neighbors in 0usize..8, busy in 0.0f64..1.0) {
+        use wifi_core::chanassign::metrics::airtime;
+        use wifi_core::chanassign::model::{ApReport, NetworkView};
+        let mut aps: Vec<ApReport> = Vec::new();
+        let mut a0 = ApReport::idle_on(Channel::five(36));
+        a0.neighbors = (1..=n_neighbors).collect();
+        a0.external_busy.insert(36, busy);
+        aps.push(a0);
+        for _ in 0..n_neighbors {
+            aps.push(ApReport::idle_on(Channel::five(36)));
+        }
+        let view = NetworkView { band: Band::Band5, aps };
+        let chans: Vec<Option<Channel>> = view.aps.iter().map(|a| Some(a.current)).collect();
+        let share = airtime(&view, &chans, 0, Channel::five(36));
+        prop_assert!((0.0..=1.0).contains(&share));
+        let expected = (1.0 - busy) / (1.0 + n_neighbors as f64);
+        prop_assert!((share - expected).abs() < 1e-9);
+    }
+}
