@@ -78,5 +78,11 @@ fn bench_testbed(c: &mut Criterion) {
     });
 }
 
-criterion_group!(benches, bench_event_queue, bench_rng, bench_medium, bench_testbed);
+criterion_group!(
+    benches,
+    bench_event_queue,
+    bench_rng,
+    bench_medium,
+    bench_testbed
+);
 criterion_main!(benches);

@@ -39,7 +39,11 @@ fn main() {
     exp.compare(
         "local retransmissions scale with bad hints",
         "unnecessary retransmissions (paper §5.7)",
-        format!("{} -> {}", f(retx_series[0].1), f(retx_series.last().unwrap().1)),
+        format!(
+            "{} -> {}",
+            f(retx_series[0].1),
+            f(retx_series.last().unwrap().1)
+        ),
         retx_series.last().unwrap().1 > retx_series[0].1,
     );
     exp.series("mbps-vs-badhint", series);

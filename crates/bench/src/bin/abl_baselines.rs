@@ -28,7 +28,10 @@ fn main() {
         ("least-congested", least_congested(&view, Width::W40)),
         ("hopping (one epoch)", hop.next_epoch(&view)),
         ("ReservedCA", ReservedCa::new(Width::W40).run(&view)),
-        ("TurboCA", TurboCa::new(74).run(&view, ScheduleTier::Slow).plan),
+        (
+            "TurboCA",
+            TurboCa::new(74).run(&view, ScheduleTier::Slow).plan,
+        ),
     ];
 
     let mut scores = Vec::new();
@@ -61,7 +64,11 @@ fn main() {
     exp.compare(
         "hopping hourly disruption vs TurboCA one-shot",
         "hopping churns clients continuously",
-        format!("{} vs {} client-sec", f(hourly_hop), f(turbo.2.client_seconds)),
+        format!(
+            "{} vs {} client-sec",
+            f(hourly_hop),
+            f(turbo.2.client_seconds)
+        ),
         hourly_hop > turbo.2.client_seconds,
     );
     std::process::exit(if exp.finish() { 0 } else { 1 });

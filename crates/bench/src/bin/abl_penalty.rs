@@ -2,7 +2,7 @@
 //! the planner chases transient optima and churns client-carrying APs;
 //! with it on, switches concentrate on idle APs.
 
-use bench::harness::{f, Experiment};
+use bench::harness::Experiment;
 use wifi_core::chanassign::metrics::MetricParams;
 use wifi_core::chanassign::turboca::TurboCa;
 use wifi_core::netsim::deployment::{to_view, ViewOptions};
@@ -27,7 +27,10 @@ fn switches_with(params: MetricParams, seed: u64) -> (usize, usize) {
 }
 
 fn main() {
-    let mut exp = Experiment::new("abl_penalty", "switch penalty on/off: churn on client-carrying APs");
+    let mut exp = Experiment::new(
+        "abl_penalty",
+        "switch penalty on/off: churn on client-carrying APs",
+    );
     let with = MetricParams::default();
     let without = MetricParams {
         switch_penalty_with_clients: 0.0,

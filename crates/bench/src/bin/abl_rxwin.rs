@@ -19,7 +19,12 @@ fn main() {
     });
     let mut advertised = Vec::new();
     for i in 0..96u64 {
-        let seg = DataSegment { flow: FlowId(1), seq: i * 1460, len: 1460, retransmit: false };
+        let seg = DataSegment {
+            flow: FlowId(1),
+            seq: i * 1460,
+            len: 1460,
+            retransmit: false,
+        };
         agent.on_wire_data(&seg);
         for act in agent.on_mac_ack(FlowId(1), i * 1460, 1460) {
             if let Action::SendAckUpstream(a) = act {

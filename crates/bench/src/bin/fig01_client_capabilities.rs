@@ -26,7 +26,12 @@ fn main() {
         ("40MHz-capable 2017", 0.80, s17.w40_share),
     ];
     for (name, paper, measured) in rows {
-        exp.compare(name, pct(paper), pct(measured), close(measured, paper, 0.08));
+        exp.compare(
+            name,
+            pct(paper),
+            pct(measured),
+            close(measured, paper, 0.08),
+        );
     }
     exp.series(
         "shares-2017",

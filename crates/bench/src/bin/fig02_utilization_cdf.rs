@@ -17,8 +17,12 @@ fn main() {
         UtilizationProfile::FLEET_5,
         &mut rng,
     );
-    let hq24: Vec<f64> = (0..4_000).map(|_| UtilizationProfile::HQ_2_4.sample(&mut rng)).collect();
-    let hq5: Vec<f64> = (0..4_000).map(|_| UtilizationProfile::HQ_5.sample(&mut rng)).collect();
+    let hq24: Vec<f64> = (0..4_000)
+        .map(|_| UtilizationProfile::HQ_2_4.sample(&mut rng))
+        .collect();
+    let hq5: Vec<f64> = (0..4_000)
+        .map(|_| UtilizationProfile::HQ_5.sample(&mut rng))
+        .collect();
 
     for (name, xs, paper) in [
         ("fleet median util 2.4GHz", &u24, 0.20),

@@ -68,11 +68,8 @@ fn interferer_samples(band: Band, seed: u64) -> Vec<f64> {
         // carry wider channels and higher EIRP, so energy further down
         // still defers (−80 dBm).
         let threshold = if band == Band::Band2_4 { -75.0 } else { -80.0 };
-        let topo = topology::random_area_with_threshold(
-            n, area, area, band, threshold, &mut rng,
-        );
-        let channels: Vec<Channel> =
-            (0..n).map(|_| fleet_channel(band, &mut rng)).collect();
+        let topo = topology::random_area_with_threshold(n, area, area, band, threshold, &mut rng);
+        let channels: Vec<Channel> = (0..n).map(|_| fleet_channel(band, &mut rng)).collect();
         for c in topo.interferers(&channels) {
             all.push(c as f64);
         }
@@ -92,7 +89,12 @@ fn main() {
     let p90_24 = c24.quantile(0.9).unwrap();
     let p90_5 = c5.quantile(0.9).unwrap();
 
-    exp.compare("2.4GHz median interferers", "7", f(m24), close(m24, 7.0, 0.3));
+    exp.compare(
+        "2.4GHz median interferers",
+        "7",
+        f(m24),
+        close(m24, 7.0, 0.3),
+    );
     exp.compare("5GHz median interferers", "5", f(m5), close(m5, 5.0, 0.4));
     exp.compare("2.4GHz p90 < 29", "<29", f(p90_24), p90_24 < 29.0);
     exp.compare("5GHz p90 < 14", "<14", f(p90_5), p90_5 < 14.0);

@@ -12,7 +12,6 @@ use bench::harness::{f, pct, Experiment};
 use wifi_core::mac::ac::AccessCategory;
 use wifi_core::mac::medium::{LinkParams, MediumSim};
 use wifi_core::prelude::*;
-use wifi_core::sim;
 use wifi_core::telemetry::stats::{median, quantile};
 
 struct AcProfile {
@@ -30,19 +29,47 @@ struct AcProfile {
 fn main() {
     let mut exp = Experiment::new("fig04", "latency and loss by access category");
     let profiles = [
-        AcProfile { ac: AccessCategory::Background, stations: 12, frames_per_station: 260,
-            frame_bytes: 1460, bad_fraction: 0.15, bad_per: 0.85, paper_loss: 0.050 },
-        AcProfile { ac: AccessCategory::BestEffort, stations: 24, frames_per_station: 260,
-            frame_bytes: 1460, bad_fraction: 0.07, bad_per: 0.90, paper_loss: 0.027 },
+        AcProfile {
+            ac: AccessCategory::Background,
+            stations: 12,
+            frames_per_station: 260,
+            frame_bytes: 1460,
+            bad_fraction: 0.15,
+            bad_per: 0.85,
+            paper_loss: 0.050,
+        },
+        AcProfile {
+            ac: AccessCategory::BestEffort,
+            stations: 24,
+            frames_per_station: 260,
+            frame_bytes: 1460,
+            bad_fraction: 0.07,
+            bad_per: 0.90,
+            paper_loss: 0.027,
+        },
         // VI/VO need no bad-link composition: their loss comes from
         // collisions — the small CWs that make them aggressive also make
         // them collide, and their shorter retry budgets (4 vs 7) convert
         // collisions into drops. VO's CW (3..7) is half of VI's (7..15),
         // which is why VO loses more than VI, exactly as the paper notes.
-        AcProfile { ac: AccessCategory::Video, stations: 3, frames_per_station: 200,
-            frame_bytes: 1000, bad_fraction: 0.0, bad_per: 0.0, paper_loss: 0.002 },
-        AcProfile { ac: AccessCategory::Voice, stations: 4, frames_per_station: 200,
-            frame_bytes: 240, bad_fraction: 0.0, bad_per: 0.0, paper_loss: 0.009 },
+        AcProfile {
+            ac: AccessCategory::Video,
+            stations: 3,
+            frames_per_station: 200,
+            frame_bytes: 1000,
+            bad_fraction: 0.0,
+            bad_per: 0.0,
+            paper_loss: 0.002,
+        },
+        AcProfile {
+            ac: AccessCategory::Voice,
+            stations: 4,
+            frames_per_station: 200,
+            frame_bytes: 240,
+            bad_fraction: 0.0,
+            bad_per: 0.0,
+            paper_loss: 0.009,
+        },
     ];
 
     let mut rng = Rng::new(404);
@@ -111,7 +138,9 @@ fn main() {
     let mut lost: std::collections::HashMap<AccessCategory, usize> = Default::default();
     for r in &reports {
         for d in &r.deliveries {
-            lat.entry(queue_ac[d.queue].1).or_default().push(d.latency.as_secs_f64() * 1e3);
+            lat.entry(queue_ac[d.queue].1)
+                .or_default()
+                .push(d.latency.as_secs_f64() * 1e3);
         }
         for dr in &r.drops {
             *lost.entry(queue_ac[dr.queue].1).or_insert(0) += 1;
@@ -146,7 +175,12 @@ fn main() {
         );
     }
     let overall = total_lost as f64 / total_offered as f64;
-    exp.compare("overall loss", pct(0.030), pct(overall), (overall - 0.03).abs() < 0.02);
+    exp.compare(
+        "overall loss",
+        pct(0.030),
+        pct(overall),
+        (overall - 0.03).abs() < 0.02,
+    );
     exp.compare(
         "median latency ordering VO < VI < BE < BK",
         "aggressive ACs are faster",

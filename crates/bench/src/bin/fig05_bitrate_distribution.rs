@@ -3,8 +3,8 @@
 
 use bench::harness::{pct, Experiment};
 use wifi_core::netsim::population::PopulationProfile;
-use wifi_core::phy::rate::IdealSelector;
 use wifi_core::phy::propagation::{noise_floor_dbm, Propagation, Radio};
+use wifi_core::phy::rate::IdealSelector;
 use wifi_core::prelude::*;
 use wifi_core::telemetry::stats::Histogram;
 

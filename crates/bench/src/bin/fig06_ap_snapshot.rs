@@ -10,17 +10,18 @@ fn main() {
     let mut exp = Experiment::new("fig06", "day-long AP snapshot (clients/usage/utilization)");
     let day = OfficeDay::default().generate(&mut Rng::new(606));
 
-    let window = |from_h: f64, to_h: f64, fsel: &dyn Fn(&wifi_core::netsim::diurnal::DaySample) -> f64| {
-        let xs: Vec<f64> = day
-            .iter()
-            .filter(|s| {
-                let h = s.at.as_nanos() as f64 / 3.6e12;
-                h >= from_h && h < to_h
-            })
-            .map(fsel)
-            .collect();
-        xs.iter().sum::<f64>() / xs.len().max(1) as f64
-    };
+    let window =
+        |from_h: f64, to_h: f64, fsel: &dyn Fn(&wifi_core::netsim::diurnal::DaySample) -> f64| {
+            let xs: Vec<f64> = day
+                .iter()
+                .filter(|s| {
+                    let h = s.at.as_nanos() as f64 / 3.6e12;
+                    h >= from_h && h < to_h
+                })
+                .map(fsel)
+                .collect();
+            xs.iter().sum::<f64>() / xs.len().max(1) as f64
+        };
 
     let surge_usage = window(14.0, 14.5, &|s| s.usage_mbit);
     let before_usage = window(13.0, 14.0, &|s| s.usage_mbit);
@@ -48,19 +49,30 @@ fn main() {
         format!("{}x", f(surge_clients / before_clients)),
         (surge_clients / before_clients - 1.0).abs() < 0.3,
     );
-    exp.compare("network quiet overnight", "~0 clients", f(night), night < 1.0);
+    exp.compare(
+        "network quiet overnight",
+        "~0 clients",
+        f(night),
+        night < 1.0,
+    );
 
     exp.series(
         "clients",
-        day.iter().map(|s| (s.at.as_secs_f64() / 3600.0, s.clients)).collect(),
+        day.iter()
+            .map(|s| (s.at.as_secs_f64() / 3600.0, s.clients))
+            .collect(),
     );
     exp.series(
         "usage-mbit",
-        day.iter().map(|s| (s.at.as_secs_f64() / 3600.0, s.usage_mbit)).collect(),
+        day.iter()
+            .map(|s| (s.at.as_secs_f64() / 3600.0, s.usage_mbit))
+            .collect(),
     );
     exp.series(
         "utilization",
-        day.iter().map(|s| (s.at.as_secs_f64() / 3600.0, s.utilization)).collect(),
+        day.iter()
+            .map(|s| (s.at.as_secs_f64() / 3600.0, s.utilization))
+            .collect(),
     );
     std::process::exit(if exp.finish() { 0 } else { 1 });
 }

@@ -27,7 +27,13 @@ fn main() {
 
     let sp = summarize(&peak.turbo.rssi_dbm).unwrap();
     let sn = summarize(
-        &nonpeak.turbo.rssi_dbm.iter().step_by(2).copied().collect::<Vec<_>>(),
+        &nonpeak
+            .turbo
+            .rssi_dbm
+            .iter()
+            .step_by(2)
+            .copied()
+            .collect::<Vec<_>>(),
     )
     .unwrap();
     exp.compare(

@@ -7,7 +7,10 @@ use wifi_core::netsim::deployment::DeploymentProfile;
 use wifi_core::telemetry::stats::Cdf;
 
 fn main() {
-    let mut exp = Experiment::new("fig09", "bit-rate efficiency CDF, ReservedCA vs TurboCA (MNet)");
+    let mut exp = Experiment::new(
+        "fig09",
+        "bit-rate efficiency CDF, ReservedCA vs TurboCA (MNet)",
+    );
     let ev = evaluate_profile(DeploymentProfile::MNET, 91);
     let c_res = Cdf::new(&ev.reserved.bitrate_efficiency);
     let c_turbo = Cdf::new(&ev.turbo.bitrate_efficiency);

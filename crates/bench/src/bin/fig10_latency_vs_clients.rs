@@ -46,18 +46,25 @@ fn main() {
         "TCP latency exceeds 802.11 latency",
         "always",
         format!("{} > {} ms at 25 clients", f(tcp25), f(mac25)),
-        tcp_series.iter().zip(mac_series.iter()).all(|((_, t), (_, m))| t > m),
+        tcp_series
+            .iter()
+            .zip(mac_series.iter())
+            .all(|((_, t), (_, m))| t > m),
     );
     exp.compare(
         "gap at 30 clients",
         "TCP up to 75% above 802.11",
-        format!("{}", f((tcp30 / mac30 - 1.0) * 100.0)),
+        f((tcp30 / mac30 - 1.0) * 100.0).to_string(),
         tcp30 > mac30 * 1.2,
     );
     exp.compare(
         "gap grows with client count",
         "more contention, more ACK delay",
-        format!("gap(5)={} gap(30)={} ms", f(tcp_series[0].1 - mac_series[0].1), f(tcp30 - mac30)),
+        format!(
+            "gap(5)={} gap(30)={} ms",
+            f(tcp_series[0].1 - mac_series[0].1),
+            f(tcp30 - mac30)
+        ),
         ok_monotone && (tcp30 - mac30) > (tcp_series[0].1 - mac_series[0].1),
     );
     exp.series("mac-latency-ms", mac_series);

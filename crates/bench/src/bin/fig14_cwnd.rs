@@ -54,7 +54,11 @@ fn main() {
     exp.compare(
         "mean final cwnd",
         "FastACK opens windows fully",
-        format!("{} vs {} segments", f(mean(&fast_final)), f(mean(&base_final))),
+        format!(
+            "{} vs {} segments",
+            f(mean(&fast_final)),
+            f(mean(&base_final))
+        ),
         mean(&fast_final) > mean(&base_final),
     );
     // FastACK opens fast: mean cwnd at t=2s already near cap.
@@ -74,11 +78,19 @@ fn main() {
     for c in 0..3 {
         exp.series(
             format!("cwnd-baseline-flow{c}"),
-            base.cwnd_trace.iter().filter(|(cc, _, _)| *cc == c).map(|&(_, t, w)| (t, w)).collect(),
+            base.cwnd_trace
+                .iter()
+                .filter(|(cc, _, _)| *cc == c)
+                .map(|&(_, t, w)| (t, w))
+                .collect(),
         );
         exp.series(
             format!("cwnd-fastack-flow{c}"),
-            fast.cwnd_trace.iter().filter(|(cc, _, _)| *cc == c).map(|&(_, t, w)| (t, w)).collect(),
+            fast.cwnd_trace
+                .iter()
+                .filter(|(cc, _, _)| *cc == c)
+                .map(|&(_, t, w)| (t, w))
+                .collect(),
         );
     }
     std::process::exit(if exp.finish() { 0 } else { 1 });

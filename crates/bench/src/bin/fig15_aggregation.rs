@@ -71,7 +71,13 @@ fn main() {
         f(udp_mean),
         udp_mean > mean(&fa) && udp_mean > 55.0,
     );
-    exp.series("agg-baseline-sorted", b.iter().enumerate().map(|(i, &v)| (i as f64, v)).collect());
-    exp.series("agg-fastack-sorted", fa.iter().enumerate().map(|(i, &v)| (i as f64, v)).collect());
+    exp.series(
+        "agg-baseline-sorted",
+        b.iter().enumerate().map(|(i, &v)| (i as f64, v)).collect(),
+    );
+    exp.series(
+        "agg-fastack-sorted",
+        fa.iter().enumerate().map(|(i, &v)| (i as f64, v)).collect(),
+    );
     std::process::exit(if exp.finish() { 0 } else { 1 });
 }

@@ -29,7 +29,11 @@ fn main() {
     for &(n, g) in &gains {
         exp.compare(
             format!("gain at {n} clients"),
-            if n == 1 { "≈0 (little headroom)" } else { "up to +38%" },
+            if n == 1 {
+                "≈0 (little headroom)"
+            } else {
+                "up to +38%"
+            },
             pct(g),
             if n == 1 { g > -0.15 } else { g > 0.0 },
         );

@@ -74,10 +74,20 @@ fn main() {
     exp.compare(
         "slowest clients are not sacrificed",
         "low ranks limited by rate, not starved",
-        format!("{} vs {} Mbps (bottom fifth)", f(bottom(&fa)), f(bottom(&b))),
+        format!(
+            "{} vs {} Mbps (bottom fifth)",
+            f(bottom(&fa)),
+            f(bottom(&b))
+        ),
         bottom(&fa) >= 0.8 * bottom(&b),
     );
-    exp.series("sorted-throughput-baseline", b.iter().enumerate().map(|(i, &v)| (i as f64, v)).collect());
-    exp.series("sorted-throughput-fastack", fa.iter().enumerate().map(|(i, &v)| (i as f64, v)).collect());
+    exp.series(
+        "sorted-throughput-baseline",
+        b.iter().enumerate().map(|(i, &v)| (i as f64, v)).collect(),
+    );
+    exp.series(
+        "sorted-throughput-fastack",
+        fa.iter().enumerate().map(|(i, &v)| (i as f64, v)).collect(),
+    );
     std::process::exit(if exp.finish() { 0 } else { 1 });
 }

@@ -34,7 +34,12 @@ fn main() {
     exp.compare(
         "combined ordering",
         "fast/fast > mixed > base/base",
-        format!("{} > {} > {}", f(ff.total_mbps()), f(bf.total_mbps()), f(bb.total_mbps())),
+        format!(
+            "{} > {} > {}",
+            f(ff.total_mbps()),
+            f(bf.total_mbps()),
+            f(bb.total_mbps())
+        ),
         ff.total_mbps() > bf.total_mbps() && bf.total_mbps() > bb.total_mbps(),
     );
     exp.compare(
@@ -63,7 +68,11 @@ fn main() {
     );
     exp.series(
         "combined-mbps",
-        vec![(0.0, bb.total_mbps()), (1.0, bf.total_mbps()), (2.0, ff.total_mbps())],
+        vec![
+            (0.0, bb.total_mbps()),
+            (1.0, bf.total_mbps()),
+            (2.0, ff.total_mbps()),
+        ],
     );
     std::process::exit(if exp.finish() { 0 } else { 1 });
 }

@@ -16,12 +16,12 @@ use wifi_core::netsim::deployment::DeploymentProfile;
 
 /// Campus/museum hourly demand envelopes (fraction of peak demand).
 const UNET_DEMAND: [f64; 24] = [
-    0.25, 0.2, 0.18, 0.18, 0.2, 0.25, 0.4, 0.6, 0.85, 0.95, 1.0, 1.0, 0.95, 1.0, 1.0, 0.95,
-    0.9, 0.85, 0.8, 0.75, 0.65, 0.5, 0.4, 0.3,
+    0.25, 0.2, 0.18, 0.18, 0.2, 0.25, 0.4, 0.6, 0.85, 0.95, 1.0, 1.0, 0.95, 1.0, 1.0, 0.95, 0.9,
+    0.85, 0.8, 0.75, 0.65, 0.5, 0.4, 0.3,
 ];
 const MNET_DEMAND: [f64; 24] = [
-    0.02, 0.02, 0.02, 0.02, 0.02, 0.02, 0.05, 0.1, 0.3, 0.6, 0.85, 1.0, 1.0, 0.95, 0.9, 0.8,
-    0.6, 0.3, 0.1, 0.05, 0.02, 0.02, 0.02, 0.02,
+    0.02, 0.02, 0.02, 0.02, 0.02, 0.02, 0.05, 0.1, 0.3, 0.6, 0.85, 1.0, 1.0, 0.95, 0.9, 0.8, 0.6,
+    0.3, 0.1, 0.05, 0.02, 0.02, 0.02, 0.02,
 ];
 
 /// Deliver demand against a capacity and an optional uplink cap,
@@ -65,15 +65,30 @@ fn main() {
         f(ratio),
         close(ratio, 1.27, 0.2),
     );
-    exp.compare("MNet daily ReservedCA (TB)", "0.562", f(res_daily), close(res_daily, 0.562, 0.25));
-    exp.compare("MNet daily TurboCA (TB)", "0.564", f(turbo_daily), close(turbo_daily, 0.564, 0.25));
+    exp.compare(
+        "MNet daily ReservedCA (TB)",
+        "0.562",
+        f(res_daily),
+        close(res_daily, 0.562, 0.25),
+    );
+    exp.compare(
+        "MNet daily TurboCA (TB)",
+        "0.564",
+        f(turbo_daily),
+        close(turbo_daily, 0.564, 0.25),
+    );
     exp.compare(
         "MNet daily similar across planners",
         "demand-limited",
         pct(turbo_daily / res_daily - 1.0),
         (turbo_daily / res_daily - 1.0).abs() < 0.15,
     );
-    exp.compare("MNet peak ReservedCA (TB)", "0.0588", format!("{res_peak:.4}"), close(res_peak, 0.0588, 0.1));
+    exp.compare(
+        "MNet peak ReservedCA (TB)",
+        "0.0588",
+        format!("{res_peak:.4}"),
+        close(res_peak, 0.0588, 0.1),
+    );
     exp.compare(
         "MNet peak gain under TurboCA",
         "+27%",
@@ -93,8 +108,18 @@ fn main() {
     let (ur_daily, ur_peak) = deliver(u_demand_peak, &UNET_DEMAND, ku * ucap_res, Some(uplink));
     let (ut_daily, ut_peak) = deliver(u_demand_peak, &UNET_DEMAND, ku * ucap_turbo, Some(uplink));
 
-    exp.compare("UNet daily ReservedCA (TB)", "11.3", f(ur_daily), close(ur_daily, 11.3, 0.2));
-    exp.compare("UNet daily TurboCA (TB)", "10.7", f(ut_daily), close(ut_daily, 10.7, 0.2));
+    exp.compare(
+        "UNet daily ReservedCA (TB)",
+        "11.3",
+        f(ur_daily),
+        close(ur_daily, 11.3, 0.2),
+    );
+    exp.compare(
+        "UNet daily TurboCA (TB)",
+        "10.7",
+        f(ut_daily),
+        close(ut_daily, 10.7, 0.2),
+    );
     exp.compare(
         "UNet peak equal across planners (uplink-bound)",
         "0.584 vs 0.542",

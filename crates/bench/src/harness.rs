@@ -1,13 +1,17 @@
 //! Shared experiment plumbing: result recording, paper-vs-measured
 //! comparison rows, and JSON series dumps.
+//!
+//! The JSON dump is hand-rolled (see [`json_string`]) so the harness
+//! has no registry dependencies and builds offline; the emitted shape
+//! matches what `serde_json` produced for these types historically:
+//! tuples as two-element arrays, structs as objects in field order.
 
-use serde::Serialize;
 use std::fmt::Write as _;
 use std::fs;
 use std::path::PathBuf;
 
 /// A recorded experiment: named scalar comparisons plus named series.
-#[derive(Debug, Default, Serialize)]
+#[derive(Debug, Default)]
 pub struct Experiment {
     pub id: String,
     pub title: String,
@@ -16,7 +20,7 @@ pub struct Experiment {
 }
 
 /// One paper-vs-measured scalar.
-#[derive(Debug, Serialize)]
+#[derive(Debug)]
 pub struct Comparison {
     pub metric: String,
     pub paper: String,
@@ -26,10 +30,41 @@ pub struct Comparison {
 }
 
 /// A named (x, y) series for plotting.
-#[derive(Debug, Serialize)]
+#[derive(Debug)]
 pub struct Series {
     pub name: String,
     pub points: Vec<(f64, f64)>,
+}
+
+/// Escape a string for a JSON string literal.
+pub fn json_string(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+/// JSON number token: finite floats as-is, non-finite as `null` (what
+/// strict JSON requires; serde_json errors on these, we degrade).
+pub fn json_f64(v: f64) -> String {
+    if v.is_finite() {
+        format!("{v}")
+    } else {
+        "null".to_owned()
+    }
 }
 
 impl Experiment {
@@ -71,11 +106,7 @@ impl Experiment {
         let mut out = String::new();
         let _ = writeln!(out, "== {} — {} ==", self.id, self.title);
         if !self.comparisons.is_empty() {
-            let _ = writeln!(
-                out,
-                "{:<44} {:>22} {:>22}  ",
-                "metric", "paper", "measured"
-            );
+            let _ = writeln!(out, "{:<44} {:>22} {:>22}  ", "metric", "paper", "measured");
             for c in &self.comparisons {
                 let _ = writeln!(
                     out,
@@ -103,13 +134,8 @@ impl Experiment {
         if let Some(parent) = path.parent() {
             let _ = fs::create_dir_all(parent);
         }
-        match serde_json::to_string_pretty(self) {
-            Ok(json) => {
-                if let Err(e) = fs::write(&path, json) {
-                    eprintln!("warning: could not write {}: {e}", path.display());
-                }
-            }
-            Err(e) => eprintln!("warning: serialize failed: {e}"),
+        if let Err(e) = fs::write(&path, self.to_json()) {
+            eprintln!("warning: could not write {}: {e}", path.display());
         }
 
         let all_ok = self.comparisons.iter().all(|c| c.ok);
@@ -117,6 +143,53 @@ impl Experiment {
             println!("!! some comparisons did not match the paper");
         }
         all_ok
+    }
+
+    /// Pretty-printed JSON dump of the whole experiment.
+    pub fn to_json(&self) -> String {
+        let mut o = String::new();
+        o.push_str("{\n");
+        let _ = writeln!(o, "  \"id\": {},", json_string(&self.id));
+        let _ = writeln!(o, "  \"title\": {},", json_string(&self.title));
+        o.push_str("  \"comparisons\": [");
+        for (i, c) in self.comparisons.iter().enumerate() {
+            let _ = write!(
+                o,
+                "{}\n    {{ \"metric\": {}, \"paper\": {}, \"measured\": {}, \"ok\": {} }}",
+                if i == 0 { "" } else { "," },
+                json_string(&c.metric),
+                json_string(&c.paper),
+                json_string(&c.measured),
+                c.ok
+            );
+        }
+        if !self.comparisons.is_empty() {
+            o.push_str("\n  ");
+        }
+        o.push_str("],\n  \"series\": [");
+        for (i, s) in self.series.iter().enumerate() {
+            let _ = write!(
+                o,
+                "{}\n    {{ \"name\": {}, \"points\": [",
+                if i == 0 { "" } else { "," },
+                json_string(&s.name)
+            );
+            for (j, (x, y)) in s.points.iter().enumerate() {
+                let _ = write!(
+                    o,
+                    "{}[{}, {}]",
+                    if j == 0 { "" } else { ", " },
+                    json_f64(*x),
+                    json_f64(*y)
+                );
+            }
+            o.push_str("] }");
+        }
+        if !self.series.is_empty() {
+            o.push_str("\n  ");
+        }
+        o.push_str("]\n}\n");
+        o
     }
 }
 

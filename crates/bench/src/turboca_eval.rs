@@ -32,13 +32,21 @@ pub fn evaluate_profile(profile: DeploymentProfile, seed: u64) -> Evaluated {
     for (ap, ch) in turbo_view.aps.iter_mut().zip(reserved_plan.channels.iter()) {
         ap.current = *ch;
     }
-    let turbo_plan = TurboCa::new(seed ^ 0x77).run(&turbo_view, ScheduleTier::Slow).plan;
+    let turbo_plan = TurboCa::new(seed ^ 0x77)
+        .run(&turbo_view, ScheduleTier::Slow)
+        .plan;
 
     // Same evaluation RNG seed: client placement/RSSI draws are paired,
     // so differences are attributable to the plans alone.
     let opts = EvalOptions::default();
     let reserved = evaluate(&view, &reserved_plan, &caps, &opts, &mut Rng::new(seed + 1));
-    let turbo = evaluate(&turbo_view, &turbo_plan, &caps, &opts, &mut Rng::new(seed + 1));
+    let turbo = evaluate(
+        &turbo_view,
+        &turbo_plan,
+        &caps,
+        &opts,
+        &mut Rng::new(seed + 1),
+    );
     let n_clients: usize = caps.iter().map(|c: &Vec<ClientCaps>| c.len()).sum();
     Evaluated {
         profile,

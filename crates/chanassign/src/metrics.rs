@@ -94,18 +94,12 @@ pub fn airtime(
 pub fn capacity(view: &NetworkView, v: usize, bond: Channel) -> f64 {
     let ap = &view.aps[v];
     let subs = bond.subchannel_numbers().expect("validated");
-    let q: f64 =
-        subs.iter().map(|&s| ap.quality_on(s)).sum::<f64>() / subs.len() as f64;
+    let q: f64 = subs.iter().map(|&s| ap.quality_on(s)).sum::<f64>() / subs.len() as f64;
     q * (bond.width.mhz() as f64 / 20.0)
 }
 
 /// The switch penalty for AP `v` moving to `cand` (0 when staying).
-pub fn switch_penalty(
-    params: &MetricParams,
-    view: &NetworkView,
-    v: usize,
-    cand: Channel,
-) -> f64 {
+pub fn switch_penalty(params: &MetricParams, view: &NetworkView, v: usize, cand: Channel) -> f64 {
     let ap = &view.aps[v];
     if cand == ap.current {
         return 0.0;
@@ -123,7 +117,11 @@ pub fn switch_penalty(
     // variations halve NetP and would otherwise cause switch flapping.
     let cand_util: f64 = cand
         .subchannel_numbers()
-        .map(|subs| subs.iter().map(|&s| ap.external_busy_on(s)).fold(0.0, f64::max))
+        .map(|subs| {
+            subs.iter()
+                .map(|&s| ap.external_busy_on(s))
+                .fold(0.0, f64::max)
+        })
         .unwrap_or(0.0);
     if cand_util > params.high_util_threshold {
         p += params.high_util_extra;
@@ -226,8 +224,7 @@ mod tests {
             Channel::five(48),
         );
         view.aps[0].external_busy.insert(44, 0.8);
-        let chans: Vec<Option<Channel>> =
-            view.aps.iter().map(|a| Some(a.current)).collect();
+        let chans: Vec<Option<Channel>> = view.aps.iter().map(|a| Some(a.current)).collect();
         let bond = Channel::new(Band::Band5, 36, Width::W80).unwrap();
         // Sub 44 is 80% busy (share 0.2); sub 48 has a contender (0.5).
         let a = airtime(&view, &chans, 0, bond);
@@ -249,8 +246,7 @@ mod tests {
         let params = MetricParams::default();
         let mut view = two_ap_view(Channel::five(36), Channel::five(149));
         view.aps[0].external_busy.insert(36, 0.7);
-        let chans: Vec<Option<Channel>> =
-            view.aps.iter().map(|a| Some(a.current)).collect();
+        let chans: Vec<Option<Channel>> = view.aps.iter().map(|a| Some(a.current)).collect();
         let busy = node_p_ln(&params, &view, &chans, 0, Channel::five(36));
         let clean = node_p_ln(&params, &view, &chans, 0, Channel::five(44));
         assert!(clean > busy, "clean={clean} busy={busy}");
@@ -261,8 +257,7 @@ mod tests {
         let params = MetricParams::default();
         let mut view = two_ap_view(Channel::five(36), Channel::five(149));
         view.aps[0].external_busy.insert(36, 1.0);
-        let chans: Vec<Option<Channel>> =
-            view.aps.iter().map(|a| Some(a.current)).collect();
+        let chans: Vec<Option<Channel>> = view.aps.iter().map(|a| Some(a.current)).collect();
         assert_eq!(
             node_p_ln(&params, &view, &chans, 0, Channel::five(36)),
             f64::NEG_INFINITY
@@ -274,8 +269,7 @@ mod tests {
         let params = MetricParams::default();
         let mut view = two_ap_view(Channel::five(36), Channel::five(149));
         // Case A: clients support 80 MHz — wider is better.
-        let chans: Vec<Option<Channel>> =
-            view.aps.iter().map(|a| Some(a.current)).collect();
+        let chans: Vec<Option<Channel>> = view.aps.iter().map(|a| Some(a.current)).collect();
         let w20 = node_p_ln(&params, &view, &chans, 0, Channel::five(36));
         let w80 = node_p_ln(
             &params,

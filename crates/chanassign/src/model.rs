@@ -287,9 +287,7 @@ mod tests {
 
     #[test]
     fn idle_ap_candidates_are_20mhz_plus_current() {
-        let ap = ApReport::idle_on(
-            Channel::new(Band::Band5, 36, Width::W80).unwrap(),
-        );
+        let ap = ApReport::idle_on(Channel::new(Band::Band5, 36, Width::W80).unwrap());
         let view = view_with(ap);
         let cands = view.candidates(0);
         // No clients → width cap 20MHz, but current (80MHz) is kept.

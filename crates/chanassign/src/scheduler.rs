@@ -165,6 +165,63 @@ mod tests {
     }
 
     #[test]
+    fn tiers_fire_at_exact_paper_cadence() {
+        // i=0 every 15 min, i=1 every 3 h, i=2 daily — at exactly those
+        // instants of SimTime, starting from the t=0 slow run.
+        let mut s = Scheduler::new(TurboCa::new(7));
+        let mut view = crowded(3);
+        assert_eq!(s.next_due(), SimTime::ZERO);
+        let first = s.tick(SimTime::ZERO, &mut view).expect("due at t=0");
+        assert_eq!(first.tier, ScheduleTier::Slow);
+        // Fast tier: due exactly 15 minutes later.
+        let t15 = SimTime::ZERO + SimDuration::from_mins(15);
+        assert_eq!(s.next_due(), t15);
+        assert_eq!(s.tick(t15, &mut view).unwrap().tier, ScheduleTier::Fast);
+        // Walk the fast ticks up to the 3-hour boundary: that tick is
+        // the medium tier (i=1 then i=0), not another fast run.
+        loop {
+            let due = s.next_due();
+            let rec = s.tick(due, &mut view).unwrap();
+            if due == SimTime::ZERO + SimDuration::from_hours(3) {
+                assert_eq!(rec.tier, ScheduleTier::Medium);
+                break;
+            }
+            assert_eq!(rec.tier, ScheduleTier::Fast, "at {due:?}");
+        }
+        // And the 24-hour boundary runs the slow tier again.
+        loop {
+            let due = s.next_due();
+            let rec = s.tick(due, &mut view).unwrap();
+            if due == SimTime::ZERO + SimDuration::from_hours(24) {
+                assert_eq!(rec.tier, ScheduleTier::Slow);
+                break;
+            }
+            assert_ne!(rec.tier, ScheduleTier::Slow, "early slow run at {due:?}");
+        }
+    }
+
+    #[test]
+    fn missed_ticks_do_not_double_fire() {
+        let mut s = Scheduler::new(TurboCa::new(8));
+        let mut view = crowded(3);
+        s.tick(SimTime::ZERO, &mut view).expect("slow run at t=0");
+        // The controller goes quiet for 50 minutes (three fast periods
+        // missed), then ticks once: exactly one fast run fires, and the
+        // next due instant is 15 minutes after the *late* run, with no
+        // backfill of the skipped 15/30/45-min slots.
+        let late = SimTime::ZERO + SimDuration::from_mins(50);
+        let rec = s.tick(late, &mut view).expect("one catch-up run");
+        assert_eq!(rec.tier, ScheduleTier::Fast);
+        assert_eq!(
+            s.tick(late, &mut view).map(|r| r.tier),
+            None,
+            "no double fire"
+        );
+        assert_eq!(s.next_due(), late + SimDuration::from_mins(15));
+        assert_eq!(s.history.len(), 2);
+    }
+
+    #[test]
     fn converges_then_stays_stable() {
         let mut s = Scheduler::new(TurboCa::new(2));
         let mut view = crowded(6);

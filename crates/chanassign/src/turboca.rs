@@ -61,12 +61,7 @@ pub fn acc(
 /// and assigns each CSN member via `ACC(m, CSN)` in load-weighted random
 /// order (heavier APs first with higher probability, so they get first
 /// pick of clean channels).
-pub fn nbo(
-    params: &MetricParams,
-    view: &NetworkView,
-    hop_limit: usize,
-    rng: &mut Rng,
-) -> Plan {
+pub fn nbo(params: &MetricParams, view: &NetworkView, hop_limit: usize, rng: &mut Rng) -> Plan {
     let n = view.len();
     let mut assigned: Vec<Option<Channel>> = vec![None; n];
     // With i = 0 the CSN is just {n} and every other AP's *current*
@@ -75,8 +70,7 @@ pub fn nbo(
     // both regimes uniformly: unassigned APs outside the active group
     // contribute their current channel.
     let mut remaining: Vec<usize> = (0..n).collect();
-    let mut visible: Vec<Option<Channel>> =
-        view.aps.iter().map(|a| Some(a.current)).collect();
+    let mut visible: Vec<Option<Channel>> = view.aps.iter().map(|a| Some(a.current)).collect();
 
     while !remaining.is_empty() {
         // Line 4: random unassigned AP.
@@ -215,8 +209,7 @@ impl TurboCa {
         let incumbent_score = net_p_ln(&self.params, view, &incumbent);
         // Runs proportional to network size (log-scaled to stay cheap on
         // 600-AP networks), at least runs_per_tier.
-        let runs =
-            self.runs_per_tier + (view.len() as f64).log2().ceil().max(0.0) as usize;
+        let runs = self.runs_per_tier + (view.len() as f64).log2().ceil().max(0.0) as usize;
 
         let mut best_plan = incumbent.clone();
         let mut best_score = incumbent_score;
@@ -279,7 +272,10 @@ mod tests {
         let assigned = vec![None];
         let ch = acc(&MetricParams::default(), &view, &assigned, 0);
         assert!(
-            !ch.subchannel_numbers().unwrap().iter().any(|s| (36..=48).contains(s)),
+            !ch.subchannel_numbers()
+                .unwrap()
+                .iter()
+                .any(|s| (36..=48).contains(s)),
             "picked {ch}"
         );
     }
@@ -375,12 +371,7 @@ mod tests {
         // 8 APs in a clique, all on channel 36.
         let n = 8;
         let aps: Vec<ApReport> = (0..n)
-            .map(|i| {
-                loaded_ap(
-                    Channel::five(36),
-                    (0..n).filter(|&j| j != i).collect(),
-                )
-            })
+            .map(|i| loaded_ap(Channel::five(36), (0..n).filter(|&j| j != i).collect()))
             .collect();
         let view = NetworkView {
             band: Band::Band5,

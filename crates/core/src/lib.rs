@@ -13,6 +13,7 @@
 //! | [`chanassign`] | TurboCA (NodeP/NetP, ACC, NBO, schedule) + ReservedCA and baselines | §4 |
 //! | [`netsim`] | testbed, populations, topologies, deployments, diurnal model, plan evaluation | §3, §4.6, §5.6 |
 //! | [`telemetry`] | CDF/PDF/percentiles/Jain, LittleTable-style store | §2.2, §4.6 |
+//! | [`fleet`] | sharded cloud controller: collect→plan→push over N networks, fleet ingest/aggregation | §2.2, §4.5 |
 //!
 //! ## Quickstart
 //!
@@ -37,6 +38,7 @@
 
 pub use chanassign;
 pub use fastack;
+pub use fleet;
 pub use mac80211 as mac;
 pub use netsim;
 pub use phy80211 as phy;
@@ -50,6 +52,7 @@ pub mod prelude {
     pub use chanassign::turboca::{ScheduleTier, TurboCa};
     pub use chanassign::ReservedCa;
     pub use fastack::{Action, Agent, AgentConfig};
+    pub use fleet::{run_fleet, FleetConfig, FleetReport};
     pub use mac80211::ac::AccessCategory;
     pub use netsim::testbed::{Testbed, TestbedConfig, TestbedReport};
     pub use phy80211::channels::{Band, Channel, Width};

@@ -364,11 +364,7 @@ impl Agent {
             flow.state.client_dup_acks = 0;
             flow.state.last_fire_dup = 0;
             flow.cache.release_below(ack.ack);
-            let keys: Vec<u64> = flow
-                .uncached
-                .range(..ack.ack)
-                .copied()
-                .collect();
+            let keys: Vec<u64> = flow.uncached.range(..ack.ack).copied().collect();
             for k in keys {
                 flow.uncached.remove(&k);
             }
@@ -447,9 +443,7 @@ impl Agent {
             }
             for c in to_retx {
                 self.stats.local_retransmits += 1;
-                actions.push(Action::LocalRetransmit(
-                    flow.cache.to_segment(ack.flow, c),
-                ));
+                actions.push(Action::LocalRetransmit(flow.cache.to_segment(ack.flow, c)));
             }
         }
         self.stats.client_acks_suppressed += 1;
@@ -755,7 +749,9 @@ mod tests {
         // but never reached the client's transport.
         let first = a.on_client_ack(&client_ack(2 * MSS as u64));
         assert!(
-            first.iter().all(|x| matches!(x, Action::SuppressClientAck(_))),
+            first
+                .iter()
+                .all(|x| matches!(x, Action::SuppressClientAck(_))),
             "below threshold: only suppression"
         );
         let second = a.on_client_ack(&client_ack(2 * MSS as u64));
@@ -771,7 +767,9 @@ mod tests {
         assert!(retx[0].retransmit);
         assert_eq!(a.stats.local_retransmits, 1);
         // The dupACK itself never reaches the sender.
-        assert!(second.iter().any(|x| matches!(x, Action::SuppressClientAck(_))));
+        assert!(second
+            .iter()
+            .any(|x| matches!(x, Action::SuppressClientAck(_))));
     }
 
     #[test]
@@ -938,7 +936,10 @@ mod tests {
             );
         }
         assert!(a.flow_state(FlowId(1)).is_none(), "not yet adopted");
-        assert!(a.on_mac_ack(FlowId(1), 0, MSS).is_empty(), "no fast acks yet");
+        assert!(
+            a.on_mac_ack(FlowId(1), 0, MSS).is_empty(),
+            "no fast acks yet"
+        );
         // Third segment crosses 3*MSS: adopted, baseline at its seq,
         // emission gated until the client vouches for the prefix.
         a.on_wire_data(&seg(2 * MSS as u64, MSS));

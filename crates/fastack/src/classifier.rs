@@ -12,9 +12,10 @@ use std::collections::HashMap;
 use tcpsim::segment::FlowId;
 
 /// Which flows get fast-ACKed.
-#[derive(Debug, Clone, Copy, PartialEq)]
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
 pub enum FlowPolicy {
     /// Every flow, from its first segment (the paper's alternative).
+    #[default]
     All,
     /// Only flows that have moved at least this many bytes; smaller
     /// flows pass through untouched.
@@ -22,12 +23,6 @@ pub enum FlowPolicy {
     /// Nothing is accelerated (equivalent to disabling the agent, but
     /// scoped per classifier).
     None,
-}
-
-impl Default for FlowPolicy {
-    fn default() -> Self {
-        FlowPolicy::All
-    }
 }
 
 /// Per-flow byte accounting + promotion decisions.

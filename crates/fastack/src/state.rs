@@ -97,7 +97,10 @@ impl FlowState {
                 });
             }
             if e < h.end {
-                next.push(Hole { start: e, end: h.end });
+                next.push(Hole {
+                    start: e,
+                    end: h.end,
+                });
             }
         }
         self.holes = next;

@@ -59,7 +59,10 @@ pub struct WireAgent {
 /// An action with its ACK fields re-wrapped for the wire.
 #[derive(Debug, Clone, PartialEq)]
 pub enum WireAction {
-    Forward { seg: WireData, priority: bool },
+    Forward {
+        seg: WireData,
+        priority: bool,
+    },
     DropData,
     /// (cumulative ack, rwnd, sack) to put in the emitted TCP ACK.
     SendAckUpstream {
@@ -68,7 +71,10 @@ pub enum WireAction {
         sack: Vec<(WireSeq, WireSeq)>,
     },
     SuppressClientAck,
-    LocalRetransmit { seq: WireSeq, len: u32 },
+    LocalRetransmit {
+        seq: WireSeq,
+        len: u32,
+    },
 }
 
 impl WireAgent {
@@ -103,7 +109,10 @@ impl WireAgent {
         if p.encrypted {
             return Err(InspectError::Encrypted);
         }
-        let anchor = self.anchors.get_mut(&p.flow).ok_or(InspectError::UnknownFlow)?;
+        let anchor = self
+            .anchors
+            .get_mut(&p.flow)
+            .ok_or(InspectError::UnknownFlow)?;
         let seq = anchor.data.unwrap(p.seq);
         let isn = anchor.isn;
         let acts = self.agent.on_wire_data(&DataSegment {
@@ -122,7 +131,10 @@ impl WireAgent {
         seq: WireSeq,
         len: u32,
     ) -> Result<Vec<WireAction>, InspectError> {
-        let anchor = self.anchors.get_mut(&flow).ok_or(InspectError::UnknownFlow)?;
+        let anchor = self
+            .anchors
+            .get_mut(&flow)
+            .ok_or(InspectError::UnknownFlow)?;
         let off = anchor.data.unwrap(seq);
         let isn = anchor.isn;
         let acts = self.agent.on_mac_ack(flow, off, len);
@@ -137,7 +149,10 @@ impl WireAgent {
         if p.encrypted {
             return Err(InspectError::Encrypted);
         }
-        let anchor = self.anchors.get_mut(&p.flow).ok_or(InspectError::UnknownFlow)?;
+        let anchor = self
+            .anchors
+            .get_mut(&p.flow)
+            .ok_or(InspectError::UnknownFlow)?;
         let ack = anchor.data.unwrap(p.ack);
         let sack: Vec<(u64, u64)> = p
             .sack
@@ -289,7 +304,9 @@ mod tests {
                 encrypted: false,
             })
             .unwrap();
-        assert!(acts.iter().any(|a| matches!(a, WireAction::SuppressClientAck)));
+        assert!(acts
+            .iter()
+            .any(|a| matches!(a, WireAction::SuppressClientAck)));
     }
 
     #[test]
@@ -322,9 +339,14 @@ mod tests {
         let mut w = mk(isn);
         let mut off = 0u64;
         for i in 0..5_000u32 {
-            w.on_wire_data(&data(isn, i.wrapping_mul(1460), 1460)).unwrap();
+            w.on_wire_data(&data(isn, i.wrapping_mul(1460), 1460))
+                .unwrap();
             let acts = w
-                .on_mac_ack(FlowId(1), WireSeq(isn).add(1).add(i.wrapping_mul(1460)), 1460)
+                .on_mac_ack(
+                    FlowId(1),
+                    WireSeq(isn).add(1).add(i.wrapping_mul(1460)),
+                    1460,
+                )
                 .unwrap();
             off += 1460;
             match &acts[0] {

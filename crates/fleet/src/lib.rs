@@ -1,0 +1,287 @@
+//! # fleet — the cloud-controller analog of Meraki's backend
+//!
+//! The paper's TurboCA is not a single-network program: it runs in the
+//! cloud over millions of APs, collecting telemetry from every
+//! deployment and pushing channel plans back on the tiered cadence of
+//! §4.5 (15 min / 3 h / daily). This crate is that layer for the
+//! reproduction:
+//!
+//! * [`shard`] — the shard executor: N independent networks spread over
+//!   `std::thread::scope` workers, results bit-identical for any thread
+//!   count because each network's RNG streams derive from
+//!   `(master_seed, network_id)` alone ([`sim::derive_stream_seed`]);
+//! * [`network`] — one managed network: planner view, tiered
+//!   [`chanassign::Scheduler`], private RNG streams, telemetry buffers;
+//! * [`ingest`] — collection into the LittleTable-style store plus
+//!   fleet-wide CDFs / Jain aggregation (reproducing Fig. 2's synthetic
+//!   fleet sweep as one fleet run);
+//! * [`report`] — [`NetworkReport`] / [`FleetReport`] and the FNV-based
+//!   determinism [`report::Checksum`].
+//!
+//! ## The collect→plan→push loop
+//!
+//! [`run_fleet`] advances a shared epoch clock in `collect_period`
+//! steps. Each epoch, every network **collects** (utilization polls,
+//! RF churn) and the networks whose schedulers are due **plan** and
+//! **push** (accepted plans mutate the view, standing in for the
+//! config push to the APs). Batching is per-epoch: the whole due set is
+//! sharded across workers, ticked, and the clock only then advances —
+//! so the simulated cadence is exact regardless of parallelism.
+//!
+//! ```
+//! use fleet::{run_fleet, FleetConfig};
+//! use sim::SimDuration;
+//!
+//! let cfg = FleetConfig {
+//!     n_networks: 4,
+//!     aps_min: 10,
+//!     aps_max: 12,
+//!     horizon: SimDuration::from_mins(30),
+//!     ..FleetConfig::default()
+//! };
+//! let one = run_fleet(&cfg);
+//! let four = run_fleet(&FleetConfig { threads: 4, ..cfg });
+//! assert_eq!(one.report.checksum, four.report.checksum);
+//! ```
+
+pub mod ingest;
+pub mod network;
+pub mod report;
+pub mod shard;
+
+pub use ingest::{FleetAggregate, FleetIngest};
+pub use network::ManagedNetwork;
+pub use report::{Checksum, FleetReport, NetworkReport};
+
+use netsim::deployment::UtilizationProfile;
+use sim::{SimDuration, SimTime};
+use telemetry::stats::median;
+
+/// Configuration of one fleet run.
+#[derive(Debug, Clone, Copy)]
+pub struct FleetConfig {
+    /// Networks under management.
+    pub n_networks: usize,
+    /// Worker threads for the shard executor (1 = sequential).
+    pub threads: usize,
+    /// Master seed; network `i` derives its stream from `(seed, i)`.
+    pub master_seed: u64,
+    /// Simulated span of the run.
+    pub horizon: SimDuration,
+    /// Epoch length: collection cadence and scheduler tick granularity.
+    /// The paper's fast tier runs every 15 minutes, so that is the
+    /// natural (and default) epoch.
+    pub collect_period: SimDuration,
+    /// AP-count range per network (paper's fleet filter: ≥ 10 APs).
+    pub aps_min: u64,
+    pub aps_max: u64,
+    /// TurboCA NBO runs per hop value (planning effort knob).
+    pub nbo_runs: usize,
+    /// Per-AP, per-epoch probability that an external interferer level
+    /// changes (keeps fast ticks honest after initial convergence).
+    pub rf_churn: f64,
+    /// Utilization regimes polled from the two radios (Fig. 2).
+    pub profile_2_4: UtilizationProfile,
+    pub profile_5: UtilizationProfile,
+}
+
+impl Default for FleetConfig {
+    fn default() -> Self {
+        FleetConfig {
+            n_networks: 100,
+            threads: 1,
+            master_seed: 0x1_AC17_FEE7,
+            horizon: SimDuration::from_hours(1),
+            collect_period: SimDuration::from_mins(15),
+            aps_min: 10,
+            aps_max: 40,
+            nbo_runs: 1,
+            rf_churn: 0.05,
+            profile_2_4: UtilizationProfile::FLEET_2_4,
+            profile_5: UtilizationProfile::FLEET_5,
+        }
+    }
+}
+
+/// Everything a fleet run produces: the summary report, the telemetry
+/// store + aggregates, and the raw per-network reports (id order).
+pub struct FleetRun {
+    pub report: FleetReport,
+    pub ingest: FleetIngest,
+    pub aggregate: FleetAggregate,
+    pub per_network: Vec<NetworkReport>,
+}
+
+/// Run the collect→plan→push loop over a synthesized fleet.
+pub fn run_fleet(cfg: &FleetConfig) -> FleetRun {
+    assert!(cfg.n_networks > 0, "empty fleet");
+    assert!(cfg.aps_min >= 1 && cfg.aps_min <= cfg.aps_max);
+    assert!(cfg.collect_period > SimDuration::ZERO);
+
+    // Synthesize the fleet (sharded; generation dominates small runs).
+    let mut nets = shard::map_sharded(cfg.n_networks, cfg.threads, &|i| {
+        network::ManagedNetwork::generate(cfg, i as u64)
+    });
+
+    // The epoch loop: one barrier per collect period.
+    let end = SimTime::ZERO + cfg.horizon;
+    let mut now = SimTime::ZERO;
+    while now < end {
+        shard::for_each_mut_sharded(&mut nets, cfg.threads, &|net| net.on_tick(now, cfg));
+        now += cfg.collect_period;
+    }
+
+    // Final plan evaluation, sharded as well.
+    shard::for_each_mut_sharded(&mut nets, cfg.threads, &|net| net.finalize());
+    let per_network: Vec<NetworkReport> = nets
+        .into_iter()
+        .map(|n| n.report.expect("finalize filled the report"))
+        .collect();
+
+    // Ingest + aggregate on the controller thread, in id order.
+    let mut ingest = FleetIngest::new();
+    let mut checksum = Checksum::new();
+    for r in &per_network {
+        ingest.ingest(r);
+        report::mix_network_report(&mut checksum, r);
+    }
+    let aggregate = ingest.aggregate();
+
+    let (util_2_4_median, util_5_median) = aggregate.util_medians();
+    let netp: Vec<f64> = per_network.iter().map(|r| r.final_net_p_ln).collect();
+    let p50s: Vec<f64> = per_network.iter().map(|r| r.tcp_p50_ms).collect();
+    let p90s: Vec<f64> = per_network.iter().map(|r| r.tcp_p90_ms).collect();
+    let p99s: Vec<f64> = per_network.iter().map(|r| r.tcp_p99_ms).collect();
+    let report = FleetReport {
+        n_networks: cfg.n_networks,
+        threads: cfg.threads,
+        horizon: cfg.horizon,
+        total_aps: per_network.iter().map(|r| r.n_aps).sum(),
+        plans_run: per_network.iter().map(|r| r.plans_run).sum(),
+        accepted: per_network.iter().map(|r| r.accepted).sum(),
+        switches: per_network.iter().map(|r| r.switches).sum(),
+        mean_net_p_ln: netp.iter().sum::<f64>() / netp.len() as f64,
+        util_2_4_median,
+        util_5_median,
+        tcp_p50_ms: median(&p50s).unwrap_or(0.0),
+        tcp_p90_ms: median(&p90s).unwrap_or(0.0),
+        tcp_p99_ms: median(&p99s).unwrap_or(0.0),
+        jain_goodput: aggregate.jain_goodput.unwrap_or(0.0),
+        checksum: checksum.finish(),
+    };
+
+    FleetRun {
+        report,
+        ingest,
+        aggregate,
+        per_network,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small(threads: usize) -> FleetConfig {
+        FleetConfig {
+            n_networks: 6,
+            threads,
+            aps_min: 10,
+            aps_max: 12,
+            horizon: SimDuration::from_mins(45),
+            master_seed: 0xF1EE7,
+            ..FleetConfig::default()
+        }
+    }
+
+    #[test]
+    fn thread_count_does_not_change_results() {
+        let base = run_fleet(&small(1));
+        for threads in [3, 8] {
+            let run = run_fleet(&small(threads));
+            assert_eq!(
+                base.report.checksum, run.report.checksum,
+                "threads={threads}"
+            );
+            assert_eq!(base.per_network, run.per_network, "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn every_network_plans_and_reports() {
+        let run = run_fleet(&small(2));
+        assert_eq!(run.per_network.len(), 6);
+        for (i, r) in run.per_network.iter().enumerate() {
+            assert_eq!(r.id, i as u64);
+            // 45 min horizon with 15-min epochs: ticks at 0/15/30 ->
+            // slow tier at t=0 plus two fast ticks = 3 runs.
+            assert_eq!(r.plans_run, 3);
+            assert!(r.accepted >= 1, "initial untangling must be accepted");
+            assert!((10..=14).contains(&r.n_aps));
+            assert_eq!(r.util_2_4.len(), 3 * r.n_aps);
+            assert!(r.tcp_p50_ms > 0.0);
+            assert!(r.tcp_p99_ms >= r.tcp_p90_ms && r.tcp_p90_ms >= r.tcp_p50_ms);
+        }
+        assert_eq!(run.ingest.reports_ingested(), 6);
+        assert_eq!(run.report.plans_run, 3 * 6);
+    }
+
+    #[test]
+    fn master_seed_changes_everything() {
+        let a = run_fleet(&small(1));
+        let b = run_fleet(&FleetConfig {
+            master_seed: 0xBEEF,
+            ..small(1)
+        });
+        assert_ne!(a.report.checksum, b.report.checksum);
+    }
+
+    #[test]
+    fn utilization_medians_track_profiles() {
+        // Small fleet, one epoch: enough samples for stable medians
+        // (the full Fig. 2 sweep lives in the fleet_scale bench).
+        let cfg = FleetConfig {
+            n_networks: 12,
+            aps_min: 10,
+            aps_max: 20,
+            horizon: SimDuration::from_mins(15),
+            ..small(2)
+        };
+        let run = run_fleet(&cfg);
+        let (m24, m5) = run.aggregate.util_medians();
+        assert!((m24 - 0.20).abs() < 0.05, "2.4 GHz median {m24}");
+        assert!((m5 - 0.03).abs() < 0.02, "5 GHz median {m5}");
+        assert!(run.report.util_2_4_median == m24 && run.report.util_5_median == m5);
+    }
+
+    #[test]
+    fn planning_improves_mean_netp() {
+        // Same fleet with and without planning effort: running the
+        // scheduler must not make the fleet metric worse, and the run
+        // with planning should land strictly higher than the seeded
+        // random assignment's incumbent score on average.
+        let cfg = small(1);
+        let run = run_fleet(&cfg);
+        assert!(run.report.accepted > 0);
+        let incumbent_mean: f64 = {
+            let nets: Vec<f64> = (0..cfg.n_networks as u64)
+                .map(|i| {
+                    let net = network::ManagedNetwork::generate(&cfg, i);
+                    let planner = chanassign::TurboCa::new(0);
+                    chanassign::net_p_ln(
+                        &planner.params,
+                        &net.view,
+                        &chanassign::Plan::current(&net.view),
+                    )
+                })
+                .collect();
+            nets.iter().sum::<f64>() / nets.len() as f64
+        };
+        assert!(
+            run.report.mean_net_p_ln > incumbent_mean,
+            "planned {} !> incumbent {}",
+            run.report.mean_net_p_ln,
+            incumbent_mean
+        );
+    }
+}

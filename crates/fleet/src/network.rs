@@ -1,0 +1,119 @@
+//! One cloud-managed network: its planner view, its tiered scheduler,
+//! its private RNG streams, and the telemetry it reports upward.
+
+use crate::report::NetworkReport;
+use crate::FleetConfig;
+use chanassign::model::Plan;
+use chanassign::{Scheduler, TurboCa};
+use netsim::deployment::{to_view, ViewOptions};
+use netsim::neteval::{evaluate, EvalOptions};
+use netsim::population::ClientCaps;
+use netsim::topology;
+use phy80211::channels::Band;
+use sim::{derive_stream_seed, Rng, SimTime};
+use telemetry::stats::quantile;
+
+/// A network under fleet management. Everything it does is driven by
+/// RNG streams derived from `(master_seed, id)` alone, so its entire
+/// trajectory is independent of which shard/thread hosts it.
+pub struct ManagedNetwork {
+    pub id: u64,
+    pub seed: u64,
+    pub view: chanassign::NetworkView,
+    caps: Vec<Vec<ClientCaps>>,
+    sched: Scheduler,
+    /// Collection-noise stream (utilization polls, RF churn).
+    rng: Rng,
+    /// Per-tick utilization polls, both radios: `(when, value)`.
+    pub util_2_4: Vec<(SimTime, f64)>,
+    pub util_5: Vec<(SimTime, f64)>,
+    /// Filled by [`ManagedNetwork::finalize`].
+    pub report: Option<NetworkReport>,
+}
+
+impl ManagedNetwork {
+    /// Deterministically synthesize network `id` of the fleet.
+    pub fn generate(cfg: &FleetConfig, id: u64) -> ManagedNetwork {
+        let seed = derive_stream_seed(cfg.master_seed, id);
+        let mut rng = Rng::new(seed);
+        let n_aps = rng.range_inclusive(cfg.aps_min, cfg.aps_max) as usize;
+        // ~350 m^2 per AP, as in the planning benchmarks.
+        let area = (n_aps as f64 * 350.0).sqrt();
+        let topo = topology::random_area(n_aps, area, area, Band::Band5, &mut rng);
+        let (view, caps) = to_view(&topo, &ViewOptions::default(), &mut rng);
+        let mut planner = TurboCa::new(rng.next_u64());
+        planner.runs_per_tier = cfg.nbo_runs;
+        ManagedNetwork {
+            id,
+            seed,
+            view,
+            caps,
+            sched: Scheduler::new(planner),
+            rng,
+            util_2_4: Vec::new(),
+            util_5: Vec::new(),
+            report: None,
+        }
+    }
+
+    /// One fleet epoch for this network: **collect** (poll both radios'
+    /// utilization, apply RF churn to the view), then **plan + push**
+    /// (run the tiered scheduler if due; accepted plans mutate the view,
+    /// which is the "push" back to the APs).
+    pub fn on_tick(&mut self, now: SimTime, cfg: &FleetConfig) {
+        for ap in 0..self.view.len() {
+            self.util_2_4
+                .push((now, cfg.profile_2_4.sample(&mut self.rng)));
+            self.util_5.push((now, cfg.profile_5.sample(&mut self.rng)));
+            // RF churn: occasionally an external interferer appears or
+            // fades on one of the channels the AP is tracking, so fast
+            // ticks keep finding real work after initial convergence.
+            if self.rng.chance(cfg.rf_churn) {
+                let keys: Vec<u16> = self.view.aps[ap].external_busy.keys().copied().collect();
+                if !keys.is_empty() {
+                    let ch = keys[self.rng.below(keys.len() as u64) as usize];
+                    let v = cfg.profile_5.sample(&mut self.rng);
+                    self.view.aps[ap].external_busy.insert(ch, v);
+                }
+            }
+        }
+        if self.sched.next_due() <= now {
+            self.sched.tick(now, &mut self.view);
+        }
+    }
+
+    /// Evaluate the final plan and summarize this network's run.
+    pub fn finalize(&mut self) {
+        let mut eval_rng = self.rng.fork();
+        let metrics = evaluate(
+            &self.view,
+            &Plan::current(&self.view),
+            &self.caps,
+            &EvalOptions::default(),
+            &mut eval_rng,
+        );
+        let lat = &metrics.tcp_latency_ms;
+        let pq = |q: f64| quantile(lat, q).unwrap_or(0.0);
+        let mean_goodput = if metrics.ap_goodput_mbps.is_empty() {
+            0.0
+        } else {
+            metrics.ap_goodput_mbps.iter().sum::<f64>() / metrics.ap_goodput_mbps.len() as f64
+        };
+        self.report = Some(NetworkReport {
+            id: self.id,
+            seed: self.seed,
+            n_aps: self.view.len(),
+            plans_run: self.sched.history.len(),
+            accepted: self.sched.history.iter().filter(|r| r.accepted).count(),
+            switches: self.sched.total_switches(),
+            final_net_p_ln: self.sched.current_net_p_ln(&self.view),
+            channels: self.view.aps.iter().map(|a| a.current.primary).collect(),
+            tcp_p50_ms: pq(0.50),
+            tcp_p90_ms: pq(0.90),
+            tcp_p99_ms: pq(0.99),
+            mean_goodput_mbps: mean_goodput,
+            util_2_4: std::mem::take(&mut self.util_2_4),
+            util_5: std::mem::take(&mut self.util_5),
+        });
+    }
+}

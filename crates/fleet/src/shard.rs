@@ -1,0 +1,126 @@
+//! The shard executor: run per-network work across scoped worker
+//! threads with bit-identical results regardless of thread count.
+//!
+//! Determinism contract: every unit of work is a pure function of its
+//! *index* (each network carries its own RNG stream derived from the
+//! master seed via [`sim::derive_stream_seed`]), and results land in an
+//! index-addressed slot. Threads therefore only decide *when* a unit
+//! runs, never *what* it computes or *where* its output goes — so one
+//! thread and sixteen produce the same `Vec`, byte for byte.
+//!
+//! Partitioning is static (contiguous chunks, one per worker). Work per
+//! network varies with its drawn size, but fleet sizes are large
+//! relative to thread counts, so chunk imbalance averages out; static
+//! chunks keep the executor free of locks and work-queues entirely.
+
+/// Build a `Vec<T>` by evaluating `f(0..n)` across `threads` workers.
+/// Equivalent to `(0..n).map(f).collect()` for any thread count.
+pub fn map_sharded<T, F>(n: usize, threads: usize, f: &F) -> Vec<T>
+where
+    T: Send,
+    F: Fn(usize) -> T + Sync,
+{
+    if n == 0 {
+        return Vec::new();
+    }
+    if threads <= 1 {
+        return (0..n).map(f).collect();
+    }
+    let chunk = n.div_ceil(threads.min(n));
+    let mut out: Vec<Option<T>> = (0..n).map(|_| None).collect();
+    std::thread::scope(|s| {
+        for (w, slots) in out.chunks_mut(chunk).enumerate() {
+            s.spawn(move || {
+                for (j, slot) in slots.iter_mut().enumerate() {
+                    *slot = Some(f(w * chunk + j));
+                }
+            });
+        }
+    });
+    out.into_iter()
+        .map(|slot| slot.expect("worker filled every slot"))
+        .collect()
+}
+
+/// Apply `f` to every item in place, sharded across `threads` workers.
+/// Items are mutated independently; index-chunked partitioning keeps the
+/// outcome identical to the sequential loop.
+pub fn for_each_mut_sharded<T, F>(items: &mut [T], threads: usize, f: &F)
+where
+    T: Send,
+    F: Fn(&mut T) + Sync,
+{
+    if items.is_empty() {
+        return;
+    }
+    if threads <= 1 {
+        for it in items {
+            f(it);
+        }
+        return;
+    }
+    let chunk = items.len().div_ceil(threads.min(items.len()));
+    std::thread::scope(|s| {
+        for slots in items.chunks_mut(chunk) {
+            s.spawn(move || {
+                for it in slots {
+                    f(it);
+                }
+            });
+        }
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn map_matches_sequential_for_any_thread_count() {
+        let f = |i: usize| (i as u64).wrapping_mul(0x9E37_79B9) ^ 0xABCD;
+        let want: Vec<u64> = (0..97).map(f).collect();
+        for threads in [1, 2, 3, 4, 8, 97, 200] {
+            assert_eq!(map_sharded(97, threads, &f), want, "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn map_handles_empty_and_tiny() {
+        let f = |i: usize| i;
+        assert!(map_sharded(0, 4, &f).is_empty());
+        assert_eq!(map_sharded(1, 4, &f), vec![0]);
+        assert_eq!(map_sharded(3, 16, &f), vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn for_each_mut_matches_sequential() {
+        let init: Vec<u64> = (0..53).collect();
+        let f = |x: &mut u64| *x = x.wrapping_mul(31).wrapping_add(7);
+        let mut want = init.clone();
+        for x in &mut want {
+            f(x);
+        }
+        for threads in [1, 2, 4, 9, 64] {
+            let mut got = init.clone();
+            for_each_mut_sharded(&mut got, threads, &f);
+            assert_eq!(got, want, "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn workers_actually_run_concurrently_when_asked() {
+        use std::sync::atomic::{AtomicUsize, Ordering};
+        let peak = AtomicUsize::new(0);
+        let live = AtomicUsize::new(0);
+        let mut items = vec![0u8; 8];
+        for_each_mut_sharded(&mut items, 4, &|_| {
+            let now = live.fetch_add(1, Ordering::SeqCst) + 1;
+            peak.fetch_max(now, Ordering::SeqCst);
+            std::thread::sleep(std::time::Duration::from_millis(20));
+            live.fetch_sub(1, Ordering::SeqCst);
+        });
+        // On a single-core host threads may still serialize; at least
+        // assert nothing deadlocked and the call completed.
+        assert!(peak.load(Ordering::SeqCst) >= 1);
+    }
+}

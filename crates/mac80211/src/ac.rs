@@ -190,7 +190,10 @@ mod tests {
             EdcaParams::for_ac(AccessCategory::Video).txop_limit,
             Some(SimDuration::from_micros(3_008))
         );
-        assert_eq!(EdcaParams::for_ac(AccessCategory::BestEffort).txop_limit, None);
+        assert_eq!(
+            EdcaParams::for_ac(AccessCategory::BestEffort).txop_limit,
+            None
+        );
     }
 
     #[test]

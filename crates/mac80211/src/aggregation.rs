@@ -110,12 +110,18 @@ pub struct BlockAck {
 impl BlockAck {
     /// Ids successfully delivered.
     pub fn acked(&self) -> impl Iterator<Item = u64> + '_ {
-        self.per_mpdu.iter().filter(|(_, ok)| *ok).map(|&(id, _)| id)
+        self.per_mpdu
+            .iter()
+            .filter(|(_, ok)| *ok)
+            .map(|&(id, _)| id)
     }
 
     /// Ids that failed and need retransmission.
     pub fn failed(&self) -> impl Iterator<Item = u64> + '_ {
-        self.per_mpdu.iter().filter(|(_, ok)| !*ok).map(|&(id, _)| id)
+        self.per_mpdu
+            .iter()
+            .filter(|(_, ok)| !*ok)
+            .map(|&(id, _)| id)
     }
 
     /// True if every MPDU was delivered.
@@ -185,7 +191,9 @@ mod tests {
     #[test]
     fn empty_queue_builds_nothing() {
         let mut queue = Vec::new();
-        assert!(build_ampdu(&mut queue, Mcs(9), 2, Width::W80, SGI, AggLimits::default()).is_none());
+        assert!(
+            build_ampdu(&mut queue, Mcs(9), 2, Width::W80, SGI, AggLimits::default()).is_none()
+        );
     }
 
     #[test]
@@ -271,7 +279,14 @@ mod tests {
     #[test]
     fn invalid_rate_returns_none_and_preserves_queue() {
         let mut queue = q(5, 1460);
-        let r = build_ampdu(&mut queue, Mcs(10), 1, Width::W20, SGI, AggLimits::default());
+        let r = build_ampdu(
+            &mut queue,
+            Mcs(10),
+            1,
+            Width::W20,
+            SGI,
+            AggLimits::default(),
+        );
         assert!(r.is_none());
         assert_eq!(queue.len(), 5);
     }

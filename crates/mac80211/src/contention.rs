@@ -41,7 +41,11 @@ pub fn resolve(queues: &mut [&mut Backoff], rng: &mut Rng) -> Option<ContentionO
     for q in queues.iter_mut() {
         q.ensure_drawn(rng);
     }
-    let min_slots = queues.iter().map(|q| q.slots_to_tx()).min().expect("non-empty");
+    let min_slots = queues
+        .iter()
+        .map(|q| q.slots_to_tx())
+        .min()
+        .expect("non-empty");
     let winners: Vec<usize> = queues
         .iter()
         .enumerate()

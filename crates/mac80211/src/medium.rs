@@ -151,7 +151,9 @@ impl MediumSim {
 
     /// True when no queue has anything to send.
     pub fn idle(&self) -> bool {
-        self.queues.iter().all(|q| q.frames.is_empty() && q.inflight.is_empty())
+        self.queues
+            .iter()
+            .all(|q| q.frames.is_empty() && q.inflight.is_empty())
     }
 
     /// Run one contention round + transmission. Returns what happened,
@@ -179,7 +181,7 @@ impl MediumSim {
             }
             let outcome = resolve(&mut refs, &mut self.rng).expect("non-empty");
             drop(refs);
-            for (&i, b) in contenders.iter().zip(taken.into_iter()) {
+            for (&i, b) in contenders.iter().zip(taken) {
                 self.queues[i].backoff = b;
             }
             outcome
@@ -286,10 +288,7 @@ impl MediumSim {
         let q = &mut self.queues[w];
         let mut still_inflight = Vec::new();
         for p in q.inflight.drain(..) {
-            let delivered = ba
-                .per_mpdu
-                .iter()
-                .any(|&(id, ok)| id == p.mpdu.id && ok);
+            let delivered = ba.per_mpdu.iter().any(|&(id, ok)| id == p.mpdu.id && ok);
             if delivered {
                 report.deliveries.push(Delivery {
                     queue: w,
@@ -422,7 +421,9 @@ mod tests {
             let (sum, cnt) = reports
                 .iter()
                 .flat_map(|r| r.deliveries.iter())
-                .fold((0.0, 0usize), |(s, c), d| (s + d.latency.as_secs_f64(), c + 1));
+                .fold((0.0, 0usize), |(s, c), d| {
+                    (s + d.latency.as_secs_f64(), c + 1)
+                });
             sum / cnt as f64
         };
         let l1 = latency_with_n(1);
@@ -445,7 +446,9 @@ mod tests {
                 .iter()
                 .flat_map(|r| r.deliveries.iter())
                 .filter(|d| d.queue == qid)
-                .fold((0.0, 0usize), |(s, c), d| (s + d.latency.as_secs_f64(), c + 1));
+                .fold((0.0, 0usize), |(s, c), d| {
+                    (s + d.latency.as_secs_f64(), c + 1)
+                });
             s / c.max(1) as f64
         };
         assert!(mean(vo) < mean(bk), "vo={} bk={}", mean(vo), mean(bk));
@@ -479,7 +482,10 @@ mod tests {
         }
         let r2 = m2.step().unwrap();
         let (_, be_size) = r2.aggregate_sizes[0];
-        assert!(be_size > 2 * vo_size, "BE rides the larger A-MPDU cap: {be_size}");
+        assert!(
+            be_size > 2 * vo_size,
+            "BE rides the larger A-MPDU cap: {be_size}"
+        );
     }
 
     #[test]

@@ -97,10 +97,7 @@ mod tests {
     fn collision_cost_is_capped_by_rts() {
         let data = SimDuration::from_millis(5);
         assert_eq!(Protection::None.collision_cost(data), data);
-        assert_eq!(
-            Protection::RtsCts.collision_cost(data),
-            rts_duration()
-        );
+        assert_eq!(Protection::RtsCts.collision_cost(data), rts_duration());
     }
 
     #[test]

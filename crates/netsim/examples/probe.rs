@@ -1,16 +1,36 @@
-use netsim::testbed::{Testbed, TestbedConfig};
 use mac80211::protection::Protection;
+use netsim::testbed::{Testbed, TestbedConfig};
 use sim::SimDuration;
 fn main() {
-    for (pool, prot, pname) in [(1600usize, Protection::RtsCts, "rts"), (800, Protection::RtsCts, "rts"), (800, Protection::None, "none"), (500, Protection::RtsCts, "rts")] {
+    for (pool, prot, pname) in [
+        (1600usize, Protection::RtsCts, "rts"),
+        (800, Protection::RtsCts, "rts"),
+        (800, Protection::None, "none"),
+        (500, Protection::RtsCts, "rts"),
+    ] {
         let run = |fa1: bool, fa2: bool| {
-            Testbed::new(TestbedConfig { n_aps: 2, clients_per_ap: 10, fastack: vec![fa1, fa2],
-                seed: 1818, ap_buffer_pool_frames: pool, protection: prot, ..TestbedConfig::default() })
-                .run(SimDuration::from_secs(5))
+            Testbed::new(TestbedConfig {
+                n_aps: 2,
+                clients_per_ap: 10,
+                fastack: vec![fa1, fa2],
+                seed: 1818,
+                ap_buffer_pool_frames: pool,
+                protection: prot,
+                ..TestbedConfig::default()
+            })
+            .run(SimDuration::from_secs(5))
         };
-        let bb = run(false, false); let bf = run(false, true); let ff = run(true, true);
-        println!("pool={pool} prot={pname}: bb={:.0} bf={:.0}({:.0}+{:.0}) ff={:.0} gain={:+.0}%",
-            bb.total_mbps(), bf.total_mbps(), bf.ap_mbps[0], bf.ap_mbps[1], ff.total_mbps(),
-            (ff.total_mbps()/bb.total_mbps()-1.0)*100.0);
+        let bb = run(false, false);
+        let bf = run(false, true);
+        let ff = run(true, true);
+        println!(
+            "pool={pool} prot={pname}: bb={:.0} bf={:.0}({:.0}+{:.0}) ff={:.0} gain={:+.0}%",
+            bb.total_mbps(),
+            bf.total_mbps(),
+            bf.ap_mbps[0],
+            bf.ap_mbps[1],
+            ff.total_mbps(),
+            (ff.total_mbps() / bb.total_mbps() - 1.0) * 100.0
+        );
     }
 }

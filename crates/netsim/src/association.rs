@@ -127,9 +127,7 @@ pub fn associate(
     let expected_bps = chosen
         .iter()
         .zip(snrs.iter())
-        .filter_map(|(ap, &snr)| {
-            ap.map(|a| sel.select(snr).bps as f64 / per_ap[a].max(1) as f64)
-        })
+        .filter_map(|(ap, &snr)| ap.map(|a| sel.select(snr).bps as f64 / per_ap[a].max(1) as f64))
         .collect();
 
     AssociationOutcome {
@@ -169,7 +167,13 @@ mod tests {
     #[test]
     fn rssi_policy_herds_the_hotspot() {
         let (topo, crowd, mut rng) = setup();
-        let out = associate(&topo, &crowd, AssocPolicy::StrongestRssi, Width::W80, &mut rng);
+        let out = associate(
+            &topo,
+            &crowd,
+            AssocPolicy::StrongestRssi,
+            Width::W80,
+            &mut rng,
+        );
         // Nearly everyone lands on AP 0.
         assert!(out.per_ap[0] >= 30, "{:?}", out.per_ap);
     }
@@ -177,7 +181,13 @@ mod tests {
     #[test]
     fn utilization_aware_spreads_and_lifts_the_worst_client() {
         let (topo, crowd, mut rng) = setup();
-        let rssi = associate(&topo, &crowd, AssocPolicy::StrongestRssi, Width::W80, &mut rng);
+        let rssi = associate(
+            &topo,
+            &crowd,
+            AssocPolicy::StrongestRssi,
+            Width::W80,
+            &mut rng,
+        );
         let aware = associate(
             &topo,
             &crowd,
@@ -202,7 +212,13 @@ mod tests {
     #[test]
     fn least_loaded_balances_counts() {
         let (topo, crowd, mut rng) = setup();
-        let out = associate(&topo, &crowd, AssocPolicy::LeastLoaded, Width::W80, &mut rng);
+        let out = associate(
+            &topo,
+            &crowd,
+            AssocPolicy::LeastLoaded,
+            Width::W80,
+            &mut rng,
+        );
         let max = *out.per_ap.iter().max().unwrap();
         let min = *out.per_ap.iter().min().unwrap();
         assert!(max - min <= 2, "{:?}", out.per_ap);
@@ -213,7 +229,13 @@ mod tests {
         let mut rng = Rng::new(2);
         let topo = topology::grid(1, 1, 10.0, 0.0, Band::Band5, &mut rng);
         let clients = vec![Point::new(10_000.0, 10_000.0)];
-        let out = associate(&topo, &clients, AssocPolicy::StrongestRssi, Width::W80, &mut rng);
+        let out = associate(
+            &topo,
+            &clients,
+            AssocPolicy::StrongestRssi,
+            Width::W80,
+            &mut rng,
+        );
         assert_eq!(out.chosen, vec![None]);
         assert!(out.expected_bps.is_empty());
     }

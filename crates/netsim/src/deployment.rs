@@ -157,9 +157,7 @@ pub fn to_view(
 
         let current = match opts.seed_channels {
             SeedChannels::AllDefault => default_channel,
-            SeedChannels::Random => {
-                channel_pool[rng.below(channel_pool.len() as u64) as usize]
-            }
+            SeedChannels::Random => channel_pool[rng.below(channel_pool.len() as u64) as usize],
         };
         let max_width = if topo.band == Band::Band2_4 {
             Width::W20
@@ -299,7 +297,10 @@ mod tests {
         ] {
             let xs: Vec<f64> = (0..20_000).map(|_| p.sample(&mut rng)).collect();
             let m = median(&xs).unwrap();
-            assert!((m - want).abs() < want * 0.1 + 0.01, "median {m} want {want}");
+            assert!(
+                (m - want).abs() < want * 0.1 + 0.01,
+                "median {m} want {want}"
+            );
             assert!(xs.iter().all(|&x| (0.0..=1.0).contains(&x)));
         }
     }
@@ -357,8 +358,7 @@ mod tests {
         let topo = topology::grid(4, 4, 12.0, 1.5, Band::Band5, &mut rng);
         let (oracle, _) = to_view(&topo, &ViewOptions::default(), &mut rng);
         // Scan: 4 merged cycles per AP against the oracle ground truth.
-        let neighbor_channels: Vec<u16> =
-            oracle.aps.iter().map(|a| a.current.primary).collect();
+        let neighbor_channels: Vec<u16> = oracle.aps.iter().map(|a| a.current.primary).collect();
         let cfg = ScannerConfig::default();
         let scans: Vec<_> = (0..topo.len())
             .map(|i| {

@@ -67,14 +67,13 @@ pub fn assess(
     assert_eq!(view.len(), plan.channels.len());
     assert_eq!(view.len(), clients_per_ap.len());
     let mut report = DisruptionReport::default();
-    for v in 0..view.len() {
+    for (v, &clients) in clients_per_ap.iter().enumerate() {
         if plan.channels[v] == view.aps[v].current {
             continue;
         }
         report.switches += 1;
-        for _ in 0..clients_per_ap[v] {
-            let follows_csa =
-                rng.chance(model.csa_support) && !rng.chance(model.csa_miss);
+        for _ in 0..clients {
+            let follows_csa = rng.chance(model.csa_support) && !rng.chance(model.csa_miss);
             if follows_csa {
                 report.csa_followers += 1;
                 report.client_seconds += model.csa_follow.as_secs_f64();
@@ -101,7 +100,10 @@ mod tests {
     fn view_with_channels(chs: &[u16]) -> NetworkView {
         NetworkView {
             band: Band::Band5,
-            aps: chs.iter().map(|&c| ApReport::idle_on(Channel::five(c))).collect(),
+            aps: chs
+                .iter()
+                .map(|&c| ApReport::idle_on(Channel::five(c)))
+                .collect(),
         }
     }
 

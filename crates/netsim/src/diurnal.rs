@@ -52,7 +52,11 @@ impl Default for OfficeDay {
 fn occupancy(hour: f64) -> f64 {
     let ramp_up = ((hour - 7.0) / 3.0).clamp(0.0, 1.0);
     let ramp_down = 1.0 - ((hour - 16.0) / 3.0).clamp(0.0, 1.0);
-    let lunch_dip = if (12.0..13.0).contains(&hour) { 0.75 } else { 1.0 };
+    let lunch_dip = if (12.0..13.0).contains(&hour) {
+        0.75
+    } else {
+        1.0
+    };
     (ramp_up * ramp_down * lunch_dip).clamp(0.0, 1.0)
 }
 
@@ -74,8 +78,8 @@ impl OfficeDay {
                 * (0.9 * rng.standard_normal()).exp()
                 * occ.max(0.05);
             // ...plus the scheduled surge.
-            let in_surge = hour >= self.surge_at_h
-                && hour < self.surge_at_h + self.surge_minutes / 60.0;
+            let in_surge =
+                hour >= self.surge_at_h && hour < self.surge_at_h + self.surge_minutes / 60.0;
             if in_surge {
                 usage *= self.surge_factor;
             }
@@ -135,7 +139,10 @@ mod tests {
         };
         let surge_usage = window_mean(14.0, 14.5, &|s| s.usage_mbit);
         let before_usage = window_mean(13.0, 14.0, &|s| s.usage_mbit);
-        assert!(surge_usage > 2.0 * before_usage, "{surge_usage} vs {before_usage}");
+        assert!(
+            surge_usage > 2.0 * before_usage,
+            "{surge_usage} vs {before_usage}"
+        );
         let surge_util = window_mean(14.0, 14.5, &|s| s.utilization);
         let before_util = window_mean(13.0, 14.0, &|s| s.utilization);
         assert!(surge_util > before_util);

@@ -89,7 +89,7 @@ pub fn evaluate(
         ..NetworkMetrics::default()
     };
 
-    for v in 0..view.len() {
+    for (v, ap_caps) in caps_per_ap.iter().enumerate() {
         let ch = plan.channels[v];
         // Airtime share and capacity from the planner's own model — the
         // plan quality propagates into every sample below.
@@ -113,7 +113,7 @@ pub fn evaluate(
         let ap_sel = IdealSelector::new(ch.width, 3);
         let mut ap_client_rates = Vec::new();
 
-        for c in caps_per_ap[v].iter() {
+        for c in ap_caps.iter() {
             // RSSI from a drawn distance (plan-independent).
             let d = (opts.client_distance_mean_m
                 + opts.client_distance_spread_m * rng.standard_normal())
@@ -124,17 +124,14 @@ pub fn evaluate(
 
             // Effective SNR after contention pressure.
             let width = effective_width(ch, c);
-            let snr = rssi - noise_floor_dbm(width)
+            let snr = rssi
+                - noise_floor_dbm(width)
                 - opts.neighbor_penalty_db * overlap_neighbors as f64
                 - opts.external_penalty_db * ext_busy;
             let sel = IdealSelector::new(width, c.nss.min(3));
             let achieved = sel.select(snr);
             ap_client_rates.push(achieved.bps);
-            let eff = bitrate_efficiency(
-                achieved.bps,
-                ap_sel.max_rate_bps(),
-                c.max_rate_bps(),
-            );
+            let eff = bitrate_efficiency(achieved.bps, ap_sel.max_rate_bps(), c.max_rate_bps());
             out.bitrate_efficiency.push(eff);
 
             // TCP latency: queueing + access delay inflates as the
@@ -189,8 +186,8 @@ pub fn daily_usage_tb(
 /// A typical enterprise demand envelope (fraction of capacity demanded
 /// per hour of the day).
 pub const OFFICE_DEMAND: [f64; 24] = [
-    0.02, 0.02, 0.02, 0.02, 0.02, 0.03, 0.05, 0.15, 0.35, 0.55, 0.65, 0.70, 0.55, 0.65, 0.70,
-    0.65, 0.55, 0.40, 0.25, 0.15, 0.10, 0.06, 0.04, 0.03,
+    0.02, 0.02, 0.02, 0.02, 0.02, 0.03, 0.05, 0.15, 0.35, 0.55, 0.65, 0.70, 0.55, 0.65, 0.70, 0.65,
+    0.55, 0.40, 0.25, 0.15, 0.10, 0.06, 0.04, 0.03,
 ];
 
 #[cfg(test)]
@@ -198,8 +195,8 @@ mod tests {
     use super::*;
     use crate::deployment::{to_view, ViewOptions};
     use crate::topology;
-    use phy80211::channels::Band;
     use chanassign::turboca::{ScheduleTier, TurboCa};
+    use phy80211::channels::Band;
     use telemetry::stats::median;
 
     fn setup(seed: u64) -> (NetworkView, Vec<Vec<ClientCaps>>) {
@@ -213,12 +210,21 @@ mod tests {
         let (view, caps) = setup(1);
         let n_clients: usize = caps.iter().map(|c| c.len()).sum();
         let plan = Plan::current(&view);
-        let m = evaluate(&view, &plan, &caps, &EvalOptions::default(), &mut Rng::new(2));
+        let m = evaluate(
+            &view,
+            &plan,
+            &caps,
+            &EvalOptions::default(),
+            &mut Rng::new(2),
+        );
         assert_eq!(m.rssi_dbm.len(), n_clients);
         assert_eq!(m.tcp_latency_ms.len(), n_clients);
         assert_eq!(m.bitrate_efficiency.len(), n_clients);
         assert_eq!(m.ap_goodput_mbps.len(), view.len());
-        assert!(m.bitrate_efficiency.iter().all(|&e| (0.0..=1.0).contains(&e)));
+        assert!(m
+            .bitrate_efficiency
+            .iter()
+            .all(|&e| (0.0..=1.0).contains(&e)));
         assert!(m.tcp_latency_ms.iter().all(|&l| l > 0.0));
     }
 
@@ -227,8 +233,20 @@ mod tests {
         let (view, caps) = setup(3);
         let current = Plan::current(&view);
         let turbo = TurboCa::new(7).run(&view, ScheduleTier::Slow).plan;
-        let m0 = evaluate(&view, &current, &caps, &EvalOptions::default(), &mut Rng::new(5));
-        let m1 = evaluate(&view, &turbo, &caps, &EvalOptions::default(), &mut Rng::new(5));
+        let m0 = evaluate(
+            &view,
+            &current,
+            &caps,
+            &EvalOptions::default(),
+            &mut Rng::new(5),
+        );
+        let m1 = evaluate(
+            &view,
+            &turbo,
+            &caps,
+            &EvalOptions::default(),
+            &mut Rng::new(5),
+        );
         let lat0 = median(&m0.tcp_latency_ms).unwrap();
         let lat1 = median(&m1.tcp_latency_ms).unwrap();
         assert!(lat1 < lat0, "median latency {lat1} !< {lat0}");
@@ -242,8 +260,20 @@ mod tests {
         let (view, caps) = setup(4);
         let current = Plan::current(&view);
         let turbo = TurboCa::new(9).run(&view, ScheduleTier::Medium).plan;
-        let m0 = evaluate(&view, &current, &caps, &EvalOptions::default(), &mut Rng::new(6));
-        let m1 = evaluate(&view, &turbo, &caps, &EvalOptions::default(), &mut Rng::new(6));
+        let m0 = evaluate(
+            &view,
+            &current,
+            &caps,
+            &EvalOptions::default(),
+            &mut Rng::new(6),
+        );
+        let m1 = evaluate(
+            &view,
+            &turbo,
+            &caps,
+            &EvalOptions::default(),
+            &mut Rng::new(6),
+        );
         // Same seed -> identical RSSI draws regardless of plan.
         assert_eq!(m0.rssi_dbm, m1.rssi_dbm);
     }
@@ -252,7 +282,13 @@ mod tests {
     fn heavy_tail_present_and_plan_independent() {
         let (view, caps) = setup(5);
         let plan = Plan::current(&view);
-        let m = evaluate(&view, &plan, &caps, &EvalOptions::default(), &mut Rng::new(7));
+        let m = evaluate(
+            &view,
+            &plan,
+            &caps,
+            &EvalOptions::default(),
+            &mut Rng::new(7),
+        );
         let tail = m.tcp_latency_ms.iter().filter(|&&l| l > 400.0).count() as f64
             / m.tcp_latency_ms.len() as f64;
         assert!((0.01..0.10).contains(&tail), "{tail}");

@@ -113,10 +113,7 @@ pub fn scan_cycle(
                 // RSSI estimate with single-antenna measurement noise.
                 let d = topo.aps[ap].position.distance(&topo.aps[n].position);
                 let prop = phy80211::propagation::Propagation::indoor(topo.band);
-                let rssi = topo.aps[n]
-                    .radio
-                    .rssi_dbm(prop.path_loss_db(d))
-                    + rng.normal(0.0, 2.0);
+                let rssi = topo.aps[n].radio.rssi_dbm(prop.path_loss_db(d)) + rng.normal(0.0, 2.0);
                 heard.push((n, rssi));
             }
         }
@@ -228,7 +225,11 @@ mod tests {
     #[test]
     fn single_dwell_catches_most_beacons() {
         let cfg = ScannerConfig::default();
-        assert_eq!(cfg.beacon_catch_prob(), 1.0, "150ms dwell > 102.4ms interval");
+        assert_eq!(
+            cfg.beacon_catch_prob(),
+            1.0,
+            "150ms dwell > 102.4ms interval"
+        );
         let short = ScannerConfig {
             dwell: SimDuration::from_millis(50),
             ..ScannerConfig::default()

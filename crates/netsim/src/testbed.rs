@@ -28,11 +28,11 @@ use phy80211::error_model::mpdu_success_rate;
 use phy80211::mcs::GuardInterval;
 use phy80211::rate::IdealSelector;
 use sim::{EventQueue, Rng, SimDuration, SimTime};
+use std::collections::{BTreeMap, VecDeque};
 use tcpsim::{
     AckSegment, CcAlgorithm, DataSegment, FlowId, ReceiverConfig, SenderConfig, TcpReceiver,
     TcpSender,
 };
-use std::collections::{BTreeMap, VecDeque};
 
 /// Transport driving the downlink flows.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -315,8 +315,7 @@ impl Testbed {
             let snr = cfg.base_snr_db - frac * cfg.snr_spread_db + rng.normal(0.0, 1.0);
             let laggy = rng.chance(cfg.laggy_client_fraction);
             let next_stall_at = if laggy {
-                SimTime::ZERO
-                    + SimDuration::from_secs_f64(rng.exponential(cfg.stall_interval_s))
+                SimTime::ZERO + SimDuration::from_secs_f64(rng.exponential(cfg.stall_interval_s))
             } else {
                 SimTime::MAX
             };
@@ -408,11 +407,11 @@ impl Testbed {
             // frame + DIFS), independent of traffic.
             if let Some(interval) = self.cfg.beacon_interval {
                 if self.queue.now() >= self.next_beacon {
-                    let one = phy80211::airtime::control_frame_duration(300)
-                        + phy80211::airtime::DIFS;
+                    let one =
+                        phy80211::airtime::control_frame_duration(300) + phy80211::airtime::DIFS;
                     let all = SimDuration::from_nanos(one.as_nanos() * self.cfg.n_aps as u64);
                     self.occupy(all);
-                    self.next_beacon = self.next_beacon + interval;
+                    self.next_beacon += interval;
                 }
             }
             // 3. One contention round on the medium.
@@ -441,9 +440,7 @@ impl Testbed {
                     let ap = c.ap;
                     if let Some(st) = self.aps[ap].agent.flow_state(c.flow) {
                         if st.seq_tcp < st.seq_fack {
-                            fold(Some(
-                                self.repair_watch[ci].1 + SimDuration::from_millis(31),
-                            ));
+                            fold(Some(self.repair_watch[ci].1 + SimDuration::from_millis(31)));
                         }
                     }
                 }
@@ -488,7 +485,7 @@ impl Testbed {
                     for (c, s) in self.senders.iter().enumerate() {
                         self.report.cwnd_trace.push((c, at, s.cwnd_segments()));
                     }
-                    self.next_cwnd_sample = self.next_cwnd_sample + every;
+                    self.next_cwnd_sample += every;
                 }
             }
         }
@@ -574,11 +571,7 @@ impl Testbed {
                         + self.aps[ap].prio[client_slot].len();
                     let share = (self.cfg.ap_buffer_pool_frames / self.cfg.clients_per_ap)
                         .clamp(24, self.cfg.ap_buffer_pool_frames);
-                    if !self.cfg.fastack[ap]
-                        && !priority
-                        && !seg.retransmit
-                        && depth >= share
-                    {
+                    if !self.cfg.fastack[ap] && !priority && !seg.retransmit && depth >= share {
                         // Baseline arm: hard tail drop at the driver
                         // queue; the endpoints recover end-to-end.
                         // Retransmissions bypass the cap (paced by loss
@@ -731,9 +724,7 @@ impl Testbed {
         }
         let mut who: Vec<Who> = Vec::new();
         for (a, ap) in self.aps.iter().enumerate() {
-            if ap.queues.iter().any(|q| !q.is_empty())
-                || ap.prio.iter().any(|q| !q.is_empty())
-            {
+            if ap.queues.iter().any(|q| !q.is_empty()) || ap.prio.iter().any(|q| !q.is_empty()) {
                 who.push(Who::Ap(a));
             }
         }
@@ -744,7 +735,11 @@ impl Testbed {
             // cleared the client-side processing delay and the client is
             // not inside a stall episode.
             if cl.stall_until <= now
-                && cl.ack_queue.front().map(|(rel, _)| *rel <= now).unwrap_or(false)
+                && cl
+                    .ack_queue
+                    .front()
+                    .map(|(rel, _)| *rel <= now)
+                    .unwrap_or(false)
             {
                 who.push(Who::Client(c));
             }
@@ -765,7 +760,7 @@ impl Testbed {
             let mut refs: Vec<&mut Backoff> = taken.iter_mut().collect();
             let outcome = resolve(&mut refs, &mut self.rng).expect("non-empty");
             drop(refs);
-            for (w, b) in who.iter().zip(taken.into_iter()) {
+            for (w, b) in who.iter().zip(taken) {
                 match *w {
                     Who::Ap(a) => self.aps[a].backoff = b,
                     Who::Client(c) => self.clients[c].backoff = b,
@@ -874,13 +869,7 @@ impl Testbed {
         self.clients[client_idx].agg_sizes.push(taken);
 
         // Per-MPDU delivery draws.
-        let per = 1.0
-            - mpdu_success_rate(
-                link.snr_db - 1.0,
-                rate.mcs,
-                self.cfg.width,
-                1500,
-            );
+        let per = 1.0 - mpdu_success_rate(link.snr_db - 1.0, rate.mcs, self.cfg.width, 1500);
         let mut delivered_count = 0usize;
         for (mpdu, enq) in staged.into_iter() {
             let delivered = !self.rng.chance(per);
@@ -912,8 +901,7 @@ impl Testbed {
 
             // Bad hint: the MAC reports success but the transport never
             // sees the segment (FastACK-signal pathology; see field doc).
-            let bad_hint =
-                self.cfg.fastack[a] && self.rng.chance(self.cfg.bad_hint_rate);
+            let bad_hint = self.cfg.fastack[a] && self.rng.chance(self.cfg.bad_hint_rate);
 
             // FastACK observes the 802.11 ACK.
             let actions = self.aps[a].agent.on_mac_ack(flow, seq, len);
@@ -968,8 +956,7 @@ impl Testbed {
         // frames); model airtime as one small A-MPDU at the client's
         // uplink rate.
         let now = self.queue.now();
-        let n = self
-            .clients[c]
+        let n = self.clients[c]
             .ack_queue
             .iter()
             .take_while(|(rel, _)| *rel <= now)
@@ -1153,7 +1140,11 @@ mod tests {
             r.agent_stats[0]
         );
         // Flows still make progress despite 5% bad hints.
-        assert!(r.client_bytes.iter().all(|&b| b > 100_000), "{:?}", r.client_bytes);
+        assert!(
+            r.client_bytes.iter().all(|&b| b > 100_000),
+            "{:?}",
+            r.client_bytes
+        );
     }
 
     #[test]
@@ -1168,7 +1159,11 @@ mod tests {
             },
             3,
         );
-        assert!(r.agent_stats[0].holes_detected > 0, "{:?}", r.agent_stats[0]);
+        assert!(
+            r.agent_stats[0].holes_detected > 0,
+            "{:?}",
+            r.agent_stats[0]
+        );
         assert!(r.client_bytes.iter().all(|&b| b > 100_000));
     }
 
@@ -1185,7 +1180,11 @@ mod tests {
             3,
         );
         assert_eq!(r.ap_mbps.len(), 2);
-        assert!(r.ap_mbps[0] > 10.0 && r.ap_mbps[1] > 10.0, "{:?}", r.ap_mbps);
+        assert!(
+            r.ap_mbps[0] > 10.0 && r.ap_mbps[1] > 10.0,
+            "{:?}",
+            r.ap_mbps
+        );
         // Neither AP should starve: within 3x of each other.
         let ratio = r.ap_mbps[0] / r.ap_mbps[1];
         assert!((0.33..3.0).contains(&ratio), "{ratio}");

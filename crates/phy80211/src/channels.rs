@@ -303,10 +303,7 @@ pub fn all_channels(band: Band, width: Width) -> Vec<Channel> {
     match band {
         Band::Band2_4 => {
             if width == Width::W20 {
-                US_2_4GHZ
-                    .iter()
-                    .map(|&c| Channel::two4(c))
-                    .collect()
+                US_2_4GHZ.iter().map(|&c| Channel::two4(c)).collect()
             } else {
                 Vec::new()
             }

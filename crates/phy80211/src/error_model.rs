@@ -108,9 +108,8 @@ mod tests {
         // At SNR 20 dB on 20 MHz, MCS6 (threshold 20) should beat both
         // MCS9 (way above threshold -> PER ~1) and MCS0 (slow but clean).
         let snr = 20.0;
-        let g = |m: u8| {
-            expected_goodput_bps(snr, Mcs(m), 1, Width::W20, GuardInterval::Short, 1460)
-        };
+        let g =
+            |m: u8| expected_goodput_bps(snr, Mcs(m), 1, Width::W20, GuardInterval::Short, 1460);
         let best = (0..=9u8).max_by(|&a, &b| g(a).total_cmp(&g(b))).unwrap();
         assert!((4..=6).contains(&best), "best = {best}");
         assert!(g(best) > g(0) && g(best) > g(9));

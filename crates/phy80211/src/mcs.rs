@@ -73,12 +73,14 @@ pub fn vht_mcs_valid(mcs: Mcs, nss: u8, width: Width) -> bool {
     if mcs.0 > 9 || nss == 0 || nss > 4 {
         return false;
     }
-    match (mcs.0, nss, width) {
-        (9, 1, Width::W20) | (9, 2, Width::W20) | (9, 4, Width::W20) => false,
-        (6, 3, Width::W80) => false,
-        (9, 3, Width::W160) => false,
-        _ => true,
-    }
+    !matches!(
+        (mcs.0, nss, width),
+        (9, 1, Width::W20)
+            | (9, 2, Width::W20)
+            | (9, 4, Width::W20)
+            | (6, 3, Width::W80)
+            | (9, 3, Width::W160)
+    )
 }
 
 /// Data rate in bits per second for a VHT transmission.
@@ -219,8 +221,7 @@ mod tests {
     fn snr_requirements_increase_with_mcs_and_width() {
         for m in 1..=9u8 {
             assert!(
-                snr_requirement_db(Mcs(m), Width::W20)
-                    > snr_requirement_db(Mcs(m - 1), Width::W20)
+                snr_requirement_db(Mcs(m), Width::W20) > snr_requirement_db(Mcs(m - 1), Width::W20)
             );
         }
         let narrow = snr_requirement_db(Mcs(5), Width::W20);

@@ -118,7 +118,7 @@ impl MinstrelLite {
     /// Rate to use for the next transmission.
     pub fn select(&mut self, rng: &mut Rng) -> RateChoice {
         self.tx_count += 1;
-        let idx = if self.tx_count % self.probe_interval == 0 {
+        let idx = if self.tx_count.is_multiple_of(self.probe_interval) {
             // Probe a random rate near the current best to learn drift.
             let lo = self.best_index().saturating_sub(2);
             let hi = (self.best_index() + 2).min(self.table.len() - 1);
@@ -210,7 +210,10 @@ mod tests {
 
     #[test]
     fn efficiency_metric_basics() {
-        assert_eq!(bitrate_efficiency(433_300_000, 1_300_000_000, 866_700_000), 433_300_000 as f64 / 866_700_000 as f64);
+        assert_eq!(
+            bitrate_efficiency(433_300_000, 1_300_000_000, 866_700_000),
+            433_300_000_f64 / 866_700_000_f64
+        );
         assert_eq!(bitrate_efficiency(0, 100, 100), 0.0);
         assert_eq!(bitrate_efficiency(200, 100, 100), 1.0, "clamped at 1");
         assert_eq!(bitrate_efficiency(50, 0, 100), 0.0, "zero cap");

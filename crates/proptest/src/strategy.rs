@@ -1,0 +1,136 @@
+//! Value-generation strategies: numeric ranges and `any::<T>()`.
+
+use crate::test_runner::TestRng;
+use std::marker::PhantomData;
+use std::ops::{Range, RangeInclusive};
+
+/// Generates one value per call. Unlike real proptest there is no value
+/// tree: strategies produce final values directly (no shrinking).
+pub trait Strategy {
+    type Value;
+    fn generate(&self, rng: &mut TestRng) -> Self::Value;
+}
+
+/// Types with a canonical "any value" strategy.
+pub trait Arbitrary: Sized {
+    fn arbitrary(rng: &mut TestRng) -> Self;
+}
+
+/// Strategy returned by [`any`].
+#[derive(Debug, Clone, Copy, Default)]
+pub struct AnyStrategy<T>(PhantomData<T>);
+
+/// Mirror of `proptest::prelude::any`.
+pub fn any<T: Arbitrary>() -> AnyStrategy<T> {
+    AnyStrategy(PhantomData)
+}
+
+impl<T: Arbitrary> Strategy for AnyStrategy<T> {
+    type Value = T;
+    fn generate(&self, rng: &mut TestRng) -> T {
+        T::arbitrary(rng)
+    }
+}
+
+macro_rules! int_strategies {
+    ($($t:ty),*) => {
+        $(
+            impl Arbitrary for $t {
+                fn arbitrary(rng: &mut TestRng) -> $t {
+                    rng.next_u64() as $t
+                }
+            }
+
+            impl Strategy for Range<$t> {
+                type Value = $t;
+                fn generate(&self, rng: &mut TestRng) -> $t {
+                    assert!(self.start < self.end, "empty range");
+                    let span = (self.end as u128).wrapping_sub(self.start as u128);
+                    self.start
+                        .wrapping_add((rng.next_u64() as u128 % span) as $t)
+                }
+            }
+
+            impl Strategy for RangeInclusive<$t> {
+                type Value = $t;
+                fn generate(&self, rng: &mut TestRng) -> $t {
+                    let (lo, hi) = (*self.start(), *self.end());
+                    assert!(lo <= hi, "empty range");
+                    let span = (hi as u128).wrapping_sub(lo as u128) + 1;
+                    lo.wrapping_add((rng.next_u64() as u128 % span) as $t)
+                }
+            }
+        )*
+    };
+}
+
+int_strategies!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Arbitrary for bool {
+    fn arbitrary(rng: &mut TestRng) -> bool {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+impl Strategy for Range<f64> {
+    type Value = f64;
+    fn generate(&self, rng: &mut TestRng) -> f64 {
+        assert!(self.start < self.end, "empty range");
+        self.start + rng.unit_f64() * (self.end - self.start)
+    }
+}
+
+impl Strategy for Range<f32> {
+    type Value = f32;
+    fn generate(&self, rng: &mut TestRng) -> f32 {
+        assert!(self.start < self.end, "empty range");
+        self.start + rng.unit_f64() as f32 * (self.end - self.start)
+    }
+}
+
+/// Pass-through so `proptest!` arguments can reuse a prebuilt strategy
+/// behind a reference.
+impl<S: Strategy> Strategy for &S {
+    type Value = S::Value;
+    fn generate(&self, rng: &mut TestRng) -> Self::Value {
+        (*self).generate(rng)
+    }
+}
+
+/// `Just`-style constant strategy, occasionally handy in local tests.
+#[derive(Debug, Clone)]
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+    fn generate(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ranges_respect_bounds() {
+        let mut rng = TestRng::for_case("strategy::bounds", 0);
+        for _ in 0..1_000 {
+            let x = (5u64..10).generate(&mut rng);
+            assert!((5..10).contains(&x));
+            let y = (0.25f64..0.75).generate(&mut rng);
+            assert!((0.25..0.75).contains(&y));
+            let z = (3i32..=5).generate(&mut rng);
+            assert!((3..=5).contains(&z));
+        }
+    }
+
+    #[test]
+    fn any_is_deterministic_per_case() {
+        let mut a = TestRng::for_case("strategy::det", 7);
+        let mut b = TestRng::for_case("strategy::det", 7);
+        for _ in 0..100 {
+            assert_eq!(any::<u64>().generate(&mut a), any::<u64>().generate(&mut b));
+        }
+    }
+}

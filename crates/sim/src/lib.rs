@@ -32,6 +32,6 @@ pub mod time;
 pub mod trace;
 
 pub use queue::{EventId, EventQueue};
-pub use rng::Rng;
+pub use rng::{derive_stream_seed, Rng};
 pub use time::{SimDuration, SimTime};
 pub use trace::{Counting, Memory, MemoryTracer, Stderr, TraceEvent, TraceKind, TraceSink, Tracer};

@@ -126,7 +126,6 @@ impl Tracer {
     pub fn warn(&self, at: SimTime, component: &'static str, message: impl AsRef<str>) {
         self.emit(at, TraceKind::Warn, component, message.as_ref().to_owned());
     }
-
 }
 
 /// A tracer bundled with direct access to its memory sink, for tests.

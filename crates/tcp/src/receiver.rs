@@ -180,11 +180,7 @@ impl TcpReceiver {
         let sack = if self.cfg.sack {
             // Up to 3 SACK blocks, lowest first (sufficient for the
             // simulator; real stacks order most-recent-first).
-            self.ooo
-                .iter()
-                .take(3)
-                .map(|(&s, &e)| (s, e))
-                .collect()
+            self.ooo.iter().take(3).map(|(&s, &e)| (s, e)).collect()
         } else {
             Vec::new()
         };
@@ -334,8 +330,8 @@ mod tests {
     fn in_order_while_holes_exist_acks_immediately() {
         let mut r = mk();
         r.on_data(&seg(2920, 1460), t(0)); // hole at [0,2920)
-        // First in-order segment: must ACK immediately (not delay) while
-        // reassembly queue is non-empty, per RFC 5681 §4.2.
+                                           // First in-order segment: must ACK immediately (not delay) while
+                                           // reassembly queue is non-empty, per RFC 5681 §4.2.
         let a = r.on_data(&seg(0, 1460), t(1)).expect("immediate");
         assert_eq!(a.ack, 1460);
         assert_eq!(a.sack, vec![(2920, 4380)]);

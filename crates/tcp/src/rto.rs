@@ -55,9 +55,15 @@ impl RtoEstimator {
 
     fn recompute(&mut self) {
         let srtt = self.srtt.unwrap_or(SimDuration::from_secs(1));
-        let candidate = srtt + self.rttvar.saturating_mul(4).max(SimDuration::from_millis(10));
+        let candidate = srtt
+            + self
+                .rttvar
+                .saturating_mul(4)
+                .max(SimDuration::from_millis(10));
         let base = candidate.max(self.min_rto).min(self.max_rto);
-        self.rto = base.saturating_mul(1u64 << self.backoff.min(8)).min(self.max_rto);
+        self.rto = base
+            .saturating_mul(1u64 << self.backoff.min(8))
+            .min(self.max_rto);
     }
 
     /// Current RTO value.

@@ -26,7 +26,10 @@ impl WireSeq {
         self == other || self.lt(other)
     }
 
-    /// Advance by `n` bytes, wrapping.
+    /// Advance by `n` bytes, wrapping. Deliberately not `ops::Add`: the
+    /// asymmetric signature (seq + byte count) shouldn't look like
+    /// general arithmetic on sequence numbers.
+    #[allow(clippy::should_implement_trait)]
     pub fn add(self, n: u32) -> WireSeq {
         WireSeq(self.0.wrapping_add(n))
     }

@@ -185,13 +185,7 @@ mod tests {
         for s in 0..60 {
             lt.insert(key(1), t(s), s as f64);
         }
-        let buckets = lt.downsample(
-            &key(1),
-            t(0),
-            t(60),
-            SimDuration::from_secs(20),
-            Agg::Mean,
-        );
+        let buckets = lt.downsample(&key(1), t(0), t(60), SimDuration::from_secs(20), Agg::Mean);
         assert_eq!(buckets.len(), 3);
         assert_eq!(buckets[0], (t(0), 9.5));
         assert_eq!(buckets[1], (t(20), 29.5));
@@ -204,8 +198,7 @@ mod tests {
         let mut lt = LittleTable::new();
         lt.insert(key(1), t(5), 1.0);
         lt.insert(key(1), t(45), 2.0);
-        let buckets =
-            lt.downsample(&key(1), t(0), t(60), SimDuration::from_secs(10), Agg::Sum);
+        let buckets = lt.downsample(&key(1), t(0), t(60), SimDuration::from_secs(10), Agg::Sum);
         assert_eq!(buckets.len(), 2);
         assert_eq!(buckets[0].0, t(0));
         assert_eq!(buckets[1].0, t(40));

@@ -99,8 +99,7 @@ impl P2Quantile {
                             + (self.pos[i + 1] - self.pos[i] - d)
                                 * (self.heights[i] - self.heights[i - 1])
                                 / -left);
-                let new_h = if self.heights[i - 1] < parabolic && parabolic < self.heights[i + 1]
-                {
+                let new_h = if self.heights[i - 1] < parabolic && parabolic < self.heights[i + 1] {
                     parabolic
                 } else {
                     // Linear fallback.
@@ -180,13 +179,13 @@ impl RateCounter {
         while now.saturating_since(self.bucket_start) >= self.window {
             self.previous = self.current;
             self.current = 0.0;
-            self.bucket_start = self.bucket_start + self.window;
+            self.bucket_start += self.window;
             if now.saturating_since(self.bucket_start) >= self.window * 2 {
                 // Long silence: both buckets are stale.
                 self.previous = 0.0;
-                let gap = now.saturating_since(self.bucket_start).as_nanos()
-                    / self.window.as_nanos();
-                self.bucket_start = self.bucket_start + self.window * gap;
+                let gap =
+                    now.saturating_since(self.bucket_start).as_nanos() / self.window.as_nanos();
+                self.bucket_start += self.window * gap;
             }
         }
     }

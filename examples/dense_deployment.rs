@@ -41,10 +41,22 @@ fn main() {
         &mut rng,
     );
     let med = |xs: &[f64]| quantile(xs, 0.5).unwrap() * 100.0;
-    println!("fleet (networks ≥10 APs): median 2.4 GHz {:.0}%, 5 GHz {:.0}%", med(&u24), med(&u5));
-    let hq24: Vec<f64> = (0..500).map(|_| UtilizationProfile::HQ_2_4.sample(&mut rng)).collect();
-    let hq5: Vec<f64> = (0..500).map(|_| UtilizationProfile::HQ_5.sample(&mut rng)).collect();
-    println!("HQ office:                median 2.4 GHz {:.0}%, 5 GHz {:.0}%", med(&hq24), med(&hq5));
+    println!(
+        "fleet (networks ≥10 APs): median 2.4 GHz {:.0}%, 5 GHz {:.0}%",
+        med(&u24),
+        med(&u5)
+    );
+    let hq24: Vec<f64> = (0..500)
+        .map(|_| UtilizationProfile::HQ_2_4.sample(&mut rng))
+        .collect();
+    let hq5: Vec<f64> = (0..500)
+        .map(|_| UtilizationProfile::HQ_5.sample(&mut rng))
+        .collect();
+    println!(
+        "HQ office:                median 2.4 GHz {:.0}%, 5 GHz {:.0}%",
+        med(&hq24),
+        med(&hq5)
+    );
 
     println!("\n== interferers on a dense campus (Fig. 3) ==");
     // Fleet measurements count co-channel APs of *all* surrounding
@@ -62,7 +74,11 @@ fn main() {
         .collect();
     let turbo = TurboCa::new(9).run(&view, ScheduleTier::Slow).plan;
     for (name, channels) in [("static width mix", &mixed), ("TurboCA", &turbo.channels)] {
-        let ints: Vec<f64> = topo.interferers(channels).iter().map(|&c| c as f64).collect();
+        let ints: Vec<f64> = topo
+            .interferers(channels)
+            .iter()
+            .map(|&c| c as f64)
+            .collect();
         let cdf = Cdf::new(&ints);
         println!(
             "{name:<16} median {:>4.1}   p90 {:>4.1} interferers",

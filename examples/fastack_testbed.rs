@@ -52,7 +52,10 @@ fn main() {
     }
 
     println!("\n== two co-channel APs, 10 clients each (Fig. 18) ==");
-    println!("{:<22} {:>8} {:>8} {:>9}", "configuration", "AP1", "AP2", "combined");
+    println!(
+        "{:<22} {:>8} {:>8} {:>9}",
+        "configuration", "AP1", "AP2", "combined"
+    );
     for (label, fa1, fa2) in [
         ("baseline + baseline", false, false),
         ("baseline + fastack", false, true),

@@ -44,7 +44,13 @@ fn main() {
         "planner", "ln NetP", "switches", "median lat (ms)", "median eff"
     );
     for (name, plan) in &plans {
-        let m = evaluate(&view, plan, &caps, &EvalOptions::default(), &mut Rng::new(5));
+        let m = evaluate(
+            &view,
+            plan,
+            &caps,
+            &EvalOptions::default(),
+            &mut Rng::new(5),
+        );
         println!(
             "{:<16} {:>10.1} {:>9} {:>16.1} {:>12.2}",
             name,
@@ -65,5 +71,8 @@ fn main() {
         .filter(|(c, _)| c.requires_dfs())
         .count();
     let with_fb = turbo.fallback.iter().flatten().count();
-    println!("\nTurboCA DFS assignments: {dfs}, all with non-DFS fallback: {}", dfs == with_fb);
+    println!(
+        "\nTurboCA DFS assignments: {dfs}, all with non-DFS fallback: {}",
+        dfs == with_fb
+    );
 }

@@ -72,7 +72,9 @@ fn main() {
 
     // The repaired client acknowledges the rest; AP2 suppresses as usual.
     let acts = ap2.on_client_ack(&AckSegment::plain(FlowId(1), 20 * MSS as u64, 1 << 20));
-    assert!(acts.iter().any(|a| matches!(a, Action::SuppressClientAck(_))));
+    assert!(acts
+        .iter()
+        .any(|a| matches!(a, Action::SuppressClientAck(_))));
     println!(
         "AP2: flow caught up to byte {}; {} local retransmissions total — roam was invisible to the sender",
         20 * MSS as u64,

@@ -1,0 +1,18 @@
+#!/usr/bin/env bash
+# Tier-1 CI gate: formatting, lints, and the full test suite.
+# Everything here must pass before a change lands.
+#
+# Usage: scripts/ci.sh
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "=== cargo fmt --check ==="
+cargo fmt --all -- --check
+
+echo "=== cargo clippy (deny warnings) ==="
+cargo clippy --workspace --all-targets --quiet -- -D warnings
+
+echo "=== cargo test ==="
+cargo test --workspace -q
+
+echo "ci: all green"

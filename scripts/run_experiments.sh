@@ -1,21 +1,42 @@
 #!/usr/bin/env bash
 # Run every paper-reproduction experiment and ablation; results land in
-# results/*.json. Exits non-zero if any paper-vs-measured comparison
-# fails.
-set -u
+# <outdir>/*.json (default: results/). Exits non-zero if any
+# paper-vs-measured comparison fails.
+#
+# Usage: scripts/run_experiments.sh [outdir]
+set -euo pipefail
 cd "$(dirname "$0")/.."
-fail=0
+
+OUTDIR="${1:-results}"
+mkdir -p "$OUTDIR"
+# Picked up by bench::harness::Experiment::finish for the JSON dumps.
+export IMC_RESULTS_DIR="$OUTDIR"
+
 EXPERIMENTS=(
   fig01_client_capabilities fig02_utilization_cdf fig03_interferer_cdf
   fig04_ac_latency fig05_bitrate_distribution tab01_channel_width
   fig06_ap_snapshot tab02_usage fig07_rssi_pdf fig08_tcp_latency_cdf
   fig09_bitrate_efficiency fig10_latency_vs_clients fig14_cwnd
   fig15_aggregation fig16_throughput fig17_fairness fig18_multi_ap
+  fleet_scale
   abl_nbo_hops abl_penalty abl_fastack_cache abl_bad_hints abl_rxwin abl_baselines
 )
+
+# Build everything up front so a missing/broken binary fails fast,
+# before any experiment has run.
+echo "=== building experiment binaries ==="
+cargo build --release -p bench --quiet
+for exp in "${EXPERIMENTS[@]}"; do
+  if [[ ! -x "target/release/$exp" ]]; then
+    echo "!! experiment binary missing after build: $exp" >&2
+    exit 2
+  fi
+done
+
+fail=0
 for exp in "${EXPERIMENTS[@]}"; do
   echo "=== $exp ==="
-  if ! cargo run --release -p bench --bin "$exp"; then
+  if ! "target/release/$exp"; then
     echo "!! $exp reported mismatches"
     fail=1
   fi

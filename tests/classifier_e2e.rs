@@ -6,9 +6,7 @@
 
 use sim::{Rng, SimDuration, SimTime};
 use wifi_core::fastack::{Action, Agent, AgentConfig, FlowPolicy};
-use wifi_core::tcp::{
-    AckSegment, DataSegment, FlowId, ReceiverConfig, SenderConfig, TcpReceiver, TcpSender,
-};
+use wifi_core::tcp::{DataSegment, FlowId, ReceiverConfig, SenderConfig, TcpReceiver, TcpSender};
 
 struct Flow {
     sender: TcpSender,
@@ -37,12 +35,12 @@ impl Flow {
 }
 
 /// Drive all flows through one agent until everyone completes.
-fn run(agent: &mut Agent, flows: &mut Vec<Flow>, bad_hint: f64, seed: u64) {
+fn run(agent: &mut Agent, flows: &mut [Flow], bad_hint: f64, seed: u64) {
     let mut rng = Rng::new(seed);
     let mut now = SimTime::ZERO;
     let mut queue: Vec<DataSegment> = Vec::new();
     for _ in 0..200_000 {
-        now = now + SimDuration::from_micros(400);
+        now += SimDuration::from_micros(400);
         // Senders release.
         for f in flows.iter_mut() {
             for seg in f.sender.poll(now) {
@@ -124,7 +122,7 @@ fn run(agent: &mut Agent, flows: &mut Vec<Flow>, bad_hint: f64, seed: u64) {
                 }
             }
         }
-        if now.as_millis() % 20 == 0 {
+        if now.as_millis().is_multiple_of(20) {
             for f in flows.iter() {
                 for act in agent.force_repair(f.sender.flow) {
                     if let Action::LocalRetransmit(seg) = act {

@@ -62,7 +62,10 @@ fn byte_conservation_through_the_stack() {
     // Fast ACKs can run slightly ahead of client-transport delivery
     // (bad hints pending repair), but not by more than the receive
     // windows (4 MB each).
-    assert!(acked <= delivered + 10 * (4 << 20), "acked {acked} delivered {delivered}");
+    assert!(
+        acked <= delivered + 10 * (4 << 20),
+        "acked {acked} delivered {delivered}"
+    );
     assert!(delivered > 0);
     // The per-AP throughput counters are derived from the same delivered
     // bytes; the two views must agree to within float rounding.

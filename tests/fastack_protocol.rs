@@ -47,7 +47,7 @@ impl World {
     }
 
     fn tick(&mut self) {
-        self.now = self.now + SimDuration::from_micros(500);
+        self.now += SimDuration::from_micros(500);
     }
 
     /// Move one batch through the world.
@@ -95,7 +95,7 @@ impl World {
             }
         }
         // 6. Liveness repair (the forwarding-plane timer).
-        if self.now.as_millis() % 20 == 0 {
+        if self.now.as_millis().is_multiple_of(20) {
             let acts = self.agent.force_repair(FlowId(1));
             for act in acts {
                 if let Action::LocalRetransmit(seg) = act {
@@ -188,7 +188,10 @@ fn transfer_survives_upstream_loss() {
     assert!(w.run_to_completion(TOTAL, 2_000_000), "did not finish");
     assert_eq!(w.receiver.delivered_bytes, TOTAL, "every byte exactly once");
     assert!(w.agent.stats.holes_detected > 0, "holes were seen");
-    assert!(w.agent.stats.priority_forwards > 0, "repairs were prioritized");
+    assert!(
+        w.agent.stats.priority_forwards > 0,
+        "repairs were prioritized"
+    );
 }
 
 #[test]
@@ -212,7 +215,10 @@ fn transfer_survives_mac_loss() {
 fn transfer_survives_everything_at_once() {
     for seed in [5u64, 6, 7] {
         let mut w = World::new(seed, TOTAL, 0.02, 0.005, 0.02);
-        assert!(w.run_to_completion(TOTAL, 6_000_000), "seed {seed} did not finish");
+        assert!(
+            w.run_to_completion(TOTAL, 6_000_000),
+            "seed {seed} did not finish"
+        );
         assert_eq!(
             w.receiver.delivered_bytes, TOTAL,
             "seed {seed}: stream corrupted"
@@ -234,6 +240,9 @@ fn roaming_mid_transfer_preserves_the_stream() {
     let mut fresh = Agent::new(AgentConfig::default());
     fresh.import_flow(FlowId(1), state, cache);
     w.agent = fresh;
-    assert!(w.run_to_completion(total, 4_000_000), "did not finish after roam");
+    assert!(
+        w.run_to_completion(total, 4_000_000),
+        "did not finish after roam"
+    );
     assert_eq!(w.receiver.delivered_bytes, total);
 }

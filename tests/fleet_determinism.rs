@@ -1,0 +1,58 @@
+//! Property test for the fleet determinism contract: the same master
+//! seed must produce a bit-identical `FleetReport` checksum (and
+//! identical per-network reports) for every shard/thread count.
+
+use proptest::prelude::*;
+use wifi_core::fleet::{run_fleet, FleetConfig};
+use wifi_core::sim::SimDuration;
+
+fn tiny_fleet(master_seed: u64, threads: usize) -> FleetConfig {
+    FleetConfig {
+        n_networks: 3,
+        threads,
+        master_seed,
+        aps_min: 10,
+        aps_max: 11,
+        horizon: SimDuration::from_mins(30),
+        ..FleetConfig::default()
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(4))]
+
+    /// Same master seed + different shard counts ⇒ identical checksum
+    /// and identical per-network results.
+    #[test]
+    fn checksum_is_thread_count_invariant(
+        seed in any::<u64>(),
+        shards in 2usize..9,
+    ) {
+        let sequential = run_fleet(&tiny_fleet(seed, 1));
+        let sharded = run_fleet(&tiny_fleet(seed, shards));
+        prop_assert_eq!(
+            sequential.report.checksum,
+            sharded.report.checksum,
+            "seed {} diverged at {} shards", seed, shards
+        );
+        prop_assert_eq!(&sequential.per_network, &sharded.per_network);
+        // And the aggregates derived from the ingest store agree too.
+        let (a24, a5) = sequential.aggregate.util_medians();
+        let (b24, b5) = sharded.aggregate.util_medians();
+        prop_assert_eq!(a24.to_bits(), b24.to_bits());
+        prop_assert_eq!(a5.to_bits(), b5.to_bits());
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(3))]
+
+    /// Different master seeds ⇒ different fleets (checksum collision
+    /// over a handful of draws is astronomically unlikely).
+    #[test]
+    fn seed_separates_fleets(seed in 0u64..u64::MAX / 2) {
+        let a = run_fleet(&tiny_fleet(seed, 2));
+        let b = run_fleet(&tiny_fleet(seed + 1, 2));
+        prop_assert_ne!(a.report.checksum, b.report.checksum);
+    }
+}

@@ -60,7 +60,7 @@ proptest! {
         // Build the arrival sequence: each segment `dup_factor` times,
         // then shuffle.
         let mut arrivals: Vec<u64> = (0..n_segments as u64)
-            .flat_map(|i| std::iter::repeat(i * seg_len as u64).take(dup_factor))
+            .flat_map(|i| std::iter::repeat_n(i * seg_len as u64, dup_factor))
             .collect();
         rng.shuffle(&mut arrivals);
         let mut r = TcpReceiver::new(FlowId(1), ReceiverConfig::default());
