@@ -22,7 +22,8 @@ fn main() {
         retx_series.push((bh, r.agent_stats[0].local_retransmits as f64));
     }
     let clean = series[0].1;
-    let at_1pct = series.iter().find(|(b, _)| *b == 0.01).unwrap().1;
+    // Exact key lookup against the literal used to build the series.
+    let at_1pct = series.iter().find(|(b, _)| *b == 0.01).unwrap().1; // simcheck: allow(float-eq)
     let at_10pct = series.last().unwrap().1;
     exp.compare(
         "graceful degradation to 1% bad hints",

@@ -75,7 +75,7 @@ fn main() {
     let mut rng = Rng::new(404);
     let mut m = MediumSim::new(404);
     let mut queue_ac = Vec::new();
-    let mut offered = std::collections::HashMap::new();
+    let mut offered = std::collections::BTreeMap::new();
     // Voice/video stations send on a real-time cadence (a frame every
     // 20 ms, VoIP-style); bulk BE/BK queues are saturated up front.
     let mut periodic: Vec<(usize, usize, usize)> = Vec::new(); // (queue, bytes, remaining)
@@ -134,8 +134,8 @@ fn main() {
         }
     }
 
-    let mut lat: std::collections::HashMap<AccessCategory, Vec<f64>> = Default::default();
-    let mut lost: std::collections::HashMap<AccessCategory, usize> = Default::default();
+    let mut lat: std::collections::BTreeMap<AccessCategory, Vec<f64>> = Default::default();
+    let mut lost: std::collections::BTreeMap<AccessCategory, usize> = Default::default();
     for r in &reports {
         for d in &r.deliveries {
             lat.entry(queue_ac[d.queue].1)
@@ -147,7 +147,7 @@ fn main() {
         }
     }
 
-    let mut med = std::collections::HashMap::new();
+    let mut med = std::collections::BTreeMap::new();
     let mut total_lost = 0usize;
     let mut total_offered = 0usize;
     for p in &profiles {

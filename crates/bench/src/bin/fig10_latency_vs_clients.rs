@@ -31,10 +31,11 @@ fn main() {
         }
         prev_gap = tcp - mac;
     }
-    let tcp25 = tcp_series.iter().find(|(n, _)| *n == 25.0).unwrap().1;
-    let mac25 = mac_series.iter().find(|(n, _)| *n == 25.0).unwrap().1;
-    let tcp30 = tcp_series.iter().find(|(n, _)| *n == 30.0).unwrap().1;
-    let mac30 = mac_series.iter().find(|(n, _)| *n == 30.0).unwrap().1;
+    // Exact key lookups against the literals used to build the series.
+    let tcp25 = tcp_series.iter().find(|(n, _)| *n == 25.0).unwrap().1; // simcheck: allow(float-eq)
+    let mac25 = mac_series.iter().find(|(n, _)| *n == 25.0).unwrap().1; // simcheck: allow(float-eq)
+    let tcp30 = tcp_series.iter().find(|(n, _)| *n == 30.0).unwrap().1; // simcheck: allow(float-eq)
+    let mac30 = mac_series.iter().find(|(n, _)| *n == 30.0).unwrap().1; // simcheck: allow(float-eq)
 
     exp.compare(
         "mean TCP latency at 25 clients",

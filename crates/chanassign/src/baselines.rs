@@ -203,7 +203,7 @@ mod tests {
         let view = clique(6, Channel::five(36));
         let plan = ReservedCa::new(Width::W40).run(&view);
         assert!(plan.channels.iter().all(|c| c.width <= Width::W40));
-        let distinct: std::collections::HashSet<u16> =
+        let distinct: std::collections::BTreeSet<u16> =
             plan.channels.iter().map(|c| c.primary).collect();
         assert!(distinct.len() >= 3, "{distinct:?}");
     }

@@ -382,7 +382,7 @@ mod tests {
         assert!(result.improved);
         assert!(result.net_p_ln > result.incumbent_net_p_ln);
         // The plan should spread across several distinct channels.
-        let distinct: std::collections::HashSet<u16> =
+        let distinct: std::collections::BTreeSet<u16> =
             result.plan.channels.iter().map(|c| c.primary).collect();
         assert!(distinct.len() >= 4, "only {distinct:?}");
     }

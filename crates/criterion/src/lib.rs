@@ -31,6 +31,9 @@ impl Bencher {
             black_box(f());
         }
         let mut iters = 0u64;
+        // The shim's entire job is wall-clock timing (clippy.toml
+        // disallows it everywhere else).
+        #[allow(clippy::disallowed_methods)]
         let start = Instant::now();
         while start.elapsed() < MEASURE_TARGET && iters < MAX_MEASURE_ITERS {
             black_box(f());

@@ -18,7 +18,7 @@
 use crate::cache::{CachedSegment, RetransmissionCache};
 use crate::classifier::{Classifier, FlowPolicy};
 use crate::state::FlowState;
-use std::collections::{BTreeSet, HashMap};
+use std::collections::{BTreeMap, BTreeSet};
 use tcpsim::segment::{AckSegment, DataSegment, FlowId};
 
 /// What the forwarding plane must do with a packet.
@@ -108,7 +108,9 @@ struct Flow {
 #[derive(Clone)]
 pub struct Agent {
     cfg: AgentConfig,
-    flows: HashMap<FlowId, Flow>,
+    // Ordered map: any iteration over flows must happen in FlowId order
+    // or replay determinism is lost (simcheck: hash-collections).
+    flows: BTreeMap<FlowId, Flow>,
     classifier: Classifier,
     pub stats: AgentStats,
 }
@@ -118,7 +120,7 @@ impl Agent {
         Agent {
             classifier: Classifier::new(cfg.flow_policy),
             cfg,
-            flows: HashMap::new(),
+            flows: BTreeMap::new(),
             stats: AgentStats::default(),
         }
     }

@@ -8,7 +8,7 @@
 //! promotes a flow once it crosses a threshold; the agent then adopts it
 //! mid-stream.
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 use tcpsim::segment::FlowId;
 
 /// Which flows get fast-ACKed.
@@ -29,14 +29,14 @@ pub enum FlowPolicy {
 #[derive(Debug, Clone, Default)]
 pub struct Classifier {
     policy: FlowPolicy,
-    bytes: HashMap<FlowId, u64>,
+    bytes: BTreeMap<FlowId, u64>,
 }
 
 impl Classifier {
     pub fn new(policy: FlowPolicy) -> Classifier {
         Classifier {
             policy,
-            bytes: HashMap::new(),
+            bytes: BTreeMap::new(),
         }
     }
 

@@ -9,7 +9,7 @@
 //! deployment can feed it raw header fields.
 
 use crate::agent::{Action, Agent};
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 use tcpsim::segment::{AckSegment, DataSegment, FlowId};
 use tcpsim::seq::{Unwrapper, WireSeq};
 
@@ -53,7 +53,7 @@ struct FlowAnchors {
 /// The inspection front end wrapping an [`Agent`].
 pub struct WireAgent {
     agent: Agent,
-    anchors: HashMap<FlowId, FlowAnchors>,
+    anchors: BTreeMap<FlowId, FlowAnchors>,
 }
 
 /// An action with its ACK fields re-wrapped for the wire.
@@ -81,7 +81,7 @@ impl WireAgent {
     pub fn new(agent: Agent) -> WireAgent {
         WireAgent {
             agent,
-            anchors: HashMap::new(),
+            anchors: BTreeMap::new(),
         }
     }
 
@@ -177,8 +177,10 @@ impl WireAgent {
         &mut self.agent
     }
 
-    fn rewrap(isn: WireSeq, off: u64) -> WireSeq {
-        isn.add(off as u32) // modular: (isn + off) mod 2^32
+    fn rewrap(isn: WireSeq, seq_off: u64) -> WireSeq {
+        // Intentional modular truncation: (isn + off) mod 2^32 is the
+        // wire representation of an unwrapped stream offset.
+        isn.add(seq_off as u32) // simcheck: allow(narrowing-cast)
     }
 
     fn wrap(a: Action, isn: WireSeq, original: &WireData) -> WireAction {

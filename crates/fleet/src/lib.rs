@@ -47,6 +47,7 @@
 pub mod ingest;
 pub mod network;
 pub mod report;
+pub mod sanitize;
 pub mod shard;
 
 pub use ingest::{FleetAggregate, FleetIngest};
@@ -128,6 +129,7 @@ pub fn run_fleet(cfg: &FleetConfig) -> FleetRun {
     let mut now = SimTime::ZERO;
     while now < end {
         shard::for_each_mut_sharded(&mut nets, cfg.threads, &|net| net.on_tick(now, cfg));
+        sanitize::check_epoch(&nets, now);
         now += cfg.collect_period;
     }
 

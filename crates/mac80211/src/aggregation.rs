@@ -96,7 +96,60 @@ pub fn build_ampdu(
         }
     }
     let mpdus: Vec<QueuedMpdu> = queue.drain(..take).collect();
-    Some(Ampdu { mpdus, duration })
+    let ampdu = Ampdu { mpdus, duration };
+    check_ampdu(&ampdu, limits.max_frames);
+    Some(ampdu)
+}
+
+/// Sanitizer hook: an assembled aggregate must be non-empty and must
+/// not exceed its frame limit (at most the 64-frame BlockAck window).
+/// No-op unless the sim-sanitizer is active — see [`sim::sanitize`].
+#[track_caller]
+pub fn check_ampdu(ampdu: &Ampdu, max_frames: usize) {
+    if !sim::sanitize::enabled() {
+        return;
+    }
+    sim::sanitize::check(!ampdu.mpdus.is_empty(), "A-MPDU with zero MPDUs");
+    if ampdu.size() > max_frames.min(MAX_AMPDU_FRAMES) {
+        sim::sanitize::violation(&format!(
+            "A-MPDU of {} frames exceeds the {}-frame BlockAck window",
+            ampdu.size(),
+            max_frames.min(MAX_AMPDU_FRAMES),
+        ));
+    }
+}
+
+/// Sanitizer hook: a BlockAck must cover exactly the transmitted
+/// aggregate — same MPDU count (within the 64-frame window) and the
+/// same ids in the same order, so per-MPDU delivery state can never
+/// regress onto the wrong sequence. No-op unless the sim-sanitizer is
+/// active.
+#[track_caller]
+pub fn check_blockack(ampdu: &Ampdu, ba: &BlockAck) {
+    if !sim::sanitize::enabled() {
+        return;
+    }
+    if ba.per_mpdu.len() > MAX_AMPDU_FRAMES {
+        sim::sanitize::violation(&format!(
+            "BlockAck covers {} MPDUs, window is {MAX_AMPDU_FRAMES}",
+            ba.per_mpdu.len(),
+        ));
+    }
+    if ba.per_mpdu.len() != ampdu.size() {
+        sim::sanitize::violation(&format!(
+            "BlockAck covers {} MPDUs but the aggregate carried {}",
+            ba.per_mpdu.len(),
+            ampdu.size(),
+        ));
+    }
+    for (i, (&(ba_id, _), mpdu)) in ba.per_mpdu.iter().zip(&ampdu.mpdus).enumerate() {
+        if ba_id != mpdu.id {
+            sim::sanitize::violation(&format!(
+                "BlockAck sequence regression at index {i}: acked id {ba_id}, transmitted id {}",
+                mpdu.id,
+            ));
+        }
+    }
 }
 
 /// Receiver-side BlockAck bookkeeping: which MPDUs of the last aggregate
@@ -274,6 +327,60 @@ mod tests {
         assert_eq!(s.max_size, 30);
         assert_eq!(s.min_size, 10);
         assert_eq!(AggregationStats::default().mean(), 0.0);
+    }
+
+    // Live whenever the sim-sanitizer is: debug builds always, release
+    // only with the `sanitize` feature (the CI sanitized pass).
+    #[cfg(any(debug_assertions, feature = "sanitize"))]
+    mod sanitizer {
+        use super::*;
+
+        fn ampdu(ids: &[u64]) -> Ampdu {
+            Ampdu {
+                mpdus: ids
+                    .iter()
+                    .map(|&id| QueuedMpdu { id, bytes: 1460 })
+                    .collect(),
+                duration: SimDuration::from_micros(100),
+            }
+        }
+
+        #[test]
+        fn matching_blockack_passes() {
+            let a = ampdu(&[5, 6, 7]);
+            let ba = BlockAck {
+                per_mpdu: vec![(5, true), (6, false), (7, true)],
+            };
+            check_blockack(&a, &ba);
+            check_ampdu(&a, MAX_AMPDU_FRAMES);
+        }
+
+        #[test]
+        #[should_panic(expected = "sim-sanitizer: A-MPDU of 65 frames exceeds")]
+        fn oversized_ampdu_is_violation() {
+            let ids: Vec<u64> = (0..65).collect();
+            check_ampdu(&ampdu(&ids), MAX_AMPDU_FRAMES);
+        }
+
+        #[test]
+        #[should_panic(expected = "sim-sanitizer: BlockAck covers")]
+        fn blockack_count_mismatch_is_violation() {
+            let a = ampdu(&[1, 2, 3]);
+            let ba = BlockAck {
+                per_mpdu: vec![(1, true), (2, true)],
+            };
+            check_blockack(&a, &ba);
+        }
+
+        #[test]
+        #[should_panic(expected = "sim-sanitizer: BlockAck sequence regression at index 1")]
+        fn blockack_id_regression_is_violation() {
+            let a = ampdu(&[1, 2, 3]);
+            let ba = BlockAck {
+                per_mpdu: vec![(1, true), (3, true), (2, true)],
+            };
+            check_blockack(&a, &ba);
+        }
     }
 
     #[test]

@@ -284,6 +284,7 @@ impl MediumSim {
                 .map(|m| (m.id, !self.rng.chance(per)))
                 .collect(),
         };
+        crate::aggregation::check_blockack(ampdu, &ba);
         let now = self.now + ampdu.duration + SIFS + block_ack_duration();
         let q = &mut self.queues[w];
         let mut still_inflight = Vec::new();

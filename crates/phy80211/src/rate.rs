@@ -88,7 +88,7 @@ pub fn bitrate_efficiency(achieved_bps: u64, ap_max_bps: u64, client_max_bps: u6
 
 /// Minstrel-style adaptive selector: tracks an EWMA success probability
 /// per rate-table index, transmits at the best-goodput rate, and probes
-/// a random other rate every `probe_interval` transmissions.
+/// a random other rate every `probe_interval_tx` transmissions.
 #[derive(Debug, Clone)]
 pub struct MinstrelLite {
     table: Vec<(Mcs, u8, u64)>,
@@ -96,7 +96,7 @@ pub struct MinstrelLite {
     prob: Vec<f64>,
     ewma_alpha: f64,
     tx_count: u64,
-    probe_interval: u64,
+    probe_interval_tx: u64,
     current: usize,
 }
 
@@ -110,7 +110,7 @@ impl MinstrelLite {
             prob: vec![1.0; n],
             ewma_alpha: 0.25,
             tx_count: 0,
-            probe_interval: 16,
+            probe_interval_tx: 16,
             current: 0,
         }
     }
@@ -118,7 +118,7 @@ impl MinstrelLite {
     /// Rate to use for the next transmission.
     pub fn select(&mut self, rng: &mut Rng) -> RateChoice {
         self.tx_count += 1;
-        let idx = if self.tx_count.is_multiple_of(self.probe_interval) {
+        let idx = if self.tx_count.is_multiple_of(self.probe_interval_tx) {
             // Probe a random rate near the current best to learn drift.
             let lo = self.best_index().saturating_sub(2);
             let hi = (self.best_index() + 2).min(self.table.len() - 1);
@@ -245,7 +245,7 @@ mod tests {
     fn minstrel_probes_periodically() {
         let mut rng = Rng::new(3);
         let mut m = MinstrelLite::new(Width::W20, 1);
-        let mut distinct = std::collections::HashSet::new();
+        let mut distinct = std::collections::BTreeSet::new();
         for _ in 0..64 {
             let c = m.select(&mut rng);
             distinct.insert((c.mcs.0, c.nss));

@@ -28,6 +28,7 @@
 
 pub mod queue;
 pub mod rng;
+pub mod sanitize;
 pub mod time;
 pub mod trace;
 

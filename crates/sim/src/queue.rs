@@ -62,6 +62,9 @@ pub struct EventQueue<E> {
     // pop; `live` tracks how many are real so `len`/`is_empty` stay honest.
     live: usize,
     cancelled: Vec<EventId>,
+    // Timestamp of the most recently popped event, used by the
+    // sim-sanitizer to re-verify pop order from outside the heap.
+    last_popped_at: SimTime,
 }
 
 impl<E> Default for EventQueue<E> {
@@ -79,6 +82,7 @@ impl<E> EventQueue<E> {
             next_seq: 0,
             live: 0,
             cancelled: Vec::new(),
+            last_popped_at: SimTime::ZERO,
         }
     }
 
@@ -169,10 +173,14 @@ impl<E> EventQueue<E> {
                 continue;
             }
             let payload = entry.payload.take().expect("live entry has payload");
+            crate::sanitize::check_event_order(self.last_popped_at, entry.at);
+            self.last_popped_at = entry.at;
             // If the clock was advanced past this event (a driver that
             // models busy periods with `advance_to`), the event fires
             // late, at the current clock — time never runs backwards.
-            self.now = self.now.max(entry.at);
+            let next_now = self.now.max(entry.at);
+            crate::sanitize::check_time_monotonic(self.now, next_now);
+            self.now = next_now;
             self.live -= 1;
             return Some((self.now, payload));
         }
@@ -196,7 +204,7 @@ impl<E> EventQueue<E> {
     /// events whose timestamps fall inside the skipped span fire *late*,
     /// at the advanced clock, when next popped.
     pub fn advance_to(&mut self, to: SimTime) {
-        debug_assert!(to >= self.now, "clock must be monotone");
+        crate::sanitize::check_time_monotonic(self.now, to);
         self.now = self.now.max(to);
     }
 }
@@ -314,5 +322,25 @@ mod tests {
         q.schedule(SimTime::from_micros(10), ());
         q.pop();
         q.schedule(SimTime::from_micros(5), ());
+    }
+
+    #[test]
+    #[should_panic(expected = "sim-sanitizer: clock moved backwards")]
+    #[cfg(any(debug_assertions, feature = "sanitize"))]
+    fn advancing_clock_backwards_is_a_violation() {
+        let mut q: EventQueue<()> = EventQueue::new();
+        q.advance_to(SimTime::from_secs(3));
+        q.advance_to(SimTime::from_secs(2));
+    }
+
+    #[test]
+    #[cfg(any(debug_assertions, feature = "sanitize"))]
+    fn pop_order_recheck_passes_on_normal_runs() {
+        let mut q = EventQueue::new();
+        q.schedule(SimTime::from_micros(10), 1);
+        q.advance_to(SimTime::from_micros(50)); // event at t=10 fires late
+        q.schedule(SimTime::from_micros(60), 2);
+        assert_eq!(q.pop().unwrap(), (SimTime::from_micros(50), 1));
+        assert_eq!(q.pop().unwrap(), (SimTime::from_micros(60), 2));
     }
 }

@@ -375,7 +375,7 @@ mod tests {
         assert_eq!(derive_stream_seed(42, 7), derive_stream_seed(42, 7));
         // Distinct across indices and masters, and the derived streams
         // are decorrelated from each other.
-        let mut seen = std::collections::HashSet::new();
+        let mut seen = std::collections::BTreeSet::new();
         for master in [0u64, 1, 42, u64::MAX] {
             for idx in 0..1000 {
                 assert!(seen.insert(derive_stream_seed(master, idx)));

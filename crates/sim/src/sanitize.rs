@@ -1,0 +1,109 @@
+//! Runtime sim-sanitizer — cheap invariant hooks for debug/test builds.
+//!
+//! The static linter (`crates/simcheck`) catches nondeterminism a lexer
+//! can see: hash collections, wall clocks, float equality. This module
+//! is its runtime complement: invariants that need live values — clock
+//! monotonicity, BlockAck window bounds, TCP counter ordering, fleet
+//! shard-checksum stability — asserted at the hook sites themselves.
+//!
+//! Gating: checks run when [`enabled`] is true, i.e. in any build with
+//! `debug_assertions` (so plain `cargo test` is sanitized) or with the
+//! `sanitize` feature (so release tests can opt in). Release benches
+//! compile the checks away entirely. Domain crates (`mac80211`,
+//! `tcpsim`, `fleet`) forward their own `sanitize` features to
+//! `sim/sanitize`, so `--features sanitize` anywhere in the tree turns
+//! the whole stack on.
+//!
+//! A violation panics with a `sim-sanitizer:` prefix so a failing CI
+//! run is immediately distinguishable from an ordinary test assertion.
+
+use crate::time::SimTime;
+
+/// True when sanitizer checks are compiled in and active.
+///
+/// Const so that `if enabled() { … }` folds to nothing in release
+/// builds without the `sanitize` feature.
+pub const fn enabled() -> bool {
+    cfg!(any(feature = "sanitize", debug_assertions))
+}
+
+/// Report an invariant violation. Panics unconditionally — callers
+/// gate on [`enabled`] (or use [`check`], which does it for them).
+#[track_caller]
+#[cold]
+pub fn violation(msg: &str) -> ! {
+    panic!("sim-sanitizer: {msg}");
+}
+
+/// Assert `cond` when the sanitizer is active.
+#[track_caller]
+pub fn check(cond: bool, msg: &str) {
+    if enabled() && !cond {
+        violation(msg);
+    }
+}
+
+/// Simulated time must never run backwards: `next` is the clock value
+/// about to be adopted, `prev` the current one.
+#[track_caller]
+pub fn check_time_monotonic(prev: SimTime, next: SimTime) {
+    if enabled() && next < prev {
+        violation(&format!("clock moved backwards: {prev} -> {next}"));
+    }
+}
+
+/// Event pop order must be non-decreasing in timestamp. This re-checks
+/// the heap's ordering contract from the outside, so a future bug in
+/// the `Entry` ordering (or a stale-cancellation bookkeeping error)
+/// trips here instead of silently reordering a run.
+#[track_caller]
+pub fn check_event_order(last_popped_at: SimTime, at: SimTime) {
+    if enabled() && at < last_popped_at {
+        violation(&format!(
+            "event queue popped out of order: {at} after {last_popped_at}"
+        ));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    // Plain `cargo test` compiles with debug_assertions, and the CI
+    // sanitized pass sets the feature explicitly; either way the
+    // checks below are live. Guard anyway so a hypothetical release
+    // test run without the feature doesn't report false failures.
+    #[cfg(any(feature = "sanitize", debug_assertions))]
+    mod active {
+        use super::super::*;
+
+        #[test]
+        fn enabled_in_this_build() {
+            assert!(enabled());
+        }
+
+        #[test]
+        fn check_passes_on_true() {
+            check(true, "never fires");
+            check_time_monotonic(SimTime::from_micros(5), SimTime::from_micros(5));
+            check_time_monotonic(SimTime::from_micros(5), SimTime::from_micros(9));
+            check_event_order(SimTime::ZERO, SimTime::ZERO);
+        }
+
+        #[test]
+        #[should_panic(expected = "sim-sanitizer: boom")]
+        fn check_panics_on_false() {
+            check(false, "boom");
+        }
+
+        #[test]
+        #[should_panic(expected = "sim-sanitizer: clock moved backwards")]
+        fn backwards_clock_is_violation() {
+            check_time_monotonic(SimTime::from_micros(10), SimTime::from_micros(9));
+        }
+
+        #[test]
+        #[should_panic(expected = "sim-sanitizer: event queue popped out of order")]
+        fn out_of_order_pop_is_violation() {
+            check_event_order(SimTime::from_micros(10), SimTime::from_micros(9));
+        }
+    }
+}

@@ -1,0 +1,30 @@
+//! # simcheck — workspace determinism & unit-safety linter
+//!
+//! The fleet controller's headline claim (PR 1) is bit-identical results
+//! for any thread count, and every figure reproduction depends on "one
+//! seed → one run". That guarantee is easy to break silently: a single
+//! `HashMap` iteration reorders per-flow processing, one `Instant::now`
+//! couples a result to the host, one `as u32` truncates a nanosecond
+//! timestamp. simcheck turns those review rules into a CI gate.
+//!
+//! Three layers:
+//!
+//! * [`lexer`] — a dependency-free Rust token scanner (comments,
+//!   strings, raw strings, lifetimes, float-vs-int literals) that also
+//!   collects `// simcheck: allow(rule)` escape hatches;
+//! * [`rules`] — the rule catalog (see its table) over the token stream;
+//! * [`workspace`] — file walking, per-crate exemptions, JSON output.
+//!
+//! The binary (`cargo run -p simcheck --release`) scans the workspace
+//! and exits nonzero when any diagnostic survives the allowlists, which
+//! is how `scripts/ci.sh` wires it into the tier-1 gate. The runtime
+//! complement — invariants that need live values, not source text — is
+//! the sim-sanitizer (`sim::sanitize` and the hooks behind the
+//! `sanitize` features).
+
+pub mod lexer;
+pub mod rules;
+pub mod workspace;
+
+pub use rules::{Diagnostic, Rule};
+pub use workspace::{scan_source, scan_workspace, to_json};

@@ -1,0 +1,319 @@
+//! The simcheck rule catalog.
+//!
+//! Every rule is a short pattern over the token stream from
+//! [`crate::lexer`]. The catalog encodes the determinism and
+//! unit-discipline contract of DESIGN.md §4 ("one seed → identical
+//! run") as machine-checked rules rather than review lore:
+//!
+//! | id                 | what it rejects |
+//! |--------------------|-----------------|
+//! | `hash-collections` | `HashMap`/`HashSet` (iteration order is randomized per process; any iteration leaks nondeterminism into per-flow/per-AP processing order) |
+//! | `wall-clock`       | `Instant`/`SystemTime`/`UNIX_EPOCH`/`thread_rng` (real time and OS entropy — the two classic determinism leaks) |
+//! | `float-eq`         | `==`/`!=` against a float literal (use an epsilon, an integer representation, or bit-pattern comparison) |
+//! | `narrowing-cast`   | `as u32`-style narrowing of time- or sequence-suffixed values (silent truncation of ns timestamps / unwrapped 64-bit sequence offsets) |
+//! | `time-unit-suffix` | declaring a bare-numeric field/binding whose name is a time word (`timeout`, `delay`, …) without a unit suffix (`_us`, `_ms`, `_s`, …) — use `SimTime`/`SimDuration` or name the unit |
+//!
+//! Suppression: `// simcheck: allow(rule-id)` on the offending line or
+//! the line directly above it. Per-crate exemptions live in
+//! [`crate::workspace::crate_exemptions`].
+
+use crate::lexer::{Lexed, Token, TokenKind};
+use std::collections::BTreeSet;
+use std::fmt;
+
+/// Every rule simcheck knows.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Rule {
+    HashCollections,
+    WallClock,
+    FloatEq,
+    NarrowingCast,
+    TimeUnitSuffix,
+}
+
+impl Rule {
+    pub const ALL: [Rule; 5] = [
+        Rule::HashCollections,
+        Rule::WallClock,
+        Rule::FloatEq,
+        Rule::NarrowingCast,
+        Rule::TimeUnitSuffix,
+    ];
+
+    pub fn id(self) -> &'static str {
+        match self {
+            Rule::HashCollections => "hash-collections",
+            Rule::WallClock => "wall-clock",
+            Rule::FloatEq => "float-eq",
+            Rule::NarrowingCast => "narrowing-cast",
+            Rule::TimeUnitSuffix => "time-unit-suffix",
+        }
+    }
+
+    pub fn from_id(id: &str) -> Option<Rule> {
+        Rule::ALL.into_iter().find(|r| r.id() == id)
+    }
+}
+
+impl fmt::Display for Rule {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.id())
+    }
+}
+
+/// One reported violation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Diagnostic {
+    /// Path as given to the scanner (workspace-relative in CI output).
+    pub file: String,
+    pub line: u32,
+    pub rule: Rule,
+    pub message: String,
+}
+
+impl fmt::Display for Diagnostic {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}:{}: [{}] {}",
+            self.file,
+            self.line,
+            self.rule.id(),
+            self.message
+        )
+    }
+}
+
+const NARROW_INT_TYPES: [&str; 6] = ["u8", "u16", "u32", "i8", "i16", "i32"];
+const NUMERIC_PRIMITIVES: [&str; 14] = [
+    "u8", "u16", "u32", "u64", "u128", "usize", "i8", "i16", "i32", "i64", "i128", "isize", "f32",
+    "f64",
+];
+/// Words that mark an identifier as time-carrying when they are its
+/// final snake_case segment.
+const TIME_WORDS: [&str; 12] = [
+    "time", "timeout", "deadline", "delay", "latency", "interval", "duration", "elapsed", "period",
+    "airtime", "rtt", "rto",
+];
+/// Unit suffixes that satisfy the `time-unit-suffix` rule, and that mark
+/// a value as time-carrying for `narrowing-cast`.
+const UNIT_SUFFIXES: [&str; 9] = [
+    "_us", "_ms", "_ns", "_s", "_secs", "_sec", "_millis", "_micros", "_nanos",
+];
+/// `SimDuration`/`SimTime` accessors whose u64 results must not be
+/// narrowed.
+const TIME_ACCESSORS: [&str; 5] = ["as_nanos", "as_micros", "as_millis", "as_secs", "as_mins"];
+
+fn has_unit_suffix(name: &str) -> bool {
+    UNIT_SUFFIXES.iter().any(|s| name.ends_with(s))
+}
+
+fn is_seq_name(name: &str) -> bool {
+    name.split('_').any(|seg| seg == "seq")
+}
+
+fn final_segment(name: &str) -> &str {
+    name.rsplit('_').next().unwrap_or(name)
+}
+
+/// Run `rules` over one lexed file, honoring its `allow` annotations.
+pub fn check(file: &str, lexed: &Lexed, rules: &BTreeSet<Rule>) -> Vec<Diagnostic> {
+    let mut out = Vec::new();
+    let toks = &lexed.tokens;
+    for (i, tok) in toks.iter().enumerate() {
+        if let Some(name) = tok.kind.ident() {
+            if rules.contains(&Rule::HashCollections) && (name == "HashMap" || name == "HashSet") {
+                out.push(diag(
+                    file,
+                    tok,
+                    Rule::HashCollections,
+                    format!("`{name}` has nondeterministic iteration order; use BTreeMap/BTreeSet or an index-keyed Vec"),
+                ));
+            }
+            if rules.contains(&Rule::WallClock)
+                && matches!(name, "Instant" | "SystemTime" | "UNIX_EPOCH" | "thread_rng")
+            {
+                out.push(diag(
+                    file,
+                    tok,
+                    Rule::WallClock,
+                    format!("`{name}` reaches for wall-clock time or OS entropy; use SimTime and sim::Rng"),
+                ));
+            }
+        }
+        match &tok.kind {
+            TokenKind::EqEq | TokenKind::NotEq if rules.contains(&Rule::FloatEq) => {
+                let float_beside = [i.checked_sub(1), Some(i + 1)]
+                    .into_iter()
+                    .flatten()
+                    .filter_map(|j| toks.get(j))
+                    .any(|t| t.kind == TokenKind::Float);
+                if float_beside {
+                    let op = if tok.kind == TokenKind::EqEq {
+                        "=="
+                    } else {
+                        "!="
+                    };
+                    out.push(diag(
+                        file,
+                        tok,
+                        Rule::FloatEq,
+                        format!("float literal compared with `{op}`; compare with an epsilon or integers"),
+                    ));
+                }
+            }
+            _ => {}
+        }
+        if rules.contains(&Rule::NarrowingCast) {
+            if let Some(d) = narrowing_cast_at(file, toks, i) {
+                out.push(d);
+            }
+        }
+        if rules.contains(&Rule::TimeUnitSuffix) {
+            if let Some(d) = missing_unit_suffix_at(file, toks, i) {
+                out.push(d);
+            }
+        }
+    }
+    out.retain(|d| !is_allowed(lexed, d));
+    out
+}
+
+/// `<time-or-seq value> as <narrow int>` at position `i` (the `as`).
+fn narrowing_cast_at(file: &str, toks: &[Token], i: usize) -> Option<Diagnostic> {
+    if toks[i].kind.ident() != Some("as") {
+        return None;
+    }
+    let ty = toks.get(i + 1)?.kind.ident()?;
+    if !NARROW_INT_TYPES.contains(&ty) {
+        return None;
+    }
+    let prev = toks.get(i.checked_sub(1)?)?;
+    let culprit = match &prev.kind {
+        TokenKind::Ident(name) if has_unit_suffix(name) || is_seq_name(name) => name.clone(),
+        // `x.as_nanos() as u32`: look back through the call parens for
+        // the method name.
+        TokenKind::Punct(')') => {
+            let mut depth = 0usize;
+            let mut j = i - 1;
+            loop {
+                match &toks[j].kind {
+                    TokenKind::Punct(')') => depth += 1,
+                    TokenKind::Punct('(') => {
+                        depth -= 1;
+                        if depth == 0 {
+                            break;
+                        }
+                    }
+                    _ => {}
+                }
+                j = j.checked_sub(1)?;
+            }
+            let method = toks.get(j.checked_sub(1)?)?.kind.ident()?;
+            if TIME_ACCESSORS.contains(&method) || has_unit_suffix(method) {
+                format!("{method}()")
+            } else {
+                return None;
+            }
+        }
+        _ => return None,
+    };
+    Some(diag(
+        file,
+        &toks[i],
+        Rule::NarrowingCast,
+        format!("`{culprit} as {ty}` narrows a time/sequence value; keep 64 bits or justify with an allow"),
+    ))
+}
+
+/// `name: u64`-style declaration where `name` is a bare time word.
+fn missing_unit_suffix_at(file: &str, toks: &[Token], i: usize) -> Option<Diagnostic> {
+    let name = toks[i].kind.ident()?;
+    if !toks.get(i + 1)?.kind.is_punct(':') {
+        return None;
+    }
+    // `a::b` paths lex as two ':' puncts; require exactly one.
+    if toks.get(i + 2)?.kind.is_punct(':') {
+        return None;
+    }
+    if i > 0 && toks[i - 1].kind.is_punct(':') {
+        return None;
+    }
+    let ty = toks.get(i + 2)?.kind.ident()?;
+    if !NUMERIC_PRIMITIVES.contains(&ty) {
+        return None;
+    }
+    let last = final_segment(name);
+    if !TIME_WORDS.contains(&last) {
+        return None;
+    }
+    Some(diag(
+        file,
+        &toks[i],
+        Rule::TimeUnitSuffix,
+        format!(
+            "`{name}: {ty}` carries time without a unit; suffix it (`{name}_us`, `{name}_ms`, …) or use SimTime/SimDuration"
+        ),
+    ))
+}
+
+fn diag(file: &str, tok: &Token, rule: Rule, message: String) -> Diagnostic {
+    Diagnostic {
+        file: file.to_string(),
+        line: tok.line,
+        rule,
+        message,
+    }
+}
+
+fn is_allowed(lexed: &Lexed, d: &Diagnostic) -> bool {
+    lexed.allows.iter().any(|a| {
+        (a.line == d.line || a.line + 1 == d.line)
+            && a.rules.iter().any(|r| r == d.rule.id() || r == "all")
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::lex;
+
+    fn run(src: &str) -> Vec<Diagnostic> {
+        let rules: BTreeSet<Rule> = Rule::ALL.into_iter().collect();
+        check("t.rs", &lex(src), &rules)
+    }
+
+    #[test]
+    fn clean_code_has_no_diagnostics() {
+        let src = r#"
+            use std::collections::BTreeMap;
+            struct S { timeout_us: u64, rtt: SimDuration, n_times: usize }
+            fn f(x: f64, y: f64) -> bool { (x - y).abs() < 1e-9 }
+            fn g(seq: u64) -> u64 { seq as u64 }
+        "#;
+        assert_eq!(run(src), vec![]);
+    }
+
+    #[test]
+    fn allow_suppresses_same_and_next_line() {
+        let src = "// simcheck: allow(hash-collections)\nuse std::collections::HashMap;\nlet m: HashMap<u8, u8> = HashMap::new(); // simcheck: allow(hash-collections)";
+        assert_eq!(run(src), vec![]);
+        // …but only those lines.
+        let src2 = "// simcheck: allow(hash-collections)\nlet a = 1;\nlet b: HashMap<u8,u8>;";
+        assert_eq!(run(src2).len(), 1);
+    }
+
+    #[test]
+    fn allow_is_rule_specific() {
+        let src = "use std::collections::HashMap; // simcheck: allow(wall-clock)";
+        assert_eq!(run(src).len(), 1, "wrong rule id does not suppress");
+    }
+
+    #[test]
+    fn rule_ids_roundtrip() {
+        for r in Rule::ALL {
+            assert_eq!(Rule::from_id(r.id()), Some(r));
+        }
+        assert_eq!(Rule::from_id("no-such-rule"), None);
+    }
+}

@@ -64,6 +64,10 @@ impl RtoEstimator {
         self.rto = base
             .saturating_mul(1u64 << self.backoff.min(8))
             .min(self.max_rto);
+        sim::sanitize::check(
+            self.rto > SimDuration::ZERO,
+            "recomputed RTO is zero: the retransmit timer would spin",
+        );
     }
 
     /// Current RTO value.

@@ -177,6 +177,9 @@ pub fn jain_fairness(xs: &[f64]) -> Option<f64> {
     }
     let sum: f64 = xs.iter().sum();
     let sum_sq: f64 = xs.iter().map(|x| x * x).sum();
+    // Exact-zero guard, not a tolerance comparison: sum of squares is
+    // 0.0 iff every input is exactly 0.0.
+    // simcheck: allow(float-eq)
     if sum_sq == 0.0 {
         return Some(1.0); // all-zero allocation is (vacuously) fair
     }

@@ -1,6 +1,7 @@
 #!/usr/bin/env bash
-# Tier-1 CI gate: formatting, lints, and the full test suite.
-# Everything here must pass before a change lands.
+# Tier-1 CI gate: formatting, lints, the determinism linter, and the
+# full test suite (plain + sanitized). Everything here must pass before
+# a change lands.
 #
 # Usage: scripts/ci.sh
 set -euo pipefail
@@ -12,7 +13,17 @@ cargo fmt --all -- --check
 echo "=== cargo clippy (deny warnings) ==="
 cargo clippy --workspace --all-targets --quiet -- -D warnings
 
+echo "=== simcheck (determinism & unit-safety linter) ==="
+# Exits 1 on any diagnostic surviving the allowlists; see DESIGN.md
+# "Determinism rules" and `cargo run -p simcheck -- --help`.
+cargo run -p simcheck --release --quiet
+
 echo "=== cargo test ==="
 cargo test --workspace -q
+
+echo "=== cargo test (sim-sanitizer forced on) ==="
+# Debug tests already run sanitized via debug_assertions; this pass
+# proves the `sanitize` feature wiring itself stays sound.
+cargo test --workspace --features sanitize -q
 
 echo "ci: all green"

@@ -205,7 +205,7 @@ proptest! {
         use wifi_core::mac::medium::{LinkParams, MediumSim};
         use wifi_core::mac::ac::AccessCategory;
         let mut m = MediumSim::new(seed);
-        let mut expected = std::collections::HashSet::new();
+        let mut expected = std::collections::BTreeSet::new();
         for s_i in 0..n_stations {
             let mut lp = LinkParams::clean(AccessCategory::BestEffort);
             lp.mpdu_error_rate = per_milli as f64 / 1000.0;
@@ -217,7 +217,7 @@ proptest! {
             }
         }
         let reports = m.run_until_idle(SimTime::from_secs(120));
-        let mut seen = std::collections::HashSet::new();
+        let mut seen = std::collections::BTreeSet::new();
         for r in &reports {
             for d in &r.deliveries {
                 prop_assert!(seen.insert(d.id), "duplicate outcome for {}", d.id);
