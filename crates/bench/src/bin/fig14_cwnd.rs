@@ -93,5 +93,7 @@ fn main() {
                 .collect(),
         );
     }
+    exp.absorb(&base.metrics);
+    exp.absorb(&fast.metrics);
     std::process::exit(if exp.finish() { 0 } else { 1 });
 }

@@ -79,5 +79,8 @@ fn main() {
         "agg-fastack-sorted",
         fa.iter().enumerate().map(|(i, &v)| (i as f64, v)).collect(),
     );
+    exp.absorb(&base.metrics);
+    exp.absorb(&fast.metrics);
+    exp.absorb(&udp.metrics);
     std::process::exit(if exp.finish() { 0 } else { 1 });
 }

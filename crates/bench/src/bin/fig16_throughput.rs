@@ -20,8 +20,11 @@ fn main() {
             })
             .run(SimDuration::from_secs(6))
         };
-        let b = run(false).total_mbps();
-        let fa = run(true).total_mbps();
+        let base = run(false);
+        let fast = run(true);
+        let (b, fa) = (base.total_mbps(), fast.total_mbps());
+        exp.absorb(&base.metrics);
+        exp.absorb(&fast.metrics);
         base_series.push((n as f64, b));
         fast_series.push((n as f64, fa));
         gains.push((n, fa / b - 1.0));

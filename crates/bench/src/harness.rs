@@ -9,6 +9,7 @@
 use std::fmt::Write as _;
 use std::fs;
 use std::path::PathBuf;
+use wifi_core::telemetry::Registry;
 
 /// A recorded experiment: named scalar comparisons plus named series.
 #[derive(Debug, Default)]
@@ -17,6 +18,10 @@ pub struct Experiment {
     pub title: String,
     pub comparisons: Vec<Comparison>,
     pub series: Vec<Series>,
+    /// Merged metrics registries from every run the experiment absorbed
+    /// (see [`Experiment::absorb`]). Dumped verbatim when the binary is
+    /// invoked with `--metrics <path>`.
+    pub metrics: Registry,
 }
 
 /// One paper-vs-measured scalar.
@@ -100,6 +105,14 @@ impl Experiment {
         });
     }
 
+    /// Merge one run's metrics registry (a `TestbedReport::metrics` or
+    /// `FleetRun::metrics`) into the experiment's snapshot. Counters and
+    /// histogram bins sum across absorbed runs; absorb order does not
+    /// change the JSON because paths are sorted at serialization.
+    pub fn absorb(&mut self, run_metrics: &Registry) {
+        self.metrics.merge_from(run_metrics);
+    }
+
     /// Print the report and write the JSON dump. Returns `true` if every
     /// comparison agreed.
     pub fn finish(&self) -> bool {
@@ -136,6 +149,24 @@ impl Experiment {
         }
         if let Err(e) = fs::write(&path, self.to_json()) {
             eprintln!("warning: could not write {}: {e}", path.display());
+        }
+
+        // `--metrics <path>` (or `--metrics=<path>`): write the merged
+        // metrics registry snapshot. Deterministic by construction, so
+        // two invocations of the same binary must produce identical
+        // files — scripts/ci.sh enforces exactly that.
+        let mut argv = std::env::args().skip(1);
+        while let Some(arg) = argv.next() {
+            let target = if arg == "--metrics" {
+                argv.next()
+            } else {
+                arg.strip_prefix("--metrics=").map(str::to_owned)
+            };
+            if let Some(p) = target {
+                if let Err(e) = fs::write(&p, self.metrics.to_json()) {
+                    eprintln!("warning: could not write {p}: {e}");
+                }
+            }
         }
 
         let all_ok = self.comparisons.iter().all(|c| c.ok);
@@ -234,6 +265,20 @@ mod tests {
         assert!(e.finish());
         e.compare("bad", "1", "2", false);
         assert!(!e.finish());
+    }
+
+    #[test]
+    fn absorb_sums_counters_across_runs() {
+        let mut e = Experiment::new("t", "absorb");
+        let mut m = Registry::new();
+        m.count("sub.events", 2);
+        e.absorb(&m);
+        e.absorb(&m);
+        assert_eq!(e.metrics.counter_value("sub.events"), Some(4));
+        // Snapshot order-independence: same JSON as a single 4-count.
+        let mut want = Registry::new();
+        want.count("sub.events", 4);
+        assert_eq!(e.metrics.to_json(), want.to_json());
     }
 
     #[test]

@@ -93,6 +93,40 @@ pub struct AgentStats {
     pub queue_drops: u64,
 }
 
+impl AgentStats {
+    /// Export every counter into a metrics registry under `prefix`
+    /// (e.g. `fastack.ap1`) — the registry form of these stats, so
+    /// fleet/bench snapshots carry them alongside every other
+    /// subsystem's counters.
+    pub fn export_metrics(&self, m: &mut telemetry::Registry, prefix: &str) {
+        m.count(&format!("{prefix}.fast_acks_sent"), self.fast_acks_sent);
+        m.count(
+            &format!("{prefix}.client_acks_suppressed"),
+            self.client_acks_suppressed,
+        );
+        m.count(
+            &format!("{prefix}.client_acks_forwarded"),
+            self.client_acks_forwarded,
+        );
+        m.count(
+            &format!("{prefix}.local_retransmits"),
+            self.local_retransmits,
+        );
+        m.count(&format!("{prefix}.spurious_drops"), self.spurious_drops);
+        m.count(
+            &format!("{prefix}.priority_forwards"),
+            self.priority_forwards,
+        );
+        m.count(&format!("{prefix}.holes_detected"), self.holes_detected);
+        m.count(
+            &format!("{prefix}.hole_dupacks_sent"),
+            self.hole_dupacks_sent,
+        );
+        m.count(&format!("{prefix}.cache_bypasses"), self.cache_bypasses);
+        m.count(&format!("{prefix}.queue_drops"), self.queue_drops);
+    }
+}
+
 #[derive(Clone)]
 struct Flow {
     state: FlowState,
@@ -429,8 +463,13 @@ impl Agent {
                 to_retx.push(c);
             }
             // SACK-based: fill every advertised gap from the cache.
+            // RFC 2018 blocks arrive most-recently-received first, so
+            // sort a local copy before the ascending gap walk (this
+            // runs only when a threshold fire triggers, not per ACK).
+            let mut sack = ack.sack.clone();
+            sack.sort_unstable();
             let mut cursor = ack.ack;
-            for &(s, e) in &ack.sack {
+            for &(s, e) in &sack {
                 if s > cursor {
                     to_retx.extend(flow.cache.lookup_range(cursor, s));
                 }
@@ -546,26 +585,42 @@ impl Agent {
 }
 
 /// SACK blocks describing what the AP *has* seen above the holes:
-/// the complement of `holes` within `[seq_exp_of_first_hole, seq_high)`,
+/// the complement of `holes` within `[first_hole.start, seq_high)`,
 /// capped at 3 blocks (TCP option-space limit).
+///
+/// RFC 2018 orders blocks most-recently-received first: the block
+/// holding the newest data — the one ending at `seq_high`, which
+/// contains the segment that triggered this emulated dupACK — comes
+/// first, and the 3-block cap discards the *oldest* information. (The
+/// old code truncated the ascending walk, keeping the lowest three
+/// blocks and starving the sender of the newest loss information
+/// whenever more than three blocks existed.)
+///
+/// `FlowState::add_hole` keeps `holes` sorted, so one forward walk
+/// suffices — no clone+sort per arriving segment.
 fn sack_blocks(state: &FlowState) -> Vec<(u64, u64)> {
-    let mut holes = state.holes.clone();
-    holes.sort_by_key(|h| h.start);
+    debug_assert!(
+        state.holes.windows(2).all(|w| w[0].start <= w[1].start),
+        "holes must be kept sorted by FlowState::add_hole"
+    );
     let mut blocks = Vec::new();
     let mut cursor = None::<u64>;
-    for h in &holes {
+    for h in &state.holes {
         if let Some(c) = cursor {
             if h.start > c {
                 blocks.push((c, h.start));
             }
         }
-        cursor = Some(h.end);
+        // max() guards against overlapping holes: the cursor (end of
+        // hole-covered space) must never move backwards.
+        cursor = Some(cursor.map_or(h.end, |c| c.max(h.end)));
     }
     if let Some(c) = cursor {
         if state.seq_high > c {
             blocks.push((c, state.seq_high));
         }
     }
+    blocks.reverse();
     blocks.truncate(3);
     blocks
 }
@@ -680,6 +735,93 @@ mod tests {
         // The sender's retransmission repairs the hole (case ii).
         a.on_wire_data(&seg(MSS as u64, MSS));
         assert!(a.flow_state(FlowId(1)).unwrap().holes.is_empty());
+    }
+
+    #[test]
+    fn sack_blocks_order_newest_first_past_three_holes() {
+        // Four holes → four received blocks. RFC 2018: the block with
+        // the most recently received data (ending at seq_high) comes
+        // first, and the 3-block cap drops the *oldest* block. The
+        // pre-fix code kept the lowest three in ascending order,
+        // discarding exactly the newest loss information.
+        let mut a = mk();
+        let m = MSS as u64;
+        // Receive even segments 0,2,4,6,8: holes at 1,3,5,7.
+        for i in [0u64, 2, 4, 6, 8] {
+            a.on_wire_data(&seg(i * m, MSS));
+        }
+        let st = a.flow_state(FlowId(1)).unwrap();
+        assert_eq!(st.holes.len(), 4);
+        let blocks = sack_blocks(st);
+        assert_eq!(
+            blocks,
+            vec![(8 * m, 9 * m), (6 * m, 7 * m), (4 * m, 5 * m)],
+            "newest three blocks, most-recent first; oldest (2m,3m) dropped"
+        );
+    }
+
+    #[test]
+    fn emulated_dupack_carries_newest_first_sack() {
+        // End-to-end: with >3 holes the emitted dupACK's first SACK
+        // block must name the segment that triggered it.
+        let mut a = mk();
+        let m = MSS as u64;
+        for i in [0u64, 2, 4, 6] {
+            a.on_wire_data(&seg(i * m, MSS));
+        }
+        let acts = a.on_wire_data(&seg(8 * m, MSS));
+        let ack = acts
+            .iter()
+            .find_map(|x| match x {
+                Action::SendAckUpstream(ack) => Some(ack),
+                _ => None,
+            })
+            .expect("emulated dupack");
+        assert_eq!(ack.sack.len(), 3, "TCP option-space cap");
+        assert_eq!(
+            ack.sack[0],
+            (8 * m, 9 * m),
+            "first block holds the triggering segment"
+        );
+        assert!(
+            ack.sack.windows(2).all(|w| w[0].0 > w[1].0),
+            "remaining blocks in decreasing-recency order: {:?}",
+            ack.sack
+        );
+    }
+
+    #[test]
+    fn queue_drop_of_low_retransmission_keeps_holes_sorted() {
+        // A priority retransmission dropped at the queue adds a hole
+        // *below* existing ones; add_hole must keep the list sorted so
+        // sack_blocks' single forward walk stays correct.
+        let mut a = mk();
+        let m = MSS as u64;
+        for i in [0u64, 1, 2, 4] {
+            a.on_wire_data(&seg(i * m, MSS)); // hole at 3m..4m
+        }
+        a.on_queue_drop(FlowId(1), m, MSS); // drop below the hole
+        let st = a.flow_state(FlowId(1)).unwrap();
+        assert!(
+            st.holes.windows(2).all(|w| w[0].start <= w[1].start),
+            "holes sorted: {:?}",
+            st.holes
+        );
+        let blocks = sack_blocks(st);
+        assert_eq!(blocks, vec![(4 * m, 5 * m), (2 * m, 3 * m)]);
+    }
+
+    #[test]
+    fn agent_stats_export_onto_registry() {
+        let mut a = mk();
+        pump(&mut a, 3);
+        let mut m = telemetry::Registry::new();
+        a.stats.export_metrics(&mut m, "fastack.ap0");
+        assert_eq!(
+            m.counter_value("fastack.ap0.fast_acks_sent"),
+            Some(a.stats.fast_acks_sent)
+        );
+        assert_eq!(m.counter_value("fastack.ap0.queue_drops"), Some(0));
     }
 
     #[test]

@@ -79,7 +79,13 @@ impl FlowState {
     /// Record a hole `[start, end)` (upstream loss).
     pub fn add_hole(&mut self, start: u64, end: u64) {
         debug_assert!(start < end);
-        self.holes.push(Hole { start, end });
+        // Keep `holes` sorted by start. Upstream gaps always append
+        // (seq_exp is monotone, so pos == len and this is O(1)); only a
+        // queue drop of a priority retransmission can land mid-list.
+        // The invariant lets per-segment SACK generation walk the holes
+        // directly instead of clone+sorting on every arriving segment.
+        let pos = self.holes.partition_point(|h| h.start < start);
+        self.holes.insert(pos, Hole { start, end });
     }
 
     /// Remove/shrink holes fully covered by a retransmission `[s, e)`.

@@ -111,6 +111,11 @@ pub struct FleetRun {
     pub ingest: FleetIngest,
     pub aggregate: FleetAggregate,
     pub per_network: Vec<NetworkReport>,
+    /// Controller-side metrics snapshot: every network's registry
+    /// merged in id order plus the controller's own epoch counters.
+    /// `metrics.to_json()` is byte-identical for any thread count —
+    /// the shard-executor determinism contract extends to telemetry.
+    pub metrics: telemetry::Registry,
 }
 
 /// Run the collect→plan→push loop over a synthesized fleet.
@@ -127,14 +132,27 @@ pub fn run_fleet(cfg: &FleetConfig) -> FleetRun {
     // The epoch loop: one barrier per collect period.
     let end = SimTime::ZERO + cfg.horizon;
     let mut now = SimTime::ZERO;
+    let mut epochs = 0u64;
     while now < end {
         shard::for_each_mut_sharded(&mut nets, cfg.threads, &|net| net.on_tick(now, cfg));
         sanitize::check_epoch(&nets, now);
         now += cfg.collect_period;
+        epochs += 1;
     }
 
     // Final plan evaluation, sharded as well.
     shard::for_each_mut_sharded(&mut nets, cfg.threads, &|net| net.finalize());
+
+    // Controller-side registry: own counters, then every network's
+    // registry merged in id order. Thread count is deliberately NOT
+    // recorded — the snapshot must be shard-invariant.
+    let mut metrics = telemetry::Registry::new();
+    metrics.count("fleet.epochs", epochs);
+    metrics.count("fleet.networks", cfg.n_networks as u64);
+    for net in &nets {
+        metrics.merge_from(&net.metrics);
+    }
+
     let per_network: Vec<NetworkReport> = nets
         .into_iter()
         .map(|n| n.report.expect("finalize filled the report"))
@@ -177,6 +195,7 @@ pub fn run_fleet(cfg: &FleetConfig) -> FleetRun {
         ingest,
         aggregate,
         per_network,
+        metrics,
     }
 }
 
@@ -207,6 +226,44 @@ mod tests {
             );
             assert_eq!(base.per_network, run.per_network, "threads={threads}");
         }
+    }
+
+    #[test]
+    fn metrics_json_is_byte_identical_across_1_2_8_threads() {
+        let base = run_fleet(&small(1)).metrics.to_json();
+        assert!(!base.is_empty());
+        for threads in [2, 8] {
+            let json = run_fleet(&small(threads)).metrics.to_json();
+            assert_eq!(base, json, "metrics snapshot diverged at {threads} threads");
+        }
+    }
+
+    #[test]
+    fn metrics_sum_network_registries_into_fleet_totals() {
+        let run = run_fleet(&small(2));
+        let m = &run.metrics;
+        // 45-min horizon / 15-min epochs = 3 epochs; 6 networks.
+        assert_eq!(m.counter_value("fleet.epochs"), Some(3));
+        assert_eq!(m.counter_value("fleet.networks"), Some(6));
+        assert_eq!(m.counter_value("fleet.net.epochs"), Some(3 * 6));
+        assert_eq!(
+            m.counter_value("fleet.net.plans_run"),
+            Some(run.report.plans_run as u64)
+        );
+        assert_eq!(
+            m.counter_value("fleet.net.channel_switches"),
+            Some(run.report.switches as u64)
+        );
+        assert_eq!(
+            m.counter_value("fleet.net.aps"),
+            Some(run.report.total_aps as u64)
+        );
+        // Every utilization poll landed in the merged histograms.
+        let polls = m.counter_value("fleet.net.polls").unwrap();
+        let h24 = m.histogram_value("fleet.net.util_2_4").unwrap();
+        let h5 = m.histogram_value("fleet.net.util_5").unwrap();
+        assert_eq!(h24.total + h5.total, polls);
+        assert_eq!(h24.nan_count, 0);
     }
 
     #[test]

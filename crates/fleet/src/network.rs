@@ -12,6 +12,7 @@ use netsim::topology;
 use phy80211::channels::Band;
 use sim::{derive_stream_seed, Rng, SimTime};
 use telemetry::stats::quantile;
+use telemetry::{CounterId, HistId, Registry};
 
 /// A network under fleet management. Everything it does is driven by
 /// RNG streams derived from `(master_seed, id)` alone, so its entire
@@ -29,6 +30,17 @@ pub struct ManagedNetwork {
     pub util_5: Vec<(SimTime, f64)>,
     /// Filled by [`ManagedNetwork::finalize`].
     pub report: Option<NetworkReport>,
+    /// Per-network epoch-health registry. Every network registers the
+    /// same paths, so the controller's id-order merge sums them into
+    /// fleet totals — deterministically for any shard/thread count,
+    /// because each registry is driven by this network's private RNG
+    /// stream alone.
+    pub metrics: Registry,
+    c_ticks: CounterId,
+    c_polls: CounterId,
+    c_churn: CounterId,
+    h_util_2_4: HistId,
+    h_util_5: HistId,
 }
 
 impl ManagedNetwork {
@@ -43,6 +55,12 @@ impl ManagedNetwork {
         let (view, caps) = to_view(&topo, &ViewOptions::default(), &mut rng);
         let mut planner = TurboCa::new(rng.next_u64());
         planner.runs_per_tier = cfg.nbo_runs;
+        let mut metrics = Registry::new();
+        let c_ticks = metrics.counter("fleet.net.epochs");
+        let c_polls = metrics.counter("fleet.net.polls");
+        let c_churn = metrics.counter("fleet.net.churn_events");
+        let h_util_2_4 = metrics.histogram("fleet.net.util_2_4", 0.0, 1.0, 20);
+        let h_util_5 = metrics.histogram("fleet.net.util_5", 0.0, 1.0, 20);
         ManagedNetwork {
             id,
             seed,
@@ -53,6 +71,12 @@ impl ManagedNetwork {
             util_2_4: Vec::new(),
             util_5: Vec::new(),
             report: None,
+            metrics,
+            c_ticks,
+            c_polls,
+            c_churn,
+            h_util_2_4,
+            h_util_5,
         }
     }
 
@@ -61,10 +85,15 @@ impl ManagedNetwork {
     /// (run the tiered scheduler if due; accepted plans mutate the view,
     /// which is the "push" back to the APs).
     pub fn on_tick(&mut self, now: SimTime, cfg: &FleetConfig) {
+        self.metrics.inc(self.c_ticks);
         for ap in 0..self.view.len() {
-            self.util_2_4
-                .push((now, cfg.profile_2_4.sample(&mut self.rng)));
-            self.util_5.push((now, cfg.profile_5.sample(&mut self.rng)));
+            let u24 = cfg.profile_2_4.sample(&mut self.rng);
+            let u5 = cfg.profile_5.sample(&mut self.rng);
+            self.metrics.add(self.c_polls, 2);
+            self.metrics.observe(self.h_util_2_4, u24);
+            self.metrics.observe(self.h_util_5, u5);
+            self.util_2_4.push((now, u24));
+            self.util_5.push((now, u5));
             // RF churn: occasionally an external interferer appears or
             // fades on one of the channels the AP is tracking, so fast
             // ticks keep finding real work after initial convergence.
@@ -74,6 +103,7 @@ impl ManagedNetwork {
                     let ch = keys[self.rng.below(keys.len() as u64) as usize];
                     let v = cfg.profile_5.sample(&mut self.rng);
                     self.view.aps[ap].external_busy.insert(ch, v);
+                    self.metrics.inc(self.c_churn);
                 }
             }
         }
@@ -99,13 +129,22 @@ impl ManagedNetwork {
         } else {
             metrics.ap_goodput_mbps.iter().sum::<f64>() / metrics.ap_goodput_mbps.len() as f64
         };
+        let plans_run = self.sched.history.len();
+        let accepted = self.sched.history.iter().filter(|r| r.accepted).count();
+        let switches = self.sched.total_switches();
+        self.metrics.count("fleet.net.aps", self.view.len() as u64);
+        self.metrics.count("fleet.net.plans_run", plans_run as u64);
+        self.metrics
+            .count("fleet.net.plans_accepted", accepted as u64);
+        self.metrics
+            .count("fleet.net.channel_switches", switches as u64);
         self.report = Some(NetworkReport {
             id: self.id,
             seed: self.seed,
             n_aps: self.view.len(),
-            plans_run: self.sched.history.len(),
-            accepted: self.sched.history.iter().filter(|r| r.accepted).count(),
-            switches: self.sched.total_switches(),
+            plans_run,
+            accepted,
+            switches,
             final_net_p_ln: self.sched.current_net_p_ln(&self.view),
             channels: self.view.aps.iter().map(|a| a.current.primary).collect(),
             tcp_p50_ms: pq(0.50),

@@ -224,6 +224,20 @@ impl AggregationStats {
             self.mpdus as f64 / self.aggregates as f64
         }
     }
+
+    /// Export the running totals into a metrics registry under
+    /// `prefix` (e.g. `mac.ap1.ampdu`). Size extremes export as gauges
+    /// (they are levels, not monotonic counts); per-aggregate size
+    /// *distributions* are recorded by the driver, which observes each
+    /// size into a registry histogram as it records here.
+    pub fn export_metrics(&self, m: &mut telemetry::Registry, prefix: &str) {
+        m.count(&format!("{prefix}.aggregates"), self.aggregates);
+        m.count(&format!("{prefix}.frames"), self.mpdus);
+        let max = m.gauge(&format!("{prefix}.max_size"));
+        m.gauge_set(max, self.max_size as i64);
+        let min = m.gauge(&format!("{prefix}.min_size"));
+        m.gauge_set(min, self.min_size as i64);
+    }
 }
 
 #[cfg(test)]
@@ -327,6 +341,19 @@ mod tests {
         assert_eq!(s.max_size, 30);
         assert_eq!(s.min_size, 10);
         assert_eq!(AggregationStats::default().mean(), 0.0);
+    }
+
+    #[test]
+    fn aggregation_stats_export_onto_registry() {
+        let mut s = AggregationStats::default();
+        s.record(10);
+        s.record(30);
+        let mut m = telemetry::Registry::new();
+        s.export_metrics(&mut m, "mac.ap0.ampdu");
+        assert_eq!(m.counter_value("mac.ap0.ampdu.aggregates"), Some(2));
+        assert_eq!(m.counter_value("mac.ap0.ampdu.frames"), Some(40));
+        assert_eq!(m.gauge_value("mac.ap0.ampdu.max_size"), Some(30));
+        assert_eq!(m.gauge_value("mac.ap0.ampdu.min_size"), Some(10));
     }
 
     // Live whenever the sim-sanitizer is: debug builds always, release

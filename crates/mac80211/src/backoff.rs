@@ -11,6 +11,35 @@
 use crate::ac::EdcaParams;
 use sim::Rng;
 
+/// Lifetime contention counters for one queue — plain integers the
+/// driver exports into a `telemetry::metrics` registry.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct BackoffStats {
+    /// Fresh backoff values drawn.
+    pub draws: u64,
+    /// Countdown freezes after losing contention (backoff stalls).
+    pub stalls: u64,
+    /// Transmission failures (collision or channel error) — the MAC
+    /// retry counter, summed over all head-of-line frames.
+    pub failures: u64,
+    /// Frames dropped after retry exhaustion.
+    pub drops: u64,
+    /// Successful transmissions.
+    pub successes: u64,
+}
+
+impl BackoffStats {
+    /// Export the counters into a metrics registry under `prefix`
+    /// (e.g. `mac.ap1.backoff`).
+    pub fn export_metrics(&self, m: &mut telemetry::Registry, prefix: &str) {
+        m.count(&format!("{prefix}.draws"), self.draws);
+        m.count(&format!("{prefix}.stalls"), self.stalls);
+        m.count(&format!("{prefix}.failures"), self.failures);
+        m.count(&format!("{prefix}.drops"), self.drops);
+        m.count(&format!("{prefix}.successes"), self.successes);
+    }
+}
+
 /// Contention state for one transmit queue.
 #[derive(Debug, Clone)]
 pub struct Backoff {
@@ -20,6 +49,8 @@ pub struct Backoff {
     /// Residual backoff slots; `None` means no draw is pending
     /// (fresh frame, must draw before contending).
     pub remaining_slots: Option<u32>,
+    /// Lifetime counters (see [`BackoffStats`]).
+    pub stats: BackoffStats,
 }
 
 impl Backoff {
@@ -28,6 +59,7 @@ impl Backoff {
             params,
             retries: 0,
             remaining_slots: None,
+            stats: BackoffStats::default(),
         }
     }
 
@@ -39,6 +71,7 @@ impl Backoff {
                 let cw = self.params.cw_for_retry(self.retries);
                 let s = rng.below(cw as u64 + 1) as u32;
                 self.remaining_slots = Some(s);
+                self.stats.draws += 1;
                 s
             }
         }
@@ -61,6 +94,7 @@ impl Backoff {
         if let Some(rem) = self.remaining_slots.as_mut() {
             let counted = observed_idle_slots.saturating_sub(self.params.aifsn);
             *rem = rem.saturating_sub(counted);
+            self.stats.stalls += 1;
         }
     }
 
@@ -68,6 +102,7 @@ impl Backoff {
     pub fn on_success(&mut self) {
         self.retries = 0;
         self.remaining_slots = None;
+        self.stats.successes += 1;
     }
 
     /// The transmission failed (collision or channel error). Doubles the
@@ -76,6 +111,7 @@ impl Backoff {
     pub fn on_failure(&mut self) -> bool {
         self.retries += 1;
         self.remaining_slots = None;
+        self.stats.failures += 1;
         self.retries > self.params.retry_limit
     }
 
@@ -83,6 +119,7 @@ impl Backoff {
     pub fn on_drop(&mut self) {
         self.retries = 0;
         self.remaining_slots = None;
+        self.stats.drops += 1;
     }
 }
 
@@ -166,6 +203,37 @@ mod tests {
         // Fresh draw is from CWmin again.
         let s = b.ensure_drawn(&mut rng);
         assert!(s <= 15);
+    }
+
+    #[test]
+    fn stats_count_contention_lifecycle() {
+        let mut rng = Rng::new(7);
+        let mut b = be();
+        b.ensure_drawn(&mut rng);
+        b.ensure_drawn(&mut rng); // sticky: no second draw
+        b.freeze_after_loss(8);
+        b.on_failure();
+        b.ensure_drawn(&mut rng);
+        b.on_success();
+        b.on_drop();
+        assert_eq!(b.stats.draws, 2);
+        assert_eq!(b.stats.stalls, 1);
+        assert_eq!(b.stats.failures, 1);
+        assert_eq!(b.stats.successes, 1);
+        assert_eq!(b.stats.drops, 1);
+    }
+
+    #[test]
+    fn stats_export_onto_registry() {
+        let mut rng = Rng::new(8);
+        let mut b = be();
+        b.ensure_drawn(&mut rng);
+        b.on_success();
+        let mut m = telemetry::Registry::new();
+        b.stats.export_metrics(&mut m, "mac.ap0.backoff");
+        assert_eq!(m.counter_value("mac.ap0.backoff.draws"), Some(1));
+        assert_eq!(m.counter_value("mac.ap0.backoff.successes"), Some(1));
+        assert_eq!(m.counter_value("mac.ap0.backoff.stalls"), Some(0));
     }
 
     #[test]

@@ -28,7 +28,7 @@ pub mod protection;
 
 pub use ac::{AccessCategory, EdcaParams};
 pub use aggregation::{build_ampdu, AggLimits, AggregationStats, Ampdu, BlockAck, QueuedMpdu};
-pub use backoff::Backoff;
+pub use backoff::{Backoff, BackoffStats};
 pub use contention::{resolve, ContentionOutcome};
 pub use medium::{Delivery, LinkParams, MediumSim, StepReport};
 pub use protection::{Nav, Protection};

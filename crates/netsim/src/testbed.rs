@@ -33,6 +33,7 @@ use tcpsim::{
     AckSegment, CcAlgorithm, DataSegment, FlowId, ReceiverConfig, SenderConfig, TcpReceiver,
     TcpSender,
 };
+use telemetry::{CounterId, HistId, Registry, SpanId};
 
 /// Transport driving the downlink flows.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -198,6 +199,11 @@ pub struct TestbedReport {
     pub duration_s: f64,
     /// Collision-domain busy fraction.
     pub medium_utilization: f64,
+    /// Deterministic metrics snapshot: counters/gauges/histograms from
+    /// every plane (`sim.queue.*`, `mac.*`, `tcp.*`, `fastack.*`) plus
+    /// the sim-time airtime profile (`air.*` spans). Serialize with
+    /// [`Registry::to_json`]; equal seeds yield byte-identical JSON.
+    pub metrics: Registry,
 }
 
 impl TestbedReport {
@@ -286,6 +292,18 @@ pub struct Testbed {
     /// Per-flow (last seq_tcp seen, when it last advanced) — drives the
     /// bad-hint liveness repair (see `fastack::Agent::force_repair`).
     repair_watch: Vec<(u64, SimTime)>,
+    /// Hot-path metric handles (registered once in `new`); the registry
+    /// itself moves into the report at `finish`.
+    metrics: Registry,
+    sp_ap_txop: SpanId,
+    sp_client_txop: SpanId,
+    sp_beacon: SpanId,
+    sp_collision: SpanId,
+    h_ampdu: HistId,
+    h_cwnd: HistId,
+    c_aggregates: CounterId,
+    c_frames: CounterId,
+    c_collisions: CounterId,
 }
 
 impl Testbed {
@@ -354,6 +372,19 @@ impl Testbed {
             })
             .collect();
 
+        let mut metrics = Registry::new();
+        let sp_ap_txop = metrics.span("air.ap_txop");
+        let sp_client_txop = metrics.span("air.client_txop");
+        let sp_beacon = metrics.span("air.beacon");
+        let sp_collision = metrics.span("air.collision");
+        // A-MPDU sizes are bounded by the 64-frame BlockAck window;
+        // cwnd by the 770-segment OS cap (clamped into the last bin).
+        let h_ampdu = metrics.histogram("mac.ampdu.size", 0.0, 64.0, 64);
+        let h_cwnd = metrics.histogram("tcp.cwnd_segments", 0.0, 1024.0, 32);
+        let c_aggregates = metrics.counter("mac.ampdu.aggregates");
+        let c_frames = metrics.counter("mac.ampdu.frames");
+        let c_collisions = metrics.counter("mac.collisions");
+
         Testbed {
             cfg,
             queue: EventQueue::new(),
@@ -370,6 +401,16 @@ impl Testbed {
             next_beacon: SimTime::ZERO,
             dbg_next_ms: 0,
             repair_watch: vec![(0, SimTime::ZERO); n_clients],
+            metrics,
+            sp_ap_txop,
+            sp_client_txop,
+            sp_beacon,
+            sp_collision,
+            h_ampdu,
+            h_cwnd,
+            c_aggregates,
+            c_frames,
+            c_collisions,
         }
     }
 
@@ -410,7 +451,9 @@ impl Testbed {
                     let one =
                         phy80211::airtime::control_frame_duration(300) + phy80211::airtime::DIFS;
                     let all = SimDuration::from_nanos(one.as_nanos() * self.cfg.n_aps as u64);
+                    let sp = self.metrics.enter(self.sp_beacon, self.queue.now());
                     self.occupy(all);
+                    self.metrics.exit(sp, self.queue.now());
                     self.next_beacon += interval;
                 }
             }
@@ -484,6 +527,7 @@ impl Testbed {
                     let at = self.next_cwnd_sample.as_nanos() as f64 / 1e9;
                     for (c, s) in self.senders.iter().enumerate() {
                         self.report.cwnd_trace.push((c, at, s.cwnd_segments()));
+                        self.metrics.observe(self.h_cwnd, s.cwnd_segments());
                     }
                     self.next_cwnd_sample += every;
                 }
@@ -532,6 +576,33 @@ impl Testbed {
             })
             .collect();
         self.report.medium_utilization = self.busy.as_secs_f64() / dur;
+
+        // Snapshot every subsystem's counters into the registry.
+        let qs = self.queue.stats();
+        self.metrics.count("sim.queue.scheduled", qs.scheduled);
+        self.metrics.count("sim.queue.popped", qs.popped);
+        self.metrics.count("sim.queue.cancelled", qs.cancelled);
+        for (a, ap) in self.aps.iter().enumerate() {
+            ap.backoff
+                .stats
+                .export_metrics(&mut self.metrics, &format!("mac.ap{a}.backoff"));
+            ap.agent
+                .stats
+                .export_metrics(&mut self.metrics, &format!("fastack.ap{a}"));
+        }
+        for c in &self.clients {
+            // One shared prefix: client queues sum into fleet-level
+            // totals instead of exploding the path space per station.
+            c.backoff
+                .stats
+                .export_metrics(&mut self.metrics, "mac.clients.backoff");
+        }
+        for s in &self.senders {
+            s.export_metrics(&mut self.metrics, "tcp");
+            self.metrics.observe(self.h_cwnd, s.cwnd_segments());
+        }
+        debug_assert!(self.metrics.profiler_idle(), "unbalanced span guards");
+        self.report.metrics = std::mem::take(&mut self.metrics);
         self.report
     }
 
@@ -779,7 +850,10 @@ impl Testbed {
                 .cfg
                 .protection
                 .collision_cost(SimDuration::from_millis(2));
+            self.metrics.inc(self.c_collisions);
+            let sp = self.metrics.enter(self.sp_collision, self.queue.now());
             self.occupy(cost);
+            self.metrics.exit(sp, self.queue.now());
             for &wi in &outcome.winners {
                 match who[wi] {
                     Who::Ap(a) => {
@@ -863,10 +937,15 @@ impl Testbed {
 
         // Airtime: protection + data + SIFS + BlockAck.
         let air = self.cfg.protection.overhead() + ampdu.duration + SIFS + block_ack_duration();
+        let sp = self.metrics.enter(self.sp_ap_txop, self.queue.now());
         self.occupy(air);
+        self.metrics.exit(sp, self.queue.now());
         let now = self.queue.now();
 
         self.clients[client_idx].agg_sizes.push(taken);
+        self.metrics.inc(self.c_aggregates);
+        self.metrics.add(self.c_frames, taken as u64);
+        self.metrics.observe(self.h_ampdu, taken as f64);
 
         // Per-MPDU delivery draws.
         let per = 1.0 - mpdu_success_rate(link.snr_db - 1.0, rate.mcs, self.cfg.width, 1500);
@@ -979,7 +1058,9 @@ impl Testbed {
         )
         .unwrap_or(ack_duration());
         let air = dur + SIFS + block_ack_duration();
+        let sp = self.metrics.enter(self.sp_client_txop, self.queue.now());
         self.occupy(air);
+        self.metrics.exit(sp, self.queue.now());
         let now = self.queue.now();
 
         let ap = self.clients[c].ap;
@@ -1238,5 +1319,52 @@ mod tests {
         let b = Testbed::new(cfg).run(SimDuration::from_secs(1));
         assert_eq!(a.client_bytes, b.client_bytes);
         assert_eq!(a.agent_stats, b.agent_stats);
+        // The metrics snapshot is part of the determinism contract:
+        // byte-identical JSON for equal seeds.
+        assert_eq!(a.metrics.to_json(), b.metrics.to_json());
+    }
+
+    #[test]
+    fn metrics_cover_every_plane() {
+        let r = quick(
+            TestbedConfig {
+                clients_per_ap: 4,
+                fastack: vec![true],
+                seed: 21,
+                ..TestbedConfig::default()
+            },
+            2,
+        );
+        let m = &r.metrics;
+        // sim kernel
+        assert!(m.counter_value("sim.queue.scheduled").unwrap() > 0);
+        assert!(m.counter_value("sim.queue.popped").unwrap() > 0);
+        // MAC
+        assert!(m.counter_value("mac.ampdu.frames").unwrap() > 0);
+        assert!(m.counter_value("mac.ap0.backoff.draws").unwrap() > 0);
+        let h = m.histogram_value("mac.ampdu.size").unwrap();
+        assert!(h.total > 0 && h.nan_count == 0);
+        // TCP + FastACK
+        assert!(m.counter_value("tcp.retransmits").is_some());
+        assert!(m.gauge_value("tcp.cwnd_segments").is_some());
+        assert!(m.counter_value("fastack.ap0.fast_acks_sent").unwrap() > 0);
+        // Sim-time profiler: AP TXOPs dominate a downlink-heavy run and
+        // total attributed airtime matches the utilization accounting.
+        let ap = m.span_value("air.ap_txop").unwrap();
+        assert!(ap.calls > 0 && ap.total_time > sim::SimDuration::ZERO);
+        let spans = [
+            "air.ap_txop",
+            "air.client_txop",
+            "air.beacon",
+            "air.collision",
+        ];
+        let attributed: u64 = spans
+            .iter()
+            .filter_map(|s| m.span_value(s))
+            .map(|s| s.total_time.as_nanos())
+            .sum();
+        let busy_ns = (r.medium_utilization * r.duration_s * 1e9) as u64;
+        let diff = attributed.abs_diff(busy_ns);
+        assert!(diff < busy_ns / 100, "spans {attributed} vs busy {busy_ns}");
     }
 }

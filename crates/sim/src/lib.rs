@@ -32,7 +32,7 @@ pub mod sanitize;
 pub mod time;
 pub mod trace;
 
-pub use queue::{EventId, EventQueue};
+pub use queue::{EventId, EventQueue, QueueStats};
 pub use rng::{derive_stream_seed, Rng};
 pub use time::{SimDuration, SimTime};
 pub use trace::{Counting, Memory, MemoryTracer, Stderr, TraceEvent, TraceKind, TraceSink, Tracer};

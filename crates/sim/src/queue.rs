@@ -14,18 +14,31 @@
 
 use crate::time::{SimDuration, SimTime};
 use std::cmp::Ordering;
-use std::collections::BinaryHeap;
+use std::collections::{BTreeSet, BinaryHeap};
 
 /// Handle identifying a scheduled event; used to cancel timers
 /// (e.g. a TCP retransmission timer that is re-armed on every ACK).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct EventId(u64);
 
+/// Lifetime counters for one queue — cheap plain integers the driver
+/// can export into a `telemetry::metrics` registry (`sim` sits below
+/// `telemetry` in the dependency graph, so the queue cannot hold a
+/// registry handle itself).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct QueueStats {
+    /// Events ever scheduled.
+    pub scheduled: u64,
+    /// Live events popped (excludes cancelled ones skipped over).
+    pub popped: u64,
+    /// Successful cancellations.
+    pub cancelled: u64,
+}
+
 struct Entry<E> {
     at: SimTime,
     seq: u64,
-    cancelled: bool,
-    payload: Option<E>,
+    payload: E,
 }
 
 // BinaryHeap is a max-heap; invert the ordering to pop earliest first,
@@ -58,10 +71,12 @@ pub struct EventQueue<E> {
     heap: BinaryHeap<Entry<E>>,
     now: SimTime,
     next_seq: u64,
-    // Cancelled events stay in the heap (lazy deletion) and are skipped on
-    // pop; `live` tracks how many are real so `len`/`is_empty` stay honest.
-    live: usize,
-    cancelled: Vec<EventId>,
+    // Cancelled events stay in the heap (lazy deletion) and are skipped
+    // on pop; `live_ids` holds the seq of every still-pending event, so
+    // cancellation is one O(log n) set probe instead of a heap scan,
+    // and `len`/`is_empty` stay honest (live count = set size).
+    live_ids: BTreeSet<u64>,
+    stats: QueueStats,
     // Timestamp of the most recently popped event, used by the
     // sim-sanitizer to re-verify pop order from outside the heap.
     last_popped_at: SimTime,
@@ -80,8 +95,8 @@ impl<E> EventQueue<E> {
             heap: BinaryHeap::new(),
             now: SimTime::ZERO,
             next_seq: 0,
-            live: 0,
-            cancelled: Vec::new(),
+            live_ids: BTreeSet::new(),
+            stats: QueueStats::default(),
             last_popped_at: SimTime::ZERO,
         }
     }
@@ -94,12 +109,17 @@ impl<E> EventQueue<E> {
 
     /// Number of pending (non-cancelled) events.
     pub fn len(&self) -> usize {
-        self.live
+        self.live_ids.len()
     }
 
     /// True when no live events remain.
     pub fn is_empty(&self) -> bool {
-        self.live == 0
+        self.live_ids.is_empty()
+    }
+
+    /// Lifetime scheduled/popped/cancelled counters.
+    pub fn stats(&self) -> QueueStats {
+        self.stats
     }
 
     /// Schedule `payload` at absolute time `at`. Returns a handle usable
@@ -117,13 +137,9 @@ impl<E> EventQueue<E> {
         let at = at.max(self.now);
         let seq = self.next_seq;
         self.next_seq += 1;
-        self.heap.push(Entry {
-            at,
-            seq,
-            cancelled: false,
-            payload: Some(payload),
-        });
-        self.live += 1;
+        self.heap.push(Entry { at, seq, payload });
+        self.live_ids.insert(seq);
+        self.stats.scheduled += 1;
         EventId(seq)
     }
 
@@ -134,45 +150,26 @@ impl<E> EventQueue<E> {
     }
 
     /// Cancel a previously scheduled event. Returns `true` if the event
-    /// was still pending. Cancellation is O(1) amortized (lazy deletion).
+    /// was still pending. O(log n): one probe of the live-id set — the
+    /// heap entry stays behind (lazy deletion) and is discarded when it
+    /// reaches the top. A TCP RTO re-arm (one cancel per ACK) used to
+    /// pay a full-heap existence scan here, quadratic in flight size.
     pub fn cancel(&mut self, id: EventId) -> bool {
-        // We cannot address into the heap; record the id and filter on pop.
-        // A sorted Vec would be O(n) to probe; ids are few and short-lived,
-        // so a linear scan over outstanding cancellations is fine.
-        if id.0 >= self.next_seq {
-            return false;
+        if self.live_ids.remove(&id.0) {
+            self.stats.cancelled += 1;
+            true
+        } else {
+            false
         }
-        if self.cancelled.contains(&id) {
-            return false;
-        }
-        // We do not know whether the event already popped. Track it and
-        // reconcile at pop time; `live` is decremented optimistically and
-        // re-incremented if the id never matches (see pop()).
-        // To keep `live` exact we instead verify existence first.
-        let exists = self
-            .heap
-            .iter()
-            .any(|e| e.seq == id.0 && !e.cancelled && e.payload.is_some());
-        if !exists {
-            return false;
-        }
-        self.cancelled.push(id);
-        self.live -= 1;
-        true
     }
 
     /// Pop the earliest live event, advancing `now` to its timestamp.
     /// Returns `None` when the queue is empty.
     pub fn pop(&mut self) -> Option<(SimTime, E)> {
-        while let Some(mut entry) = self.heap.pop() {
-            if let Some(pos) = self.cancelled.iter().position(|c| c.0 == entry.seq) {
-                self.cancelled.swap_remove(pos);
-                continue;
+        while let Some(entry) = self.heap.pop() {
+            if !self.live_ids.remove(&entry.seq) {
+                continue; // cancelled; marker already gone from the set
             }
-            if entry.cancelled {
-                continue;
-            }
-            let payload = entry.payload.take().expect("live entry has payload");
             crate::sanitize::check_event_order(self.last_popped_at, entry.at);
             self.last_popped_at = entry.at;
             // If the clock was advanced past this event (a driver that
@@ -181,22 +178,26 @@ impl<E> EventQueue<E> {
             let next_now = self.now.max(entry.at);
             crate::sanitize::check_time_monotonic(self.now, next_now);
             self.now = next_now;
-            self.live -= 1;
-            return Some((self.now, payload));
+            self.stats.popped += 1;
+            return Some((self.now, entry.payload));
         }
         None
     }
 
     /// Timestamp of the next live event without popping it.
-    pub fn peek_time(&self) -> Option<SimTime> {
-        // Skipping cancelled entries without popping requires a scan of the
-        // heap top region; simplest correct approach is to iterate — peek
-        // is only used for run-loop bounds checks, not hot paths.
-        self.heap
-            .iter()
-            .filter(|e| !self.cancelled.iter().any(|c| c.0 == e.seq))
-            .map(|e| e.at)
-            .min()
+    ///
+    /// Takes `&mut self` so cancelled entries sitting on top of the heap
+    /// can be discarded as they are found — amortized O(log n) against
+    /// the old full-heap filter, which re-scanned every entry times
+    /// every outstanding cancellation on each run-loop bounds check.
+    pub fn peek_time(&mut self) -> Option<SimTime> {
+        while let Some(top) = self.heap.peek() {
+            if self.live_ids.contains(&top.seq) {
+                return Some(top.at);
+            }
+            self.heap.pop();
+        }
+        None
     }
 
     /// Advance the clock with no event — used by drivers that model
@@ -308,6 +309,51 @@ mod tests {
     }
 
     #[test]
+    fn stats_track_scheduled_popped_cancelled() {
+        let mut q = EventQueue::new();
+        let ids: Vec<_> = (0..5)
+            .map(|i| q.schedule(SimTime::from_micros(i), i))
+            .collect();
+        q.cancel(ids[1]);
+        q.cancel(ids[1]); // no-op, must not double count
+        q.pop();
+        q.pop();
+        let s = q.stats();
+        assert_eq!(s.scheduled, 5);
+        assert_eq!(s.cancelled, 1);
+        assert_eq!(s.popped, 2);
+    }
+
+    #[test]
+    fn peek_discards_cancelled_tops_eagerly() {
+        let mut q = EventQueue::new();
+        let ids: Vec<_> = (0..50)
+            .map(|i| q.schedule(SimTime::from_micros(i), i))
+            .collect();
+        for id in &ids[..49] {
+            q.cancel(*id);
+        }
+        // 49 cancelled entries sit on top; peek must skip them all and
+        // still report the single live event.
+        assert_eq!(q.peek_time(), Some(SimTime::from_micros(49)));
+        assert_eq!(q.len(), 1);
+        assert_eq!(q.pop().unwrap().1, 49);
+        assert_eq!(q.peek_time(), None);
+    }
+
+    #[test]
+    fn cancel_interleaved_with_equal_times_keeps_fifo() {
+        let mut q = EventQueue::new();
+        let t = SimTime::from_micros(5);
+        let ids: Vec<_> = (0..10).map(|i| q.schedule(t, i)).collect();
+        for i in (0..10).step_by(2) {
+            assert!(q.cancel(ids[i]));
+        }
+        let order: Vec<i32> = std::iter::from_fn(|| q.pop().map(|(_, e)| e)).collect();
+        assert_eq!(order, vec![1, 3, 5, 7, 9]);
+    }
+
+    #[test]
     fn advance_to_moves_clock() {
         let mut q: EventQueue<()> = EventQueue::new();
         q.advance_to(SimTime::from_secs(3));
@@ -342,5 +388,107 @@ mod tests {
         q.schedule(SimTime::from_micros(60), 2);
         assert_eq!(q.pop().unwrap(), (SimTime::from_micros(50), 1));
         assert_eq!(q.pop().unwrap(), (SimTime::from_micros(60), 2));
+    }
+}
+
+#[cfg(test)]
+mod model_tests {
+    //! Cancel-heavy property test: the queue must agree, operation by
+    //! operation, with a naive model (a plain Vec scanned for the
+    //! minimum) on `len`, cancel results, peek times and pop order.
+
+    use super::*;
+    use proptest::prelude::*;
+
+    /// Naive reference: (at, seq, payload) triples, popped by scanning
+    /// for min (at, seq) — FIFO on ties by construction.
+    #[derive(Default)]
+    struct NaiveQueue {
+        pending: Vec<(SimTime, u64, u64)>,
+        now: SimTime,
+        next_seq: u64,
+    }
+
+    impl NaiveQueue {
+        fn schedule(&mut self, at: SimTime, payload: u64) -> u64 {
+            let seq = self.next_seq;
+            self.next_seq += 1;
+            self.pending.push((at.max(self.now), seq, payload));
+            seq
+        }
+
+        fn cancel(&mut self, seq: u64) -> bool {
+            if let Some(pos) = self.pending.iter().position(|&(_, s, _)| s == seq) {
+                self.pending.remove(pos);
+                true
+            } else {
+                false
+            }
+        }
+
+        fn peek_time(&self) -> Option<SimTime> {
+            self.pending.iter().map(|&(at, _, _)| at).min()
+        }
+
+        fn pop(&mut self) -> Option<(SimTime, u64)> {
+            let pos = self
+                .pending
+                .iter()
+                .enumerate()
+                .min_by_key(|(_, &(at, seq, _))| (at, seq))
+                .map(|(i, _)| i)?;
+            let (at, _, payload) = self.pending.remove(pos);
+            self.now = self.now.max(at);
+            Some((self.now, payload))
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        #[test]
+        fn cancel_heavy_ops_match_naive_model(
+            ops in proptest::collection::vec(any::<u64>(), 1..300),
+        ) {
+            let mut q = EventQueue::new();
+            let mut model = NaiveQueue::default();
+            let mut ids: Vec<(EventId, u64)> = Vec::new();
+
+            for op in ops {
+                // Decode each word into an operation; bias toward
+                // cancellation so the lazy-deletion path stays busy.
+                match op % 5 {
+                    0 | 1 => {
+                        let dt = SimDuration::from_micros((op >> 3) % 1000);
+                        let at = q.now() + dt;
+                        let payload = op >> 3;
+                        let id = q.schedule(at, payload);
+                        let seq = model.schedule(at, payload);
+                        ids.push((id, seq));
+                    }
+                    2 | 3 => {
+                        if !ids.is_empty() {
+                            let (id, seq) = ids[(op as usize >> 3) % ids.len()];
+                            prop_assert_eq!(q.cancel(id), model.cancel(seq));
+                        }
+                    }
+                    _ => {
+                        prop_assert_eq!(q.pop(), model.pop());
+                    }
+                }
+                prop_assert_eq!(q.len(), model.pending.len());
+                prop_assert_eq!(q.peek_time(), model.peek_time());
+            }
+
+            // Drain: remaining pop order must match exactly.
+            loop {
+                let (a, b) = (q.pop(), model.pop());
+                prop_assert_eq!(a, b);
+                if a.is_none() {
+                    break;
+                }
+            }
+            prop_assert!(q.is_empty());
+        }
     }
 }

@@ -4,7 +4,9 @@
 //! percentiles, empirical CDFs/PDFs, histograms and Jain's fairness
 //! index ([`stats`]), plus a LittleTable-style time-series store
 //! ([`littletable`]) standing in for the Meraki backend the paper's
-//! data-collection pipeline writes into.
+//! data-collection pipeline writes into, and a deterministic metrics
+//! registry + sim-time profiler ([`metrics`]) that every subsystem
+//! reports its counters through.
 //!
 //! ```
 //! use telemetry::stats::{Cdf, jain_fairness};
@@ -15,9 +17,11 @@
 //! ```
 
 pub mod littletable;
+pub mod metrics;
 pub mod stats;
 pub mod streaming;
 
 pub use littletable::{Agg, LittleTable, SeriesKey};
+pub use metrics::{CounterId, GaugeId, HistId, Registry, Span, SpanId, SpanStat};
 pub use stats::{jain_fairness, median, quantile, summarize, Cdf, Histogram, Summary};
 pub use streaming::{Ewma, P2Quantile, RateCounter};

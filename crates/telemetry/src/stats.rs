@@ -2,6 +2,15 @@
 //! percentiles, empirical CDFs/PDFs, histograms and Jain's fairness
 //! index (the paper cites \[26\] for the latter and reports it for
 //! Fig. 17).
+//!
+//! NaN discipline: a NaN observation or quantile is a caller bug, so
+//! the sim-sanitizer treats both as violations. In unsanitized release
+//! builds the fallback degrades gracefully instead of corrupting
+//! figures — [`Histogram::add`] counts NaNs separately (they used to
+//! land silently in bin 0) and [`quantile_sorted`] returns NaN (it
+//! used to return `sorted[0]`).
+
+use sim::sanitize;
 
 /// Summary statistics over a sample.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -33,8 +42,13 @@ pub fn summarize(xs: &[f64]) -> Option<Summary> {
 }
 
 /// q-th quantile (0 ≤ q ≤ 1) by linear interpolation on the sorted
-/// sample. Returns `None` on an empty sample.
+/// sample. Returns `None` on an empty sample or a NaN `q` (the latter
+/// is a sanitizer violation when the sim-sanitizer is active).
 pub fn quantile(xs: &[f64], q: f64) -> Option<f64> {
+    if q.is_nan() {
+        sanitize::check(false, "quantile called with q = NaN");
+        return None;
+    }
     if xs.is_empty() {
         return None;
     }
@@ -43,9 +57,16 @@ pub fn quantile(xs: &[f64], q: f64) -> Option<f64> {
     Some(quantile_sorted(&sorted, q))
 }
 
-/// q-th quantile on an already-sorted slice.
+/// q-th quantile on an already-sorted slice. A NaN `q` is a sanitizer
+/// violation; in unsanitized builds it yields NaN (NaN clamps to
+/// itself, so the old code walked the `NaN as usize` path and returned
+/// `sorted[0]` — a silently wrong answer).
 pub fn quantile_sorted(sorted: &[f64], q: f64) -> f64 {
     debug_assert!(!sorted.is_empty());
+    if q.is_nan() {
+        sanitize::check(false, "quantile_sorted called with q = NaN");
+        return f64::NAN;
+    }
     let q = q.clamp(0.0, 1.0);
     let pos = q * (sorted.len() - 1) as f64;
     let lo = pos.floor() as usize;
@@ -127,7 +148,11 @@ pub struct Histogram {
     pub lo: f64,
     pub hi: f64,
     pub counts: Vec<u64>,
+    /// Observations binned (excludes NaNs).
     pub total: u64,
+    /// NaN observations, counted separately so they cannot distort the
+    /// PDF. NaN reaching a histogram is a sanitizer violation.
+    pub nan_count: u64,
 }
 
 impl Histogram {
@@ -138,10 +163,19 @@ impl Histogram {
             hi,
             counts: vec![0; bins],
             total: 0,
+            nan_count: 0,
         }
     }
 
     pub fn add(&mut self, x: f64) {
+        if x.is_nan() {
+            // `(NaN.max(0.0) as usize)` is 0, so the old code silently
+            // inflated bin 0 — visible as a phantom spike at `lo` in
+            // every PDF figure fed a NaN.
+            sanitize::check(false, "NaN observation added to histogram");
+            self.nan_count += 1;
+            return;
+        }
         let bins = self.counts.len();
         let t = ((x - self.lo) / (self.hi - self.lo) * bins as f64).floor();
         let idx = (t.max(0.0) as usize).min(bins - 1);
@@ -263,6 +297,62 @@ mod tests {
         assert_eq!(pdf[0].0, 1.0, "bin center");
         let total: f64 = pdf.iter().map(|(_, f)| f).sum();
         assert!((total - 1.0).abs() < 1e-12);
+    }
+
+    // NaN regression tests. Pre-fix, `add(NaN)` landed in bin 0 and
+    // `quantile(_, NaN)` returned the minimum — both silently.
+    #[cfg(any(feature = "sanitize", debug_assertions))]
+    mod nan_sanitized {
+        use super::*;
+
+        #[test]
+        #[should_panic(expected = "sim-sanitizer: NaN observation added to histogram")]
+        fn histogram_nan_is_violation() {
+            let mut h = Histogram::new(0.0, 10.0, 5);
+            h.add(f64::NAN);
+        }
+
+        #[test]
+        #[should_panic(expected = "sim-sanitizer: quantile_sorted called with q = NaN")]
+        fn quantile_sorted_nan_q_is_violation() {
+            quantile_sorted(&[1.0, 2.0], f64::NAN);
+        }
+
+        #[test]
+        #[should_panic(expected = "sim-sanitizer: quantile called with q = NaN")]
+        fn quantile_nan_q_is_violation() {
+            quantile(&[1.0, 2.0], f64::NAN);
+        }
+    }
+
+    // Unsanitized-build fallback: NaNs are quarantined, not binned.
+    #[cfg(not(any(feature = "sanitize", debug_assertions)))]
+    mod nan_release {
+        use super::*;
+
+        #[test]
+        fn histogram_quarantines_nan() {
+            let mut h = Histogram::new(0.0, 10.0, 5);
+            h.add(f64::NAN);
+            h.add(1.0);
+            assert_eq!(h.counts, vec![1, 0, 0, 0, 0], "NaN must not hit bin 0");
+            assert_eq!(h.total, 1);
+            assert_eq!(h.nan_count, 1);
+            let pdf = h.pdf();
+            assert!((pdf[0].1 - 1.0).abs() < 1e-12, "PDF normalizes without NaN");
+        }
+
+        #[test]
+        fn quantile_nan_q_does_not_return_minimum() {
+            assert!(quantile_sorted(&[1.0, 2.0], f64::NAN).is_nan());
+            assert_eq!(quantile(&[1.0, 2.0], f64::NAN), None);
+        }
+    }
+
+    #[test]
+    fn histogram_nan_count_starts_zero() {
+        let h = Histogram::new(0.0, 1.0, 2);
+        assert_eq!(h.nan_count, 0);
     }
 
     #[test]

@@ -26,4 +26,20 @@ echo "=== cargo test (sim-sanitizer forced on) ==="
 # proves the `sanitize` feature wiring itself stays sound.
 cargo test --workspace --features sanitize -q
 
+echo "=== metrics snapshot reproducibility ==="
+# Two invocations of the same bench binary must emit byte-identical
+# --metrics snapshots (see DESIGN.md "Observability"): the registry is
+# fed only by the deterministic simulation, so any diff here means
+# wall-clock, iteration-order, or uninitialized state leaked in.
+metrics_dir="$(mktemp -d)"
+trap 'rm -rf "$metrics_dir"' EXIT
+cargo build --release --quiet -p bench --bin fig14_cwnd
+for i in 1 2; do
+  IMC_RESULTS_DIR="$metrics_dir" \
+    target/release/fig14_cwnd --metrics "$metrics_dir/metrics-$i.json" \
+    > /dev/null
+done
+cmp "$metrics_dir/metrics-1.json" "$metrics_dir/metrics-2.json" \
+  || { echo "metrics snapshot diverged between identical runs"; exit 1; }
+
 echo "ci: all green"

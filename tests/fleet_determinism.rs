@@ -36,6 +36,9 @@ proptest! {
             "seed {} diverged at {} shards", seed, shards
         );
         prop_assert_eq!(&sequential.per_network, &sharded.per_network);
+        // The merged metrics snapshot is part of the same contract:
+        // byte-identical JSON regardless of sharding.
+        prop_assert_eq!(sequential.metrics.to_json(), sharded.metrics.to_json());
         // And the aggregates derived from the ingest store agree too.
         let (a24, a5) = sequential.aggregate.util_medians();
         let (b24, b5) = sharded.aggregate.util_medians();
