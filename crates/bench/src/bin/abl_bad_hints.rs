@@ -18,6 +18,8 @@ fn main() {
             ..TestbedConfig::default()
         })
         .run(SimDuration::from_secs(4));
+        exp.absorb(&r.metrics);
+        exp.absorb_flight("fast", &r.flight);
         series.push((bh, r.total_mbps()));
         retx_series.push((bh, r.agent_stats[0].local_retransmits as f64));
     }

@@ -22,6 +22,8 @@ fn main() {
             ..TestbedConfig::default()
         };
         let r = Testbed::new(cfg).run(SimDuration::from_secs(4));
+        exp.absorb(&r.metrics);
+        exp.absorb_flight("base", &r.flight);
         let mac = mean(&r.mac_latencies);
         let tcp = mean(&r.tcp_latencies);
         mac_series.push((n as f64, mac));

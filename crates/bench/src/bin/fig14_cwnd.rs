@@ -95,5 +95,7 @@ fn main() {
     }
     exp.absorb(&base.metrics);
     exp.absorb(&fast.metrics);
+    exp.absorb_flight("base", &base.flight);
+    exp.absorb_flight("fast", &fast.flight);
     std::process::exit(if exp.finish() { 0 } else { 1 });
 }

@@ -82,5 +82,8 @@ fn main() {
     exp.absorb(&base.metrics);
     exp.absorb(&fast.metrics);
     exp.absorb(&udp.metrics);
+    exp.absorb_flight("base", &base.flight);
+    exp.absorb_flight("fast", &fast.flight);
+    exp.absorb_flight("udp", &udp.flight);
     std::process::exit(if exp.finish() { 0 } else { 1 });
 }

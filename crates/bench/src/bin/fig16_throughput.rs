@@ -25,6 +25,10 @@ fn main() {
         let (b, fa) = (base.total_mbps(), fast.total_mbps());
         exp.absorb(&base.metrics);
         exp.absorb(&fast.metrics);
+        // Label by arm only: client counts share a component namespace
+        // so the dump stays bounded as the sweep widens.
+        exp.absorb_flight("base", &base.flight);
+        exp.absorb_flight("fast", &fast.flight);
         base_series.push((n as f64, b));
         fast_series.push((n as f64, fa));
         gains.push((n, fa / b - 1.0));

@@ -89,5 +89,9 @@ fn main() {
         "sorted-throughput-fastack",
         fa.iter().enumerate().map(|(i, &v)| (i as f64, v)).collect(),
     );
+    exp.absorb(&base.metrics);
+    exp.absorb(&fast.metrics);
+    exp.absorb_flight("base", &base.flight);
+    exp.absorb_flight("fast", &fast.flight);
     std::process::exit(if exp.finish() { 0 } else { 1 });
 }

@@ -74,5 +74,11 @@ fn main() {
             (2.0, ff.total_mbps()),
         ],
     );
+    exp.absorb(&bb.metrics);
+    exp.absorb(&bf.metrics);
+    exp.absorb(&ff.metrics);
+    exp.absorb_flight("bb", &bb.flight);
+    exp.absorb_flight("bf", &bf.flight);
+    exp.absorb_flight("ff", &ff.flight);
     std::process::exit(if exp.finish() { 0 } else { 1 });
 }

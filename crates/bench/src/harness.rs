@@ -9,7 +9,7 @@
 use std::fmt::Write as _;
 use std::fs;
 use std::path::PathBuf;
-use wifi_core::telemetry::Registry;
+use wifi_core::telemetry::{FlightDump, Registry};
 
 /// A recorded experiment: named scalar comparisons plus named series.
 #[derive(Debug, Default)]
@@ -22,6 +22,12 @@ pub struct Experiment {
     /// (see [`Experiment::absorb`]). Dumped verbatim when the binary is
     /// invoked with `--metrics <path>`.
     pub metrics: Registry,
+    /// Merged flight-recorder dumps from every run the experiment
+    /// absorbed (see [`Experiment::absorb_flight`]). Dumped in the
+    /// deterministic binary format when the binary is invoked with
+    /// `--trace <path>` (optionally `--trace-filter <prefix>`); inspect
+    /// with `tracectl`.
+    pub flight: FlightDump,
 }
 
 /// One paper-vs-measured scalar.
@@ -113,6 +119,15 @@ impl Experiment {
         self.metrics.merge_from(run_metrics);
     }
 
+    /// Merge one run's flight dump (a `TestbedReport::flight` or
+    /// `FleetRun::flight`) into the experiment's trace, prefixing its
+    /// component names with `label.` so chains from different arms
+    /// (e.g. `base.` vs `fast.`) stay distinguishable. An empty label
+    /// merges verbatim.
+    pub fn absorb_flight(&mut self, label: &str, dump: &FlightDump) {
+        self.flight.absorb(label, dump);
+    }
+
     /// Print the report and write the JSON dump. Returns `true` if every
     /// comparison agreed.
     pub fn finish(&self) -> bool {
@@ -152,20 +167,38 @@ impl Experiment {
         }
 
         // `--metrics <path>` (or `--metrics=<path>`): write the merged
-        // metrics registry snapshot. Deterministic by construction, so
-        // two invocations of the same binary must produce identical
-        // files — scripts/ci.sh enforces exactly that.
+        // metrics registry snapshot. `--trace <path>` (with an optional
+        // `--trace-filter <component-prefix>`): write the merged flight
+        // dump. Both are deterministic by construction, so two
+        // invocations of the same binary must produce identical files —
+        // scripts/ci.sh enforces exactly that.
+        let mut trace_out: Option<String> = None;
+        let mut trace_filter: Option<String> = None;
         let mut argv = std::env::args().skip(1);
         while let Some(arg) = argv.next() {
-            let target = if arg == "--metrics" {
+            let metrics_target = if arg == "--metrics" {
                 argv.next()
             } else {
                 arg.strip_prefix("--metrics=").map(str::to_owned)
             };
-            if let Some(p) = target {
+            if let Some(p) = metrics_target {
                 if let Err(e) = fs::write(&p, self.metrics.to_json()) {
                     eprintln!("warning: could not write {p}: {e}");
                 }
+            } else if arg == "--trace" {
+                trace_out = argv.next();
+            } else if let Some(p) = arg.strip_prefix("--trace=") {
+                trace_out = Some(p.to_owned());
+            } else if arg == "--trace-filter" {
+                trace_filter = argv.next();
+            } else if let Some(p) = arg.strip_prefix("--trace-filter=") {
+                trace_filter = Some(p.to_owned());
+            }
+        }
+        if let Some(p) = trace_out {
+            let dump = self.flight.filtered(trace_filter.as_deref());
+            if let Err(e) = fs::write(&p, dump.to_bytes()) {
+                eprintln!("warning: could not write {p}: {e}");
             }
         }
 

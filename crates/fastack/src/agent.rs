@@ -39,6 +39,31 @@ pub enum Action {
     LocalRetransmit(DataSegment),
 }
 
+impl Action {
+    /// Typed flight-recorder record for this action, with its causal id,
+    /// or `None` for actions that leave no cross-layer trace (drops and
+    /// suppressed client ACKs end a chain rather than extend it).
+    /// `synthetic_acks` marks upstream ACKs as FastACK-fabricated (true
+    /// when the agent is enabled) versus forwarded client ACKs.
+    pub fn flight_record(
+        &self,
+        synthetic_acks: bool,
+    ) -> Option<(telemetry::CauseId, telemetry::TraceRecord)> {
+        match self {
+            Action::Forward { seg, .. } => Some((seg.cause(), seg.flight_record())),
+            Action::LocalRetransmit(seg) => {
+                let mut rec = seg.flight_record();
+                if let telemetry::TraceRecord::TcpSeg { retransmit, .. } = &mut rec {
+                    *retransmit = true;
+                }
+                Some((seg.cause(), rec))
+            }
+            Action::SendAckUpstream(ack) => Some((ack.cause(), ack.flight_record(synthetic_acks))),
+            Action::DropData(_) | Action::SuppressClientAck(_) => None,
+        }
+    }
+}
+
 /// Agent configuration.
 #[derive(Debug, Clone)]
 pub struct AgentConfig {
@@ -677,6 +702,57 @@ mod tests {
             other => panic!("expected fast ack, got {other:?}"),
         }
         assert_eq!(a.stats.fast_acks_sent, 1);
+    }
+
+    #[test]
+    fn action_flight_records_map_each_variant() {
+        use telemetry::TraceRecord;
+
+        let fwd = Action::Forward {
+            seg: seg(0, MSS),
+            priority: false,
+        };
+        let (cause, rec) = fwd.flight_record(true).unwrap();
+        assert_eq!(cause, telemetry::cause_for(1, 0));
+        assert!(matches!(
+            rec,
+            TraceRecord::TcpSeg {
+                retransmit: false,
+                ..
+            }
+        ));
+
+        // A local retransmission is a retransmit on the air even if the
+        // cached segment was originally a first transmission.
+        let (_, rec) = Action::LocalRetransmit(seg(0, MSS))
+            .flight_record(true)
+            .unwrap();
+        assert!(matches!(
+            rec,
+            TraceRecord::TcpSeg {
+                retransmit: true,
+                ..
+            }
+        ));
+
+        let (cause, rec) = Action::SendAckUpstream(client_ack(MSS as u64))
+            .flight_record(true)
+            .unwrap();
+        assert_eq!(cause, telemetry::cause_for(1, MSS as u64));
+        assert_eq!(
+            rec,
+            TraceRecord::FastAckSynth {
+                flow: 1,
+                ack: MSS as u64,
+                synthetic: true,
+            }
+        );
+
+        // Chain-ending actions leave no record.
+        assert!(Action::DropData(seg(0, MSS)).flight_record(true).is_none());
+        assert!(Action::SuppressClientAck(client_ack(0))
+            .flight_record(true)
+            .is_none());
     }
 
     #[test]

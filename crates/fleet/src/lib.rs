@@ -116,6 +116,10 @@ pub struct FleetRun {
     /// `metrics.to_json()` is byte-identical for any thread count —
     /// the shard-executor determinism contract extends to telemetry.
     pub metrics: telemetry::Registry,
+    /// Controller-side flight trace: one `FleetEpoch` record per epoch
+    /// barrier under the `fleet.epoch` component. Byte-identical dump
+    /// for any thread count, like [`FleetRun::metrics`].
+    pub flight: telemetry::FlightDump,
 }
 
 /// Run the collect→plan→push loop over a synthesized fleet.
@@ -129,13 +133,26 @@ pub fn run_fleet(cfg: &FleetConfig) -> FleetRun {
         network::ManagedNetwork::generate(cfg, i as u64)
     });
 
-    // The epoch loop: one barrier per collect period.
+    // The epoch loop: one barrier per collect period. The controller's
+    // flight recorder keeps one typed record per barrier — enough to
+    // correlate a misbehaving network trace with the epoch that pushed
+    // its config.
+    let flight = telemetry::FlightRecorder::new(4096);
     let end = SimTime::ZERO + cfg.horizon;
     let mut now = SimTime::ZERO;
     let mut epochs = 0u64;
     while now < end {
         shard::for_each_mut_sharded(&mut nets, cfg.threads, &|net| net.on_tick(now, cfg));
         sanitize::check_epoch(&nets, now);
+        flight.emit(
+            "fleet.epoch",
+            now,
+            telemetry::CauseId::NONE,
+            telemetry::TraceRecord::FleetEpoch {
+                epoch: epochs,
+                networks: cfg.n_networks as u64,
+            },
+        );
         now += cfg.collect_period;
         epochs += 1;
     }
@@ -196,6 +213,7 @@ pub fn run_fleet(cfg: &FleetConfig) -> FleetRun {
         aggregate,
         per_network,
         metrics,
+        flight: flight.snapshot(),
     }
 }
 
@@ -235,6 +253,34 @@ mod tests {
         for threads in [2, 8] {
             let json = run_fleet(&small(threads)).metrics.to_json();
             assert_eq!(base, json, "metrics snapshot diverged at {threads} threads");
+        }
+    }
+
+    #[test]
+    fn flight_dump_records_every_epoch_and_is_thread_invariant() {
+        let base = run_fleet(&small(1));
+        // 45-min horizon / 15-min epochs = 3 epoch barriers.
+        let comp = base
+            .flight
+            .components
+            .iter()
+            .find(|c| c.name == "fleet.epoch")
+            .expect("fleet.epoch component");
+        assert_eq!(comp.records.len(), 3);
+        assert_eq!(
+            comp.records[0].record,
+            telemetry::TraceRecord::FleetEpoch {
+                epoch: 0,
+                networks: 6,
+            }
+        );
+        let bytes = base.flight.to_bytes();
+        for threads in [2, 8] {
+            assert_eq!(
+                run_fleet(&small(threads)).flight.to_bytes(),
+                bytes,
+                "flight dump diverged at {threads} threads"
+            );
         }
     }
 

@@ -42,6 +42,22 @@ impl Ampdu {
     pub fn payload_bytes(&self) -> usize {
         self.mpdus.iter().map(|m| m.bytes).sum()
     }
+
+    /// Causal id for the flight recorder: the aggregate joins the chain
+    /// of its head MPDU (MPDU ids already pack `(flow, seq)` with the
+    /// same convention as `telemetry::cause_for`).
+    pub fn cause(&self) -> telemetry::CauseId {
+        telemetry::CauseId(self.mpdus.first().map_or(0, |m| m.id))
+    }
+
+    /// Typed flight-recorder record for this aggregate's assembly.
+    pub fn flight_record(&self, flow: u64) -> telemetry::TraceRecord {
+        telemetry::TraceRecord::AmpduBuild {
+            flow,
+            frames: u32::try_from(self.size()).expect("A-MPDU frame count"),
+            bytes: self.payload_bytes() as u64,
+        }
+    }
 }
 
 /// Limits applied when building an aggregate.
@@ -253,6 +269,22 @@ mod tests {
                 bytes,
             })
             .collect()
+    }
+
+    #[test]
+    fn flight_record_reflects_aggregate_shape() {
+        let mut queue = q(10, 1460);
+        let a = build_ampdu(&mut queue, Mcs(9), 3, Width::W80, SGI, AggLimits::default()).unwrap();
+        // Aggregate joins the chain of its head MPDU.
+        assert_eq!(a.cause(), telemetry::CauseId(a.mpdus[0].id));
+        assert_eq!(
+            a.flight_record(7),
+            telemetry::TraceRecord::AmpduBuild {
+                flow: 7,
+                frames: 10,
+                bytes: 14_600,
+            }
+        );
     }
 
     #[test]

@@ -33,7 +33,9 @@ use tcpsim::{
     AckSegment, CcAlgorithm, DataSegment, FlowId, ReceiverConfig, SenderConfig, TcpReceiver,
     TcpSender,
 };
-use telemetry::{CounterId, HistId, Registry, SpanId};
+use telemetry::{
+    AirKind, CauseId, CounterId, FlightDump, FlightRecorder, HistId, Registry, SpanId, TraceRecord,
+};
 
 /// Transport driving the downlink flows.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -125,6 +127,14 @@ pub struct TestbedConfig {
     /// legacy basic rate and consume airtime whether or not anyone is
     /// listening. `None` disables beaconing.
     pub beacon_interval: Option<SimDuration>,
+    /// Flight-recorder ring capacity per component (last-N window of
+    /// typed trace records, see `telemetry::flight`). 0 disables
+    /// recording entirely.
+    pub flight_capacity: usize,
+    /// When set, arm flight-recorder mode: any sim-sanitizer violation
+    /// writes the recorder's last-N snapshot to this path before the
+    /// panic unwinds.
+    pub flight_dump_on_violation: Option<std::path::PathBuf>,
 }
 
 impl Default for TestbedConfig {
@@ -158,6 +168,8 @@ impl Default for TestbedConfig {
             cwnd_sample_every: None,
             traffic: Traffic::Tcp,
             beacon_interval: Some(SimDuration::from_micros(102_400)),
+            flight_capacity: 1024,
+            flight_dump_on_violation: None,
         }
     }
 }
@@ -204,6 +216,11 @@ pub struct TestbedReport {
     /// the sim-time airtime profile (`air.*` spans). Serialize with
     /// [`Registry::to_json`]; equal seeds yield byte-identical JSON.
     pub metrics: Registry,
+    /// Causal flight-recorder snapshot: the last-N typed trace records
+    /// per component (`tcp.wire`, `mac.ampdu`, `mac.tx`, `mac.back`,
+    /// `fastack.*`, `air`). Serialize with [`FlightDump::to_bytes`];
+    /// equal seeds yield byte-identical dumps.
+    pub flight: FlightDump,
 }
 
 impl TestbedReport {
@@ -258,15 +275,15 @@ struct ApState {
     bytes_delivered: u64,
 }
 
-/// Key for mapping an MPDU id back to its TCP segment.
+/// Key for mapping an MPDU id back to its TCP segment. This is exactly
+/// the flight recorder's causal-id convention, so an MPDU id *is* the
+/// [`CauseId`] joining MAC delivery reports to their TCP segment.
 fn mpdu_id(flow: FlowId, seq: u64) -> u64 {
-    // Flow ids are small; sequence offsets stay far below 2^48 in any
-    // practical run.
-    (flow.0 << 48) | (seq & 0xFFFF_FFFF_FFFF)
+    telemetry::cause_for(flow.0, seq).0
 }
 
 fn mpdu_seq(id: u64) -> u64 {
-    id & 0xFFFF_FFFF_FFFF
+    CauseId(id).seq_hint()
 }
 
 pub struct Testbed {
@@ -295,6 +312,8 @@ pub struct Testbed {
     /// Hot-path metric handles (registered once in `new`); the registry
     /// itself moves into the report at `finish`.
     metrics: Registry,
+    /// Causal flight recorder; snapshotted into the report at `finish`.
+    flight: FlightRecorder,
     sp_ap_txop: SpanId,
     sp_client_txop: SpanId,
     sp_beacon: SpanId,
@@ -385,6 +404,11 @@ impl Testbed {
         let c_frames = metrics.counter("mac.ampdu.frames");
         let c_collisions = metrics.counter("mac.collisions");
 
+        let flight = FlightRecorder::new(cfg.flight_capacity);
+        if let Some(path) = &cfg.flight_dump_on_violation {
+            telemetry::flight::install_violation_dump(&flight, path.clone());
+        }
+
         Testbed {
             cfg,
             queue: EventQueue::new(),
@@ -402,6 +426,7 @@ impl Testbed {
             dbg_next_ms: 0,
             repair_watch: vec![(0, SimTime::ZERO); n_clients],
             metrics,
+            flight,
             sp_ap_txop,
             sp_client_txop,
             sp_beacon,
@@ -454,6 +479,15 @@ impl Testbed {
                     let sp = self.metrics.enter(self.sp_beacon, self.queue.now());
                     self.occupy(all);
                     self.metrics.exit(sp, self.queue.now());
+                    self.flight.emit(
+                        "air",
+                        self.queue.now(),
+                        CauseId::NONE,
+                        TraceRecord::AirtimeSpan {
+                            kind: AirKind::Beacon,
+                            dur: all,
+                        },
+                    );
                     self.next_beacon += interval;
                 }
             }
@@ -576,6 +610,11 @@ impl Testbed {
             })
             .collect();
         self.report.medium_utilization = self.busy.as_secs_f64() / dur;
+        // Flight-recorder snapshot; wraparound losses become visible in
+        // the registry as `trace.dropped`.
+        self.metrics
+            .count("trace.dropped", self.flight.total_dropped());
+        self.report.flight = self.flight.snapshot();
 
         // Snapshot every subsystem's counters into the registry.
         let qs = self.queue.stats();
@@ -630,12 +669,38 @@ impl Testbed {
         }
     }
 
+    /// Record a FastACK agent action into the flight rings. The record
+    /// and causal id come from the action itself
+    /// ([`Action::flight_record`]); this only picks the component:
+    /// forwards are the wired plane, local retransmissions and
+    /// synthesized ACKs are FastACK's doing, pass-through client ACKs
+    /// are plain TCP.
+    fn record_action(&self, act: &Action, ap_fastack: bool, now: SimTime) {
+        let Some((cause, rec)) = act.flight_record(ap_fastack) else {
+            return;
+        };
+        let component = match act {
+            Action::Forward { .. } => "tcp.wire",
+            Action::LocalRetransmit(_) => "fastack.retx",
+            Action::SendAckUpstream(_) => {
+                if ap_fastack {
+                    "fastack.synth"
+                } else {
+                    "tcp.ack"
+                }
+            }
+            Action::DropData(_) | Action::SuppressClientAck(_) => return,
+        };
+        self.flight.emit(component, now, cause, rec);
+    }
+
     /// A data segment arrives at the AP from the wire: run it through the
     /// FastACK agent and enqueue per its verdict.
     fn ap_ingress(&mut self, ap: usize, seg: DataSegment, now: SimTime) {
         let client_slot = (seg.flow.0 - 1) as usize % self.cfg.clients_per_ap;
         let actions = self.aps[ap].agent.on_wire_data(&seg);
         for act in actions {
+            self.record_action(&act, self.cfg.fastack[ap], now);
             match act {
                 Action::Forward { seg, priority } => {
                     let depth = self.aps[ap].queues[client_slot].len()
@@ -739,6 +804,7 @@ impl Testbed {
                 self.repair_watch[c].1 = now;
                 let acts = self.aps[ap].agent.force_repair(flow);
                 for act in acts {
+                    self.record_action(&act, self.cfg.fastack[self.clients[c].ap], now);
                     if let Action::LocalRetransmit(seg) = act {
                         let slot = c % self.cfg.clients_per_ap;
                         let mpdu = QueuedMpdu {
@@ -854,6 +920,15 @@ impl Testbed {
             let sp = self.metrics.enter(self.sp_collision, self.queue.now());
             self.occupy(cost);
             self.metrics.exit(sp, self.queue.now());
+            self.flight.emit(
+                "air",
+                self.queue.now(),
+                CauseId::NONE,
+                TraceRecord::AirtimeSpan {
+                    kind: AirKind::Collision,
+                    dur: cost,
+                },
+            );
             for &wi in &outcome.winners {
                 match who[wi] {
                     Who::Ap(a) => {
@@ -934,6 +1009,13 @@ impl Testbed {
         for x in staged.drain(taken..).rev() {
             self.aps[a].queues[slot].push_front(x);
         }
+        let flow = self.clients[client_idx].flow;
+        self.flight.emit(
+            "mac.ampdu",
+            self.queue.now(),
+            ampdu.cause(),
+            ampdu.flight_record(flow.0),
+        );
 
         // Airtime: protection + data + SIFS + BlockAck.
         let air = self.cfg.protection.overhead() + ampdu.duration + SIFS + block_ack_duration();
@@ -941,6 +1023,15 @@ impl Testbed {
         self.occupy(air);
         self.metrics.exit(sp, self.queue.now());
         let now = self.queue.now();
+        self.flight.emit(
+            "air",
+            now,
+            ampdu.cause(),
+            TraceRecord::AirtimeSpan {
+                kind: AirKind::ApTxop,
+                dur: air,
+            },
+        );
 
         self.clients[client_idx].agg_sizes.push(taken);
         self.metrics.inc(self.c_aggregates);
@@ -952,6 +1043,16 @@ impl Testbed {
         let mut delivered_count = 0usize;
         for (mpdu, enq) in staged.into_iter() {
             let delivered = !self.rng.chance(per);
+            self.flight.emit(
+                "mac.tx",
+                now,
+                CauseId(mpdu.id),
+                TraceRecord::MacTx {
+                    flow: flow.0,
+                    seq: mpdu_seq(mpdu.id),
+                    delivered,
+                },
+            );
             if !delivered {
                 // MAC retransmission: back to the priority stage so it
                 // leads the next TXOP for this client.
@@ -970,7 +1071,6 @@ impl Testbed {
                 continue;
             }
 
-            let flow = self.clients[client_idx].flow;
             let seq = mpdu_seq(mpdu.id);
             let len = self
                 .seg_lens
@@ -985,6 +1085,7 @@ impl Testbed {
             // FastACK observes the 802.11 ACK.
             let actions = self.aps[a].agent.on_mac_ack(flow, seq, len);
             for act in actions {
+                self.record_action(&act, self.cfg.fastack[a], now);
                 if let Action::SendAckUpstream(ack) = act {
                     self.queue
                         .schedule(now + self.cfg.wired_latency, Event::WireAck(ack));
@@ -1012,6 +1113,17 @@ impl Testbed {
                 self.push_client_ack(client_idx, ack, now);
             }
         }
+
+        self.flight.emit(
+            "mac.back",
+            now,
+            ampdu.cause(),
+            TraceRecord::BlockAck {
+                flow: flow.0,
+                acked: u32::try_from(delivered_count).expect("BlockAck window"),
+                lost: u32::try_from(taken - delivered_count).expect("BlockAck window"),
+            },
+        );
 
         if delivered_count == 0 {
             // Whole-PPDU loss: the BlockAck never came back; contention
@@ -1058,10 +1170,24 @@ impl Testbed {
         )
         .unwrap_or(ack_duration());
         let air = dur + SIFS + block_ack_duration();
+        // The uplink burst joins the chain of its head ACK.
+        let burst_cause = self.clients[c]
+            .ack_queue
+            .front()
+            .map_or(CauseId::NONE, |(_, ack)| ack.cause());
         let sp = self.metrics.enter(self.sp_client_txop, self.queue.now());
         self.occupy(air);
         self.metrics.exit(sp, self.queue.now());
         let now = self.queue.now();
+        self.flight.emit(
+            "air",
+            now,
+            burst_cause,
+            TraceRecord::AirtimeSpan {
+                kind: AirKind::ClientTxop,
+                dur: air,
+            },
+        );
 
         let ap = self.clients[c].ap;
         for _ in 0..n {
@@ -1081,6 +1207,7 @@ impl Testbed {
             }
             let actions = self.aps[ap].agent.on_client_ack(&ack);
             for act in actions {
+                self.record_action(&act, self.cfg.fastack[ap], now);
                 match act {
                     Action::SendAckUpstream(a2) => {
                         self.queue
@@ -1322,6 +1449,70 @@ mod tests {
         // The metrics snapshot is part of the determinism contract:
         // byte-identical JSON for equal seeds.
         assert_eq!(a.metrics.to_json(), b.metrics.to_json());
+        // So is the flight dump: byte-identical binary for equal seeds.
+        assert_eq!(a.flight.to_bytes(), b.flight.to_bytes());
+        assert!(a.flight.total_records() > 0);
+    }
+
+    #[test]
+    fn flight_chain_crosses_the_stack() {
+        // The acceptance chain: one flow traceable TCP-seg → A-MPDU →
+        // MAC tx → BlockAck → fast ACK, plus the airtime it paid for.
+        let r = quick(
+            TestbedConfig {
+                clients_per_ap: 2,
+                fastack: vec![true],
+                seed: 17,
+                ..TestbedConfig::default()
+            },
+            2,
+        );
+        assert_eq!(
+            r.metrics.counter_value("trace.dropped"),
+            Some(r.flight.total_dropped())
+        );
+        let chain = r.flight.chain(1);
+        let has = |layer: &str| chain.iter().any(|(_, ev)| ev.record.layer() == layer);
+        for layer in [
+            "tcp-seg",
+            "ampdu-build",
+            "mac-tx",
+            "block-ack",
+            "fastack-synth",
+            "airtime-span",
+        ] {
+            assert!(has(layer), "chain is missing {layer}: {:?}", chain.len());
+        }
+        // Time-ordered.
+        assert!(chain.windows(2).all(|w| w[0].1.at <= w[1].1.at));
+        // Components carry the expected names.
+        for name in [
+            "tcp.wire",
+            "mac.ampdu",
+            "mac.tx",
+            "mac.back",
+            "fastack.synth",
+        ] {
+            assert!(
+                r.flight.components.iter().any(|c| c.name == name),
+                "missing component {name}"
+            );
+        }
+    }
+
+    #[test]
+    fn flight_capacity_zero_disables_recording() {
+        let r = quick(
+            TestbedConfig {
+                clients_per_ap: 1,
+                fastack: vec![true],
+                flight_capacity: 0,
+                ..TestbedConfig::default()
+            },
+            1,
+        );
+        assert_eq!(r.flight.total_records(), 0);
+        assert_eq!(r.metrics.counter_value("trace.dropped"), Some(0));
     }
 
     #[test]

@@ -16,8 +16,35 @@
 //!
 //! A violation panics with a `sim-sanitizer:` prefix so a failing CI
 //! run is immediately distinguishable from an ordinary test assertion.
+//! Before panicking, [`violation`] fires the thread's registered
+//! *violation hook* (if any) exactly once — the flight recorder
+//! (`telemetry::flight`) installs one to dump the last-N trace records
+//! to disk, turning every invariant panic into a post-mortem artifact.
 
 use crate::time::SimTime;
+use std::cell::RefCell;
+
+thread_local! {
+    /// One hook per thread (the simulator is single-threaded, so this is
+    /// effectively one hook per simulation world). Taken — not borrowed —
+    /// at violation time so a hook that itself trips a check cannot
+    /// recurse.
+    static VIOLATION_HOOK: RefCell<Option<Box<dyn FnMut()>>> = const { RefCell::new(None) };
+}
+
+/// Install a hook that runs once, on this thread, immediately before the
+/// next sanitizer violation panics. Replaces any previous hook.
+///
+/// The hook is consumed when it fires; re-install after catching the
+/// panic if another armed dump is wanted.
+pub fn set_violation_hook(hook: Box<dyn FnMut()>) {
+    VIOLATION_HOOK.with(|h| *h.borrow_mut() = Some(hook));
+}
+
+/// Remove the thread's violation hook, if any.
+pub fn clear_violation_hook() {
+    VIOLATION_HOOK.with(|h| *h.borrow_mut() = None);
+}
 
 /// True when sanitizer checks are compiled in and active.
 ///
@@ -29,9 +56,14 @@ pub const fn enabled() -> bool {
 
 /// Report an invariant violation. Panics unconditionally — callers
 /// gate on [`enabled`] (or use [`check`], which does it for them).
+/// Runs the thread's violation hook (see [`set_violation_hook`]) first,
+/// so a flight recorder can dump its rings before the unwind starts.
 #[track_caller]
 #[cold]
 pub fn violation(msg: &str) -> ! {
+    if let Some(mut hook) = VIOLATION_HOOK.with(|h| h.borrow_mut().take()) {
+        hook();
+    }
     panic!("sim-sanitizer: {msg}");
 }
 
@@ -104,6 +136,26 @@ mod tests {
         #[should_panic(expected = "sim-sanitizer: event queue popped out of order")]
         fn out_of_order_pop_is_violation() {
             check_event_order(SimTime::from_micros(10), SimTime::from_micros(9));
+        }
+
+        #[test]
+        fn violation_hook_fires_once_before_the_panic() {
+            use std::cell::Cell;
+            use std::rc::Rc;
+
+            let fired = Rc::new(Cell::new(0u32));
+            let fired2 = fired.clone();
+            set_violation_hook(Box::new(move || fired2.set(fired2.get() + 1)));
+
+            let caught = std::panic::catch_unwind(|| check(false, "hooked"));
+            assert!(caught.is_err());
+            assert_eq!(fired.get(), 1, "hook must run before the panic");
+
+            // The hook is consumed: a second violation panics without it.
+            let caught = std::panic::catch_unwind(|| check(false, "unhooked"));
+            assert!(caught.is_err());
+            assert_eq!(fired.get(), 1);
+            clear_violation_hook();
         }
     }
 }

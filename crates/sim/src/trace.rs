@@ -4,6 +4,16 @@
 //! components emit `TraceEvent`s through a `Tracer`; sinks decide what to
 //! keep. The default sink is `Counting` (free), tests use `Memory` to
 //! assert on emitted sequences, and debugging uses `Stderr`.
+//!
+//! Emission is *lazy*: [`Tracer::event_with`] takes a closure, and the
+//! message `String` is only ever built when the tracer is enabled **and**
+//! the sink actually keeps messages ([`TraceSink::wants_message`]). A
+//! disabled tracer or a `Counting` sink therefore costs one branch on the
+//! hot path — no formatting, no allocation.
+//!
+//! For typed, causally-linked cross-layer tracing (the flight recorder),
+//! see `telemetry::flight`, which supersedes this module for the
+//! protocol planes; `sim::trace` remains the free-form string channel.
 
 use crate::time::SimTime;
 use std::cell::RefCell;
@@ -35,6 +45,13 @@ pub struct TraceEvent {
 /// Where trace records go.
 pub trait TraceSink {
     fn record(&mut self, ev: TraceEvent);
+
+    /// Whether this sink keeps the message text. Sinks that only count
+    /// (or drop) records return `false`, and the tracer then skips
+    /// building the message entirely — `record` sees an empty string.
+    fn wants_message(&self) -> bool {
+        true
+    }
 }
 
 /// Discards messages but counts per (kind, component) — zero-allocation
@@ -48,17 +65,52 @@ impl TraceSink for Counting {
     fn record(&mut self, ev: TraceEvent) {
         *self.counts.entry((ev.kind, ev.component)).or_insert(0) += 1;
     }
+
+    fn wants_message(&self) -> bool {
+        false
+    }
 }
 
-/// Keeps every record in memory (tests, small runs).
-#[derive(Default)]
+/// Keeps records in memory up to a capacity (tests, small runs).
+///
+/// Unbounded growth made this sink unusable for long runs: a fleet-scale
+/// simulation emits millions of records. `Memory` now stops storing at
+/// `capacity` and counts what it had to drop instead; export the
+/// [`Memory::dropped`] counter as the `trace.dropped` metric so a
+/// truncated trace is visible in the run's registry snapshot.
 pub struct Memory {
     pub events: Vec<TraceEvent>,
+    /// Maximum records kept; further records only bump `dropped`.
+    pub capacity: usize,
+    /// Records discarded after `events` filled up.
+    pub dropped: u64,
+}
+
+impl Default for Memory {
+    /// Effectively unbounded (tests that assert on full sequences).
+    fn default() -> Self {
+        Memory::bounded(usize::MAX)
+    }
+}
+
+impl Memory {
+    /// A sink that keeps at most `capacity` records.
+    pub fn bounded(capacity: usize) -> Memory {
+        Memory {
+            events: Vec::new(),
+            capacity,
+            dropped: 0,
+        }
+    }
 }
 
 impl TraceSink for Memory {
     fn record(&mut self, ev: TraceEvent) {
-        self.events.push(ev);
+        if self.events.len() < self.capacity {
+            self.events.push(ev);
+        } else {
+            self.dropped += 1;
+        }
     }
 }
 
@@ -99,17 +151,32 @@ impl Tracer {
     }
 
     /// Whether records are being kept at all. Components should gate
-    /// expensive message formatting on this.
+    /// expensive side computations on this; message formatting itself is
+    /// already lazy via [`Tracer::emit_with`].
     pub fn is_enabled(&self) -> bool {
         self.enabled
     }
 
-    /// Emit a record.
-    pub fn emit(&self, at: SimTime, kind: TraceKind, component: &'static str, message: String) {
+    /// Emit a record, building the message lazily. The closure runs only
+    /// when the tracer is enabled and the sink wants message text; a
+    /// `Counting` sink still counts the record but never formats.
+    pub fn emit_with(
+        &self,
+        at: SimTime,
+        kind: TraceKind,
+        component: &'static str,
+        message: impl FnOnce() -> String,
+    ) {
         if !self.enabled {
             return;
         }
-        self.sink.borrow_mut().record(TraceEvent {
+        let mut sink = self.sink.borrow_mut();
+        let message = if sink.wants_message() {
+            message()
+        } else {
+            String::new()
+        };
+        sink.record(TraceEvent {
             at,
             kind,
             component,
@@ -117,14 +184,39 @@ impl Tracer {
         });
     }
 
-    /// Convenience: normal event.
-    pub fn event(&self, at: SimTime, component: &'static str, message: impl AsRef<str>) {
-        self.emit(at, TraceKind::Event, component, message.as_ref().to_owned());
+    /// Convenience: normal event with a lazy message.
+    pub fn event_with(
+        &self,
+        at: SimTime,
+        component: &'static str,
+        message: impl FnOnce() -> String,
+    ) {
+        self.emit_with(at, TraceKind::Event, component, message);
     }
 
-    /// Convenience: warning.
+    /// Convenience: warning with a lazy message.
+    pub fn warn_with(
+        &self,
+        at: SimTime,
+        component: &'static str,
+        message: impl FnOnce() -> String,
+    ) {
+        self.emit_with(at, TraceKind::Warn, component, message);
+    }
+
+    /// Convenience: normal event from an already-available string. The
+    /// `to_owned` copy is still lazy — skipped for counting sinks.
+    pub fn event(&self, at: SimTime, component: &'static str, message: impl AsRef<str>) {
+        self.emit_with(at, TraceKind::Event, component, || {
+            message.as_ref().to_owned()
+        });
+    }
+
+    /// Convenience: warning from an already-available string.
     pub fn warn(&self, at: SimTime, component: &'static str, message: impl AsRef<str>) {
-        self.emit(at, TraceKind::Warn, component, message.as_ref().to_owned());
+        self.emit_with(at, TraceKind::Warn, component, || {
+            message.as_ref().to_owned()
+        });
     }
 }
 
@@ -142,11 +234,16 @@ impl Default for MemoryTracer {
 
 impl MemoryTracer {
     pub fn new() -> Self {
-        let mem = Rc::new(RefCell::new(Memory::default()));
+        Self::with_capacity(usize::MAX)
+    }
+
+    /// A memory tracer whose sink keeps at most `capacity` records.
+    pub fn with_capacity(capacity: usize) -> Self {
+        let mem = Rc::new(RefCell::new(Memory::bounded(capacity)));
         struct Shared(Rc<RefCell<Memory>>);
         impl TraceSink for Shared {
             fn record(&mut self, ev: TraceEvent) {
-                self.0.borrow_mut().events.push(ev);
+                self.0.borrow_mut().record(ev);
             }
         }
         let tracer = Tracer::new(Shared(mem.clone()));
@@ -162,6 +259,11 @@ impl MemoryTracer {
         self.mem.borrow().events.clone()
     }
 
+    /// Records dropped after the sink reached its capacity.
+    pub fn dropped(&self) -> u64 {
+        self.mem.borrow().dropped
+    }
+
     /// Render records as one string, one per line (assertion helper).
     pub fn render(&self) -> String {
         let mut out = String::new();
@@ -175,6 +277,16 @@ impl MemoryTracer {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use std::fmt;
+
+    /// A value whose `Display` panics: formatting it at all is the bug.
+    struct NeverFormat;
+
+    impl fmt::Display for NeverFormat {
+        fn fmt(&self, _f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            panic!("trace message formatted on a path that must not format");
+        }
+    }
 
     #[test]
     fn memory_tracer_records_in_order() {
@@ -189,25 +301,46 @@ mod tests {
     }
 
     #[test]
-    fn disabled_tracer_drops_everything() {
+    fn disabled_tracer_never_formats() {
         let t = Tracer::disabled();
         assert!(!t.is_enabled());
-        t.event(SimTime::ZERO, "x", "dropped");
-        // No panic, nothing recorded: behaviour verified via is_enabled.
+        // Would panic if the closure ran.
+        t.event_with(SimTime::ZERO, "x", || format!("{NeverFormat}"));
+        t.warn_with(SimTime::ZERO, "x", || format!("{NeverFormat}"));
     }
 
     #[test]
-    fn counting_sink_counts() {
-        let mut c = Counting::default();
-        for i in 0..5 {
-            c.record(TraceEvent {
-                at: SimTime::from_micros(i),
-                kind: TraceKind::Event,
-                component: "mac",
-                message: String::new(),
-            });
+    fn counting_sink_counts_without_formatting() {
+        let counts = Rc::new(RefCell::new(Counting::default()));
+        struct Shared(Rc<RefCell<Counting>>);
+        impl TraceSink for Shared {
+            fn record(&mut self, ev: TraceEvent) {
+                self.0.borrow_mut().record(ev);
+            }
+            fn wants_message(&self) -> bool {
+                false
+            }
         }
-        assert_eq!(c.counts[&(TraceKind::Event, "mac")], 5);
+        let t = Tracer::new(Shared(counts.clone()));
+        for _ in 0..5 {
+            // The hot-path contract: a counting sink must never build the
+            // message. `NeverFormat` panics if it does.
+            t.event_with(SimTime::ZERO, "mac", || format!("{NeverFormat}"));
+        }
+        assert_eq!(counts.borrow().counts[&(TraceKind::Event, "mac")], 5);
+    }
+
+    #[test]
+    fn memory_sink_caps_and_counts_drops() {
+        let mt = MemoryTracer::with_capacity(3);
+        let t = mt.tracer();
+        for i in 0..10 {
+            t.event(SimTime::from_micros(i), "c", "x");
+        }
+        assert_eq!(mt.events().len(), 3);
+        assert_eq!(mt.dropped(), 7);
+        // The kept records are the earliest three.
+        assert_eq!(mt.events()[2].at, SimTime::from_micros(2));
     }
 
     #[test]

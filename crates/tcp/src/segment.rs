@@ -27,6 +27,22 @@ impl DataSegment {
     pub fn end(&self) -> u64 {
         self.seq + self.len as u64
     }
+
+    /// Causal id for the flight recorder: shared by every record any
+    /// layer emits while handling this segment's first byte.
+    pub fn cause(&self) -> telemetry::CauseId {
+        telemetry::cause_for(self.flow.0, self.seq)
+    }
+
+    /// Typed flight-recorder record for this segment crossing a hop.
+    pub fn flight_record(&self) -> telemetry::TraceRecord {
+        telemetry::TraceRecord::TcpSeg {
+            flow: self.flow.0,
+            seq: self.seq,
+            len: self.len,
+            retransmit: self.retransmit,
+        }
+    }
 }
 
 /// A TCP acknowledgment.
@@ -52,6 +68,24 @@ impl AckSegment {
             sack: Vec::new(),
         }
     }
+
+    /// Causal id for the flight recorder: an ACK is caused by the
+    /// delivery of the bytes just below it, so it joins the chain of
+    /// the segment whose end equals `ack`.
+    pub fn cause(&self) -> telemetry::CauseId {
+        telemetry::cause_for(self.flow.0, self.ack)
+    }
+
+    /// Typed flight-recorder record for this ACK leaving the AP.
+    /// `synthetic` is true when FastACK fabricated it from a MAC
+    /// delivery report rather than forwarding a client ACK.
+    pub fn flight_record(&self, synthetic: bool) -> telemetry::TraceRecord {
+        telemetry::TraceRecord::FastAckSynth {
+            flow: self.flow.0,
+            ack: self.ack,
+            synthetic,
+        }
+    }
 }
 
 #[cfg(test)]
@@ -74,5 +108,36 @@ mod tests {
         let a = AckSegment::plain(FlowId(2), 5000, 65535);
         assert!(a.sack.is_empty());
         assert_eq!(a.ack, 5000);
+    }
+
+    #[test]
+    fn flight_records_carry_segment_identity() {
+        let s = DataSegment {
+            flow: FlowId(3),
+            seq: 1460,
+            len: 1460,
+            retransmit: true,
+        };
+        assert_eq!(s.cause(), telemetry::cause_for(3, 1460));
+        assert_eq!(
+            s.flight_record(),
+            telemetry::TraceRecord::TcpSeg {
+                flow: 3,
+                seq: 1460,
+                len: 1460,
+                retransmit: true,
+            }
+        );
+
+        let a = AckSegment::plain(FlowId(3), 2920, 65535);
+        assert_eq!(a.cause(), telemetry::cause_for(3, 2920));
+        assert_eq!(
+            a.flight_record(true),
+            telemetry::TraceRecord::FastAckSynth {
+                flow: 3,
+                ack: 2920,
+                synthetic: true,
+            }
+        );
     }
 }

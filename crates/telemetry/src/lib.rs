@@ -6,7 +6,9 @@
 //! ([`littletable`]) standing in for the Meraki backend the paper's
 //! data-collection pipeline writes into, and a deterministic metrics
 //! registry + sim-time profiler ([`metrics`]) that every subsystem
-//! reports its counters through.
+//! reports its counters through, and a causal flight recorder
+//! ([`flight`]) that captures typed, cross-layer packet traces into
+//! fixed-capacity rings with deterministic binary dumps.
 //!
 //! ```
 //! use telemetry::stats::{Cdf, jain_fairness};
@@ -16,11 +18,16 @@
 //! assert_eq!(jain_fairness(&[5.0, 5.0]), Some(1.0));
 //! ```
 
+pub mod flight;
 pub mod littletable;
 pub mod metrics;
 pub mod stats;
 pub mod streaming;
 
+pub use flight::{
+    cause_for, AirKind, CauseId, ComponentTrace, FlightDump, FlightEvent, FlightRecorder,
+    TraceRecord,
+};
 pub use littletable::{Agg, LittleTable, SeriesKey};
 pub use metrics::{CounterId, GaugeId, HistId, Registry, Span, SpanId, SpanStat};
 pub use stats::{jain_fairness, median, quantile, summarize, Cdf, Histogram, Summary};

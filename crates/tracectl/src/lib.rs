@@ -1,0 +1,472 @@
+//! `tracectl` — inspect causal flight-recorder dumps.
+//!
+//! The flight recorder (`telemetry::flight`) serializes each run's
+//! last-N typed trace records to a deterministic binary dump. This
+//! crate is the reader side: a library of renderers over parsed
+//! [`FlightDump`]s plus a thin CLI (`src/main.rs`) exposing them:
+//!
+//! * `tracectl summary <dump>` — per-component record counts, drop
+//!   accounting, time range, and the flows present;
+//! * `tracectl grep <dump> [--component <prefix>] [--flow <id>]` —
+//!   filtered record listing;
+//! * `tracectl chain <dump> [<flow>]` — the full causal chain of one
+//!   flow, time-ordered across every layer (TCP segment → A-MPDU →
+//!   MAC tx → BlockAck → fast ACK → airtime). With no flow argument,
+//!   picks the first flow with a complete chain;
+//! * `tracectl diff <a> <b>` — determinism triage: byte-compares two
+//!   dumps and, when they differ, locates the first diverging
+//!   component and record.
+//!
+//! Every renderer returns a `String` so tests assert on output
+//! verbatim; only `main` prints.
+
+use telemetry::flight::{FlightDump, FlightEvent};
+
+/// Layers (in causal order) that make a chain "complete" for the
+/// paper's TCP-over-802.11ac pipeline.
+const CHAIN_LAYERS: [&str; 5] = [
+    "tcp-seg",
+    "ampdu-build",
+    "mac-tx",
+    "block-ack",
+    "fastack-synth",
+];
+
+fn event_line(component: &str, ev: &FlightEvent) -> String {
+    let cause = ev.cause;
+    format!(
+        "{:>14}  {:<18} {}  (cause {}:{})",
+        ev.at.to_string(),
+        component,
+        ev.record,
+        cause.flow_hint(),
+        cause.seq_hint(),
+    )
+}
+
+/// Per-component overview: counts, capacity, wraparound drops, time
+/// range, and which flows appear in the dump.
+pub fn summary(dump: &FlightDump) -> String {
+    let mut out = String::new();
+    out.push_str(&format!(
+        "{} components, {} records, {} dropped (ring wraparound)\n",
+        dump.components.len(),
+        dump.total_records(),
+        dump.total_dropped(),
+    ));
+    out.push_str(&format!(
+        "{:<24} {:>8} {:>10} {:>9}  time range\n",
+        "component", "records", "capacity", "dropped"
+    ));
+    for c in &dump.components {
+        let range = match (c.records.first(), c.records.last()) {
+            (Some(a), Some(b)) => format!("{} .. {}", a.at, b.at),
+            _ => "-".to_owned(),
+        };
+        out.push_str(&format!(
+            "{:<24} {:>8} {:>10} {:>9}  {range}\n",
+            c.name,
+            c.records.len(),
+            c.capacity,
+            c.dropped,
+        ));
+    }
+    let flows = dump.flows();
+    out.push_str(&format!(
+        "flows: {}\n",
+        if flows.is_empty() {
+            "(none)".to_owned()
+        } else {
+            flows
+                .iter()
+                .map(|f| f.to_string())
+                .collect::<Vec<_>>()
+                .join(" ")
+        }
+    ));
+    out
+}
+
+/// Record listing filtered by component-name prefix and/or flow id.
+pub fn grep(dump: &FlightDump, component: Option<&str>, flow: Option<u64>) -> String {
+    let mut out = String::new();
+    let mut lines: Vec<(&str, &FlightEvent)> = Vec::new();
+    for c in &dump.components {
+        if let Some(p) = component {
+            if !c.name.starts_with(p) {
+                continue;
+            }
+        }
+        for ev in &c.records {
+            if let Some(f) = flow {
+                if ev.flow() != Some(f) {
+                    continue;
+                }
+            }
+            lines.push((c.name.as_str(), ev));
+        }
+    }
+    lines.sort_by(|a, b| a.1.at.cmp(&b.1.at).then_with(|| a.0.cmp(b.0)));
+    for (name, ev) in &lines {
+        out.push_str(&event_line(name, ev));
+        out.push('\n');
+    }
+    out.push_str(&format!("{} records matched\n", lines.len()));
+    out
+}
+
+/// Which of the [`CHAIN_LAYERS`] a flow's chain covers.
+fn layers_covered(chain: &[(&str, FlightEvent)]) -> Vec<&'static str> {
+    CHAIN_LAYERS
+        .iter()
+        .copied()
+        .filter(|l| chain.iter().any(|(_, ev)| ev.record.layer() == *l))
+        .collect()
+}
+
+/// The full causal chain of one flow, time-ordered across every layer.
+/// With `flow = None`, picks the lowest-numbered flow whose chain
+/// covers every layer in [`CHAIN_LAYERS`] (falling back to the first
+/// flow present at all).
+pub fn chain(dump: &FlightDump, flow: Option<u64>) -> String {
+    let flow = match flow {
+        Some(f) => f,
+        None => {
+            let flows = dump.flows();
+            match flows
+                .iter()
+                .copied()
+                .find(|&f| layers_covered(&dump.chain(f)).len() == CHAIN_LAYERS.len())
+                .or_else(|| flows.first().copied())
+            {
+                Some(f) => f,
+                None => return "no flows in dump\n".to_owned(),
+            }
+        }
+    };
+    let chain = dump.chain(flow);
+    let mut out = String::new();
+    out.push_str(&format!("flow {flow}: {} records\n", chain.len()));
+    for (name, ev) in &chain {
+        out.push_str(&event_line(name, ev));
+        out.push('\n');
+    }
+    let covered = layers_covered(&chain);
+    let complete = covered.len() == CHAIN_LAYERS.len();
+    out.push_str(&format!(
+        "chain {}: {}\n",
+        if complete { "complete" } else { "partial" },
+        covered.join(" -> "),
+    ));
+    out
+}
+
+/// Determinism triage. Returns the rendered report and whether the two
+/// dumps are identical (the CLI exits non-zero when they are not).
+pub fn diff(a: &FlightDump, b: &FlightDump) -> (String, bool) {
+    if a.to_bytes() == b.to_bytes() {
+        return ("dumps are byte-identical\n".to_owned(), true);
+    }
+    let mut out = String::from("dumps DIFFER\n");
+    let names =
+        |d: &FlightDump| -> Vec<String> { d.components.iter().map(|c| c.name.clone()).collect() };
+    let (na, nb) = (names(a), names(b));
+    for n in &na {
+        if !nb.contains(n) {
+            out.push_str(&format!("component {n}: only in first dump\n"));
+        }
+    }
+    for n in &nb {
+        if !na.contains(n) {
+            out.push_str(&format!("component {n}: only in second dump\n"));
+        }
+    }
+    for ca in &a.components {
+        let Some(cb) = b.components.iter().find(|c| c.name == ca.name) else {
+            continue;
+        };
+        if ca.records.len() != cb.records.len() {
+            out.push_str(&format!(
+                "component {}: {} vs {} records\n",
+                ca.name,
+                ca.records.len(),
+                cb.records.len()
+            ));
+        }
+        if let Some(i) = ca
+            .records
+            .iter()
+            .zip(cb.records.iter())
+            .position(|(x, y)| x != y)
+        {
+            out.push_str(&format!(
+                "component {}: first divergence at record {i}\n  first:  {}\n  second: {}\n",
+                ca.name,
+                event_line(&ca.name, &ca.records[i]),
+                event_line(&ca.name, &cb.records[i]),
+            ));
+        }
+        if ca.dropped != cb.dropped {
+            out.push_str(&format!(
+                "component {}: dropped {} vs {}\n",
+                ca.name, ca.dropped, cb.dropped
+            ));
+        }
+    }
+    (out, false)
+}
+
+/// CLI usage text.
+pub fn usage() -> String {
+    [
+        "tracectl — inspect flight-recorder dumps",
+        "",
+        "usage:",
+        "  tracectl summary <dump.bin>",
+        "  tracectl grep <dump.bin> [--component <prefix>] [--flow <id>]",
+        "  tracectl chain <dump.bin> [<flow>]",
+        "  tracectl diff <a.bin> <b.bin>",
+        "",
+    ]
+    .join("\n")
+}
+
+fn load(path: &str) -> Result<FlightDump, String> {
+    let bytes = std::fs::read(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+    FlightDump::parse(&bytes).map_err(|e| format!("cannot parse {path}: {e}"))
+}
+
+/// Dispatch a full argv (without the program name). Returns the output
+/// to print and the process exit code; `Err` is a usage/IO error whose
+/// message goes to stderr with exit code 2.
+pub fn run(args: &[String]) -> Result<(String, i32), String> {
+    let cmd = args.first().map(String::as_str);
+    match cmd {
+        Some("summary") => {
+            let path = args.get(1).ok_or_else(usage)?;
+            Ok((summary(&load(path)?), 0))
+        }
+        Some("grep") => {
+            let path = args.get(1).ok_or_else(usage)?;
+            let mut component: Option<String> = None;
+            let mut flow: Option<u64> = None;
+            let mut it = args[2..].iter();
+            while let Some(a) = it.next() {
+                match a.as_str() {
+                    "--component" => component = it.next().cloned(),
+                    "--flow" => {
+                        let v = it.next().ok_or("--flow needs a value")?;
+                        flow = Some(v.parse().map_err(|e| format!("bad flow id {v}: {e}"))?);
+                    }
+                    other => {
+                        if let Some(p) = other.strip_prefix("--component=") {
+                            component = Some(p.to_owned());
+                        } else if let Some(p) = other.strip_prefix("--flow=") {
+                            flow = Some(p.parse().map_err(|e| format!("bad flow id {p}: {e}"))?);
+                        } else {
+                            return Err(format!("unknown grep argument {other}\n{}", usage()));
+                        }
+                    }
+                }
+            }
+            Ok((grep(&load(path)?, component.as_deref(), flow), 0))
+        }
+        Some("chain") => {
+            let path = args.get(1).ok_or_else(usage)?;
+            let flow = match args.get(2) {
+                Some(v) => Some(v.parse().map_err(|e| format!("bad flow id {v}: {e}"))?),
+                None => None,
+            };
+            Ok((chain(&load(path)?, flow), 0))
+        }
+        Some("diff") => {
+            let pa = args.get(1).ok_or_else(usage)?;
+            let pb = args.get(2).ok_or_else(usage)?;
+            let (out, same) = diff(&load(pa)?, &load(pb)?);
+            Ok((out, if same { 0 } else { 1 }))
+        }
+        _ => Err(usage()),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sim::{SimDuration, SimTime};
+    use telemetry::flight::{cause_for, AirKind, CauseId, FlightRecorder, TraceRecord};
+
+    fn sample() -> FlightDump {
+        let rec = FlightRecorder::new(16);
+        let t = SimTime::from_micros;
+        let c = cause_for(3, 1460);
+        rec.emit(
+            "tcp.wire",
+            t(1),
+            c,
+            TraceRecord::TcpSeg {
+                flow: 3,
+                seq: 1460,
+                len: 1460,
+                retransmit: false,
+            },
+        );
+        rec.emit(
+            "mac.ampdu",
+            t(2),
+            c,
+            TraceRecord::AmpduBuild {
+                flow: 3,
+                frames: 8,
+                bytes: 11_680,
+            },
+        );
+        rec.emit(
+            "mac.tx",
+            t(3),
+            c,
+            TraceRecord::MacTx {
+                flow: 3,
+                seq: 1460,
+                delivered: true,
+            },
+        );
+        rec.emit(
+            "mac.back",
+            t(4),
+            c,
+            TraceRecord::BlockAck {
+                flow: 3,
+                acked: 8,
+                lost: 0,
+            },
+        );
+        rec.emit(
+            "fastack.synth",
+            t(5),
+            c,
+            TraceRecord::FastAckSynth {
+                flow: 3,
+                ack: 2920,
+                synthetic: true,
+            },
+        );
+        rec.emit(
+            "air",
+            t(5),
+            CauseId::NONE,
+            TraceRecord::AirtimeSpan {
+                kind: AirKind::Beacon,
+                dur: SimDuration::from_micros(120),
+            },
+        );
+        rec.snapshot()
+    }
+
+    #[test]
+    fn summary_counts_components_and_flows() {
+        let s = summary(&sample());
+        assert!(s.starts_with("6 components, 6 records, 0 dropped"), "{s}");
+        assert!(s.contains("flows: 3"), "{s}");
+        assert!(s.contains("mac.ampdu"), "{s}");
+    }
+
+    #[test]
+    fn grep_filters_by_component_and_flow() {
+        let d = sample();
+        let all = grep(&d, None, None);
+        assert!(all.contains("6 records matched"), "{all}");
+        let mac = grep(&d, Some("mac."), None);
+        assert!(mac.contains("3 records matched"), "{mac}");
+        assert!(!mac.contains("tcp-seg"), "{mac}");
+        let none = grep(&d, None, Some(99));
+        assert!(none.contains("0 records matched"), "{none}");
+    }
+
+    #[test]
+    fn chain_prints_the_complete_causal_path() {
+        let d = sample();
+        let out = chain(&d, Some(3));
+        assert!(out.contains("flow 3: 5 records"), "{out}");
+        assert!(
+            out.contains(
+                "chain complete: tcp-seg -> ampdu-build -> mac-tx -> block-ack -> fastack-synth"
+            ),
+            "{out}"
+        );
+        // Auto-pick finds the same flow.
+        assert_eq!(chain(&d, None), out);
+        // A missing flow yields a partial (empty) chain.
+        let missing = chain(&d, Some(42));
+        assert!(missing.contains("flow 42: 0 records"), "{missing}");
+        assert!(missing.contains("chain partial"), "{missing}");
+    }
+
+    #[test]
+    fn diff_reports_identity_and_divergence() {
+        let d = sample();
+        let (out, same) = diff(&d, &d.clone());
+        assert!(same, "{out}");
+
+        let mut other = d.clone();
+        if let TraceRecord::MacTx { delivered, .. } = &mut other.components[4].records[0].record {
+            *delivered = false;
+        } else {
+            panic!("component order changed: {}", other.components[4].name);
+        }
+        let (out, same) = diff(&d, &other);
+        assert!(!same);
+        assert!(out.contains("dumps DIFFER"), "{out}");
+        assert!(out.contains("first divergence at record 0"), "{out}");
+
+        let mut extra = d.clone();
+        extra.components.remove(0);
+        let (out, _) = diff(&d, &extra);
+        assert!(out.contains("only in first dump"), "{out}");
+    }
+
+    #[test]
+    fn run_dispatches_and_reports_usage() {
+        assert!(run(&[]).is_err());
+        assert!(run(&["nonsense".to_owned()]).is_err());
+
+        let dir = std::env::temp_dir().join("tracectl-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let p = dir.join("dump.bin");
+        std::fs::write(&p, sample().to_bytes()).unwrap();
+        let path = p.to_string_lossy().to_string();
+
+        let (out, code) = run(&["summary".to_owned(), path.clone()]).unwrap();
+        assert_eq!(code, 0);
+        assert!(out.contains("6 components"));
+
+        let (out, code) = run(&[
+            "grep".to_owned(),
+            path.clone(),
+            "--component".to_owned(),
+            "mac.".to_owned(),
+            "--flow=3".to_owned(),
+        ])
+        .unwrap();
+        assert_eq!(code, 0);
+        assert!(out.contains("3 records matched"), "{out}");
+
+        let (out, code) = run(&["chain".to_owned(), path.clone(), "3".to_owned()]).unwrap();
+        assert_eq!(code, 0);
+        assert!(out.contains("chain complete"), "{out}");
+
+        let (_, code) = run(&["diff".to_owned(), path.clone(), path.clone()]).unwrap();
+        assert_eq!(code, 0);
+
+        let p2 = dir.join("other.bin");
+        let mut other = sample();
+        other.components[0].records.pop();
+        std::fs::write(&p2, other.to_bytes()).unwrap();
+        let (out, code) =
+            run(&["diff".to_owned(), path, p2.to_string_lossy().to_string()]).unwrap();
+        assert_eq!(code, 1);
+        assert!(out.contains("dumps DIFFER"), "{out}");
+
+        // Unreadable / unparsable files are errors, not panics.
+        assert!(run(&["summary".to_owned(), "/nonexistent.bin".to_owned()]).is_err());
+    }
+}

@@ -42,4 +42,22 @@ done
 cmp "$metrics_dir/metrics-1.json" "$metrics_dir/metrics-2.json" \
   || { echo "metrics snapshot diverged between identical runs"; exit 1; }
 
+echo "=== flight-recorder dump reproducibility ==="
+# Same property for the causal flight recorder: two runs of the same
+# experiment must serialize byte-identical --trace dumps, and tracectl
+# must be able to read them back.
+cargo build --release --quiet -p bench --bin fig15_aggregation
+cargo build --release --quiet -p tracectl
+for i in 1 2; do
+  IMC_RESULTS_DIR="$metrics_dir" \
+    target/release/fig15_aggregation --trace "$metrics_dir/trace-$i.bin" \
+    > /dev/null
+done
+cmp "$metrics_dir/trace-1.bin" "$metrics_dir/trace-2.bin" \
+  || { echo "flight-recorder dump diverged between identical runs"; exit 1; }
+target/release/tracectl summary "$metrics_dir/trace-1.bin" > /dev/null \
+  || { echo "tracectl could not parse its own dump"; exit 1; }
+target/release/tracectl chain "$metrics_dir/trace-1.bin" | grep -q "chain complete" \
+  || { echo "tracectl chain found no complete causal chain in fig15 dump"; exit 1; }
+
 echo "ci: all green"
