@@ -80,5 +80,8 @@ fn main() {
     exp.absorb_flight("bb", &bb.flight);
     exp.absorb_flight("bf", &bf.flight);
     exp.absorb_flight("ff", &ff.flight);
+    exp.absorb_health("bb", &bb.health);
+    exp.absorb_health("bf", &bf.health);
+    exp.absorb_health("ff", &ff.health);
     std::process::exit(if exp.finish() { 0 } else { 1 });
 }

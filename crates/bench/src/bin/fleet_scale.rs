@@ -129,6 +129,7 @@ fn main() {
     exp.series("fig2_util_5_cdf", run.aggregate.util_5.series(50));
     exp.absorb(&run.metrics);
     exp.absorb_flight("", &run.flight);
+    exp.absorb_health("", &run.health.report);
     println!("\n{}", run.report);
 
     std::process::exit(if exp.finish() { 0 } else { 1 });

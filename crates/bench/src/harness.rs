@@ -9,7 +9,7 @@
 use std::fmt::Write as _;
 use std::fs;
 use std::path::PathBuf;
-use wifi_core::telemetry::{FlightDump, Registry};
+use wifi_core::telemetry::{FlightDump, HealthReport, Registry};
 
 /// A recorded experiment: named scalar comparisons plus named series.
 #[derive(Debug, Default)]
@@ -28,6 +28,11 @@ pub struct Experiment {
     /// `--trace <path>` (optionally `--trace-filter <prefix>`); inspect
     /// with `tracectl`.
     pub flight: FlightDump,
+    /// Merged health reports from every run the experiment absorbed
+    /// (see [`Experiment::absorb_health`]). Dumped as canonical JSON
+    /// when the binary is invoked with `--health <path>`; inspect with
+    /// `healthctl`.
+    pub health: HealthReport,
 }
 
 /// One paper-vs-measured scalar.
@@ -128,6 +133,15 @@ impl Experiment {
         self.flight.absorb(label, dump);
     }
 
+    /// Merge one run's health report (a `TestbedReport::health` or
+    /// `FleetRun::health.report`) into the experiment's alert stream,
+    /// prefixing alert components with `label.` (empty label merges
+    /// verbatim). Absorb order does not change the JSON because alerts
+    /// re-sort into canonical order on every absorb.
+    pub fn absorb_health(&mut self, label: &str, report: &HealthReport) {
+        self.health.absorb(label, report);
+    }
+
     /// Print the report and write the JSON dump. Returns `true` if every
     /// comparison agreed.
     pub fn finish(&self) -> bool {
@@ -169,9 +183,10 @@ impl Experiment {
         // `--metrics <path>` (or `--metrics=<path>`): write the merged
         // metrics registry snapshot. `--trace <path>` (with an optional
         // `--trace-filter <component-prefix>`): write the merged flight
-        // dump. Both are deterministic by construction, so two
-        // invocations of the same binary must produce identical files —
-        // scripts/ci.sh enforces exactly that.
+        // dump. `--health <path>`: write the merged health report as
+        // canonical JSON. All three are deterministic by construction,
+        // so two invocations of the same binary must produce identical
+        // files — scripts/ci.sh enforces exactly that.
         let mut trace_out: Option<String> = None;
         let mut trace_filter: Option<String> = None;
         let mut argv = std::env::args().skip(1);
@@ -183,6 +198,17 @@ impl Experiment {
             };
             if let Some(p) = metrics_target {
                 if let Err(e) = fs::write(&p, self.metrics.to_json()) {
+                    eprintln!("warning: could not write {p}: {e}");
+                }
+                continue;
+            }
+            let health_target = if arg == "--health" {
+                argv.next()
+            } else {
+                arg.strip_prefix("--health=").map(str::to_owned)
+            };
+            if let Some(p) = health_target {
+                if let Err(e) = fs::write(&p, self.health.to_json()) {
                     eprintln!("warning: could not write {p}: {e}");
                 }
             } else if arg == "--trace" {
@@ -312,6 +338,40 @@ mod tests {
         let mut want = Registry::new();
         want.count("sub.events", 4);
         assert_eq!(e.metrics.to_json(), want.to_json());
+    }
+
+    #[test]
+    fn absorb_health_prefixes_and_resorts() {
+        use wifi_core::sim::SimTime;
+        use wifi_core::telemetry::health::{Alert, Severity, RULE_RTO_STORM};
+        let mut e = Experiment::new("t", "health");
+        let mut r = HealthReport {
+            steps: 3,
+            ..HealthReport::default()
+        };
+        r.alerts.push(Alert {
+            component: "tcp".to_owned(),
+            rule: RULE_RTO_STORM.to_owned(),
+            severity: Severity::Warning,
+            raised_at: SimTime::from_millis(10),
+            cleared_at: None,
+            cause: None,
+            value: 7.0,
+            threshold: 6.0,
+        });
+        e.absorb_health("base", &r);
+        e.absorb_health("", &r);
+        assert_eq!(e.health.steps, 6);
+        let comps: Vec<&str> = e
+            .health
+            .alerts
+            .iter()
+            .map(|a| a.component.as_str())
+            .collect();
+        assert_eq!(comps, ["base.tcp", "tcp"]);
+        // Canonical JSON round-trips.
+        let parsed = HealthReport::parse(&e.health.to_json()).unwrap();
+        assert_eq!(parsed, e.health);
     }
 
     #[test]

@@ -167,6 +167,7 @@ mod tests {
                 (SimTime::from_secs(900), 0.25),
             ],
             util_5: vec![(SimTime::from_secs(0), util5)],
+            health: telemetry::HealthReport::default(),
         }
     }
 

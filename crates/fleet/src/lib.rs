@@ -84,6 +84,10 @@ pub struct FleetConfig {
     /// Utilization regimes polled from the two radios (Fig. 2).
     pub profile_2_4: UtilizationProfile,
     pub profile_5: UtilizationProfile,
+    /// Health-rule catalog each network's detector engine evaluates
+    /// per epoch (the channel-flap rule watches the live switch
+    /// counter). `None` disables health entirely.
+    pub health_rules: Option<telemetry::HealthRules>,
 }
 
 impl Default for FleetConfig {
@@ -100,6 +104,7 @@ impl Default for FleetConfig {
             rf_churn: 0.05,
             profile_2_4: UtilizationProfile::FLEET_2_4,
             profile_5: UtilizationProfile::FLEET_5,
+            health_rules: Some(telemetry::HealthRules::default()),
         }
     }
 }
@@ -120,6 +125,11 @@ pub struct FleetRun {
     /// barrier under the `fleet.epoch` component. Byte-identical dump
     /// for any thread count, like [`FleetRun::metrics`].
     pub flight: telemetry::FlightDump,
+    /// Fleet-wide health rollup: every network's alert stream merged
+    /// in id order (components prefixed `net<id>.`) with counts by
+    /// rule/severity and the worst-N networks. `health.to_json()` is
+    /// byte-identical for any thread count.
+    pub health: telemetry::HealthRollup,
 }
 
 /// Run the collect→plan→push loop over a synthesized fleet.
@@ -184,6 +194,14 @@ pub fn run_fleet(cfg: &FleetConfig) -> FleetRun {
     }
     let aggregate = ingest.aggregate();
 
+    // Fleet health rollup, folded in id order like everything else.
+    let health = telemetry::HealthRollup::rollup(
+        per_network
+            .iter()
+            .map(|r| (format!("net{}", r.id), &r.health)),
+        10,
+    );
+
     let (util_2_4_median, util_5_median) = aggregate.util_medians();
     let netp: Vec<f64> = per_network.iter().map(|r| r.final_net_p_ln).collect();
     let p50s: Vec<f64> = per_network.iter().map(|r| r.tcp_p50_ms).collect();
@@ -214,6 +232,7 @@ pub fn run_fleet(cfg: &FleetConfig) -> FleetRun {
         per_network,
         metrics,
         flight: flight.snapshot(),
+        health,
     }
 }
 
@@ -329,6 +348,66 @@ mod tests {
         }
         assert_eq!(run.ingest.reports_ingested(), 6);
         assert_eq!(run.report.plans_run, 3 * 6);
+    }
+
+    #[test]
+    fn health_rollup_is_byte_identical_across_1_2_8_threads() {
+        let base = run_fleet(&small(1)).health.to_json();
+        assert!(!base.is_empty());
+        for threads in [2, 8] {
+            let json = run_fleet(&small(threads)).health.to_json();
+            assert_eq!(base, json, "health rollup diverged at {threads} threads");
+        }
+        // And it round-trips through the on-disk format.
+        let parsed = telemetry::HealthRollup::parse(&base).expect("parses");
+        assert_eq!(parsed.to_json(), base);
+    }
+
+    #[test]
+    fn calm_fleet_raises_no_alerts() {
+        // Default churn: the scheduler converges and sits still, so
+        // channel-flap must stay silent on every network.
+        let run = run_fleet(&small(2));
+        assert!(
+            run.health.report.alerts.is_empty(),
+            "{:#?}",
+            run.health.report.alerts
+        );
+        assert!(run.health.worst.is_empty());
+        assert!(run.per_network.iter().all(|r| r.health.steps > 0));
+    }
+
+    #[test]
+    fn churning_fleet_raises_channel_flap() {
+        // Crank RF churn AND its strength (churn values are drawn from
+        // `profile_5`; the HQ 2.4 GHz regime's ~82 % busy makes every
+        // appearance a strong interferer): the fast tier keeps escaping
+        // dirty channels and the reassignment rate crosses the flap
+        // threshold.
+        let cfg = FleetConfig {
+            n_networks: 3,
+            rf_churn: 0.95,
+            profile_5: UtilizationProfile::HQ_2_4,
+            horizon: SimDuration::from_hours(3),
+            ..small(1)
+        };
+        let run = run_fleet(&cfg);
+        assert!(
+            run.health.by_rule.contains_key("channel-flap"),
+            "by_rule: {:?} switches: {}",
+            run.health.by_rule,
+            run.report.switches
+        );
+        // The worst ranking names flapping networks.
+        assert!(!run.health.worst.is_empty());
+        assert!(run.health.worst[0].0.starts_with("net"));
+        // Merged alert components carry the network prefix.
+        assert!(run
+            .health
+            .report
+            .alerts
+            .iter()
+            .all(|a| a.component.starts_with("net") && a.component.ends_with(".sched")));
     }
 
     #[test]

@@ -11,8 +11,9 @@ use netsim::population::ClientCaps;
 use netsim::topology;
 use phy80211::channels::Band;
 use sim::{derive_stream_seed, Rng, SimTime};
+use telemetry::health::ChannelFlap;
 use telemetry::stats::quantile;
-use telemetry::{CounterId, HistId, Registry};
+use telemetry::{CounterId, FlightDump, HealthEngine, HistId, Registry};
 
 /// A network under fleet management. Everything it does is driven by
 /// RNG streams derived from `(master_seed, id)` alone, so its entire
@@ -39,6 +40,14 @@ pub struct ManagedNetwork {
     c_ticks: CounterId,
     c_polls: CounterId,
     c_churn: CounterId,
+    /// Live channel-switch counter (updated every epoch so the health
+    /// engine sees the churn as it happens, not only at finalize).
+    c_switches: CounterId,
+    /// Switches already folded into `c_switches`.
+    counted_switches: usize,
+    /// Per-network health engine — channel-flap over the live switch
+    /// counter, stepped once per epoch. `None` when disabled.
+    health: Option<HealthEngine>,
     h_util_2_4: HistId,
     h_util_5: HistId,
 }
@@ -61,6 +70,18 @@ impl ManagedNetwork {
         let c_churn = metrics.counter("fleet.net.churn_events");
         let h_util_2_4 = metrics.histogram("fleet.net.util_2_4", 0.0, 1.0, 20);
         let h_util_5 = metrics.histogram("fleet.net.util_5", 0.0, 1.0, 20);
+        let c_switches = metrics.counter("fleet.net.channel_switches");
+        let health = cfg.health_rules.and_then(|rules| {
+            let mut eng = HealthEngine::new();
+            if let Some(r) = rules.channel_flap {
+                eng.add(Box::new(ChannelFlap::new(
+                    "sched",
+                    "fleet.net.channel_switches",
+                    r,
+                )));
+            }
+            (!eng.is_empty()).then_some(eng)
+        });
         ManagedNetwork {
             id,
             seed,
@@ -75,9 +96,20 @@ impl ManagedNetwork {
             c_ticks,
             c_polls,
             c_churn,
+            c_switches,
+            counted_switches: 0,
+            health,
             h_util_2_4,
             h_util_5,
         }
+    }
+
+    /// Fold any new channel switches into the live counter.
+    fn sync_switches(&mut self) {
+        let total = self.sched.total_switches();
+        self.metrics
+            .add(self.c_switches, (total - self.counted_switches) as u64);
+        self.counted_switches = total;
     }
 
     /// One fleet epoch for this network: **collect** (poll both radios'
@@ -110,6 +142,18 @@ impl ManagedNetwork {
         if self.sched.next_due() <= now {
             self.sched.tick(now, &mut self.view);
         }
+        self.sync_switches();
+        if std::env::var_os("IMC_HEALTH_DEBUG").is_some() {
+            eprintln!(
+                "[net{} {:>6}m] switches={}",
+                self.id,
+                now.as_millis() / 60_000,
+                self.counted_switches
+            );
+        }
+        if let Some(eng) = self.health.as_mut() {
+            eng.step(now, &self.metrics);
+        }
     }
 
     /// Evaluate the final plan and summarize this network's run.
@@ -136,8 +180,13 @@ impl ManagedNetwork {
         self.metrics.count("fleet.net.plans_run", plans_run as u64);
         self.metrics
             .count("fleet.net.plans_accepted", accepted as u64);
-        self.metrics
-            .count("fleet.net.channel_switches", switches as u64);
+        // Switches are counted live in `on_tick`; catch any stragglers.
+        self.sync_switches();
+        let health = self
+            .health
+            .take()
+            .map(|eng| eng.finish(&FlightDump::default()))
+            .unwrap_or_default();
         self.report = Some(NetworkReport {
             id: self.id,
             seed: self.seed,
@@ -153,6 +202,7 @@ impl ManagedNetwork {
             mean_goodput_mbps: mean_goodput,
             util_2_4: std::mem::take(&mut self.util_2_4),
             util_5: std::mem::take(&mut self.util_5),
+            health,
         });
     }
 }

@@ -26,6 +26,9 @@ pub struct NetworkReport {
     /// Raw utilization polls `(when, value)` per radio, all APs pooled.
     pub util_2_4: Vec<(SimTime, f64)>,
     pub util_5: Vec<(SimTime, f64)>,
+    /// This network's health verdict: the alert stream its detector
+    /// engine raised over the run (empty when health is disabled).
+    pub health: telemetry::HealthReport,
 }
 
 /// Fleet-wide summary of one run. Exported through `wifi_core`.
@@ -140,6 +143,12 @@ pub fn mix_network_report(c: &mut Checksum, r: &NetworkReport) {
         c.mix_u64(t.as_nanos());
         c.mix_f64(v);
     }
+    c.mix_u64(r.health.steps);
+    c.mix_u64(r.health.alerts.len() as u64);
+    for a in &r.health.alerts {
+        c.mix_u64(a.raised_at.as_nanos());
+        c.mix_u64(a.severity.weight());
+    }
 }
 
 #[cfg(test)]
@@ -162,6 +171,7 @@ mod tests {
             mean_goodput_mbps: 120.0,
             util_2_4: vec![(SimTime::from_secs(0), 0.2)],
             util_5: vec![(SimTime::from_secs(0), 0.03)],
+            health: telemetry::HealthReport::default(),
         }
     }
 

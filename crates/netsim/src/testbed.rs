@@ -33,8 +33,10 @@ use tcpsim::{
     AckSegment, CcAlgorithm, DataSegment, FlowId, ReceiverConfig, SenderConfig, TcpReceiver,
     TcpSender,
 };
+use telemetry::health::{standard_ap_detectors, AirtimeSlo, RtoStorm};
 use telemetry::{
-    AirKind, CauseId, CounterId, FlightDump, FlightRecorder, HistId, Registry, SpanId, TraceRecord,
+    AirKind, CauseId, CounterId, FlightDump, FlightRecorder, GaugeId, HealthEngine, HealthReport,
+    HealthRules, HistId, Registry, SpanId, TraceRecord,
 };
 
 /// Transport driving the downlink flows.
@@ -47,6 +49,36 @@ pub enum Traffic {
     /// full with no ACK clock at all — the paper's UDP upper bound for
     /// aggregation (Fig. 15).
     UdpSaturate,
+}
+
+/// Fault injection: a non-WiFi interferer (microwave oven, analog
+/// video sender — the §3.2.4 interference sources) that switches on
+/// mid-run. While active it occupies `duty` of every `period` with
+/// energy the MAC cannot decode, and degrades every station's
+/// effective SNR by `snr_penalty_db` — which drags rate selection and
+/// per-MPDU delivery down exactly the way shrinking A-MPDU sizes show
+/// up in the paper's aggregation CDFs.
+#[derive(Debug, Clone, Copy)]
+pub struct InterfererFault {
+    /// When the interferer switches on.
+    pub at: SimTime,
+    /// Effective SNR degradation while active, dB.
+    pub snr_penalty_db: f64,
+    /// Fraction of each period the interferer holds the medium.
+    pub duty: f64,
+    /// Burst repetition period.
+    pub period: SimDuration,
+}
+
+impl Default for InterfererFault {
+    fn default() -> Self {
+        InterfererFault {
+            at: SimTime::from_millis(2_000),
+            snr_penalty_db: 20.0,
+            duty: 0.35,
+            period: SimDuration::from_millis(25),
+        }
+    }
 }
 
 /// Per-client wireless link quality.
@@ -135,6 +167,14 @@ pub struct TestbedConfig {
     /// writes the recorder's last-N snapshot to this path before the
     /// panic unwinds.
     pub flight_dump_on_violation: Option<std::path::PathBuf>,
+    /// Health-rule catalog evaluated over the run's own metrics on the
+    /// rules' sampling cadence (see [`telemetry::health`]). Sampling
+    /// draws no randomness and schedules no events, so enabling it
+    /// cannot perturb the run's trajectory. `None` disables the engine.
+    pub health_rules: Option<HealthRules>,
+    /// Optional fault injection: a non-WiFi interferer that switches on
+    /// mid-run (the health layer's acceptance scenario).
+    pub interferer: Option<InterfererFault>,
 }
 
 impl Default for TestbedConfig {
@@ -170,6 +210,8 @@ impl Default for TestbedConfig {
             beacon_interval: Some(SimDuration::from_micros(102_400)),
             flight_capacity: 1024,
             flight_dump_on_violation: None,
+            health_rules: Some(HealthRules::default()),
+            interferer: None,
         }
     }
 }
@@ -221,6 +263,12 @@ pub struct TestbedReport {
     /// `fastack.*`, `air`). Serialize with [`FlightDump::to_bytes`];
     /// equal seeds yield byte-identical dumps.
     pub flight: FlightDump,
+    /// Health verdict for the run: the alert stream the configured
+    /// rule catalog raised over the metrics, with causal ids resolved
+    /// against the flight dump. Serialize with
+    /// [`HealthReport::to_json`]; equal seeds yield byte-identical
+    /// JSON. Empty (zero steps) when `health_rules` is `None`.
+    pub health: HealthReport,
 }
 
 impl TestbedReport {
@@ -314,15 +362,31 @@ pub struct Testbed {
     metrics: Registry,
     /// Causal flight recorder; snapshotted into the report at `finish`.
     flight: FlightRecorder,
+    /// Health-detector engine (None when `health_rules` is None);
+    /// stepped every `sample_every` of sim time in the run loop.
+    health: Option<HealthEngine>,
+    next_health: SimTime,
+    /// Next interferer burst (MAX when no fault is configured).
+    next_interference: SimTime,
     sp_ap_txop: SpanId,
     sp_client_txop: SpanId,
     sp_beacon: SpanId,
     sp_collision: SpanId,
+    sp_interferer: SpanId,
     h_ampdu: HistId,
     h_cwnd: HistId,
     c_aggregates: CounterId,
     c_frames: CounterId,
     c_collisions: CounterId,
+    /// Per-AP A-MPDU counters feeding the ampdu-collapse detector.
+    c_ap_aggs: Vec<CounterId>,
+    c_ap_frames: Vec<CounterId>,
+    /// Health sampling gauges, refreshed on every health tick.
+    g_inflight: Vec<GaugeId>,
+    g_fast_acks: Vec<GaugeId>,
+    g_backlog: Vec<GaugeId>,
+    g_busy: GaugeId,
+    g_timeouts: GaugeId,
 }
 
 impl Testbed {
@@ -403,11 +467,58 @@ impl Testbed {
         let c_aggregates = metrics.counter("mac.ampdu.aggregates");
         let c_frames = metrics.counter("mac.ampdu.frames");
         let c_collisions = metrics.counter("mac.collisions");
+        let sp_interferer = metrics.span("air.interferer");
+        let c_ap_aggs: Vec<CounterId> = (0..cfg.n_aps)
+            .map(|a| metrics.counter(&format!("mac.ap{a}.ampdu.aggregates")))
+            .collect();
+        let c_ap_frames: Vec<CounterId> = (0..cfg.n_aps)
+            .map(|a| metrics.counter(&format!("mac.ap{a}.ampdu.frames")))
+            .collect();
+        let g_inflight: Vec<GaugeId> = (0..cfg.n_aps)
+            .map(|a| metrics.gauge(&format!("health.ap{a}.inflight")))
+            .collect();
+        let g_fast_acks: Vec<GaugeId> = (0..cfg.n_aps)
+            .map(|a| metrics.gauge(&format!("health.ap{a}.fast_acks")))
+            .collect();
+        let g_backlog: Vec<GaugeId> = (0..cfg.n_aps)
+            .map(|a| metrics.gauge(&format!("health.ap{a}.backlog")))
+            .collect();
+        let g_busy = metrics.gauge("health.air.busy_ns");
+        let g_timeouts = metrics.gauge("health.tcp.timeouts");
+
+        // The standard rule catalog, scoped per AP (each watches only
+        // the flows terminating there) plus the shared TCP and airtime
+        // detectors over the whole collision domain.
+        let health = cfg.health_rules.and_then(|rules| {
+            let mut eng = HealthEngine::new();
+            for a in 0..cfg.n_aps {
+                let flows: Vec<u64> = (0..cfg.clients_per_ap)
+                    .map(|k| (a * cfg.clients_per_ap + k) as u64 + 1)
+                    .collect();
+                for d in standard_ap_detectors(a, flows, cfg.fastack[a], &rules) {
+                    eng.add(d);
+                }
+            }
+            let all_flows: Vec<u64> = (1..=n_clients as u64).collect();
+            if let Some(r) = rules.rto_storm {
+                eng.add(Box::new(RtoStorm::new(
+                    "tcp",
+                    "health.tcp.timeouts",
+                    all_flows,
+                    r,
+                )));
+            }
+            if let Some(r) = rules.airtime_slo {
+                eng.add(Box::new(AirtimeSlo::new("air", "health.air.busy_ns", r)));
+            }
+            (!eng.is_empty()).then_some(eng)
+        });
 
         let flight = FlightRecorder::new(cfg.flight_capacity);
         if let Some(path) = &cfg.flight_dump_on_violation {
             telemetry::flight::install_violation_dump(&flight, path.clone());
         }
+        let next_interference = cfg.interferer.map_or(SimTime::MAX, |i| i.at);
 
         Testbed {
             cfg,
@@ -427,15 +538,26 @@ impl Testbed {
             repair_watch: vec![(0, SimTime::ZERO); n_clients],
             metrics,
             flight,
+            health,
+            next_health: SimTime::ZERO,
+            next_interference,
             sp_ap_txop,
             sp_client_txop,
             sp_beacon,
             sp_collision,
+            sp_interferer,
             h_ampdu,
             h_cwnd,
             c_aggregates,
             c_frames,
             c_collisions,
+            c_ap_aggs,
+            c_ap_frames,
+            g_inflight,
+            g_fast_acks,
+            g_backlog,
+            g_busy,
+            g_timeouts,
         }
     }
 
@@ -491,6 +613,40 @@ impl Testbed {
                     self.next_beacon += interval;
                 }
             }
+            // 2c. Interferer bursts (fault injection): once switched
+            // on, the interferer holds the medium for `duty` of every
+            // period. Stations defer exactly as they do for beacons.
+            if let Some(intf) = self.cfg.interferer {
+                if self.queue.now() >= self.next_interference {
+                    let hold = SimDuration::from_secs_f64(intf.period.as_secs_f64() * intf.duty);
+                    let sp = self.metrics.enter(self.sp_interferer, self.queue.now());
+                    self.occupy(hold);
+                    self.metrics.exit(sp, self.queue.now());
+                    self.flight.emit(
+                        "air",
+                        self.queue.now(),
+                        CauseId::NONE,
+                        TraceRecord::AirtimeSpan {
+                            kind: AirKind::Interferer,
+                            dur: hold,
+                        },
+                    );
+                    self.next_interference += intf.period;
+                }
+            }
+            // 2d. Health sampling on the rules' fixed cadence. The
+            // sampler only refreshes gauges and steps the detector
+            // engine — no randomness, no events — so enabling it leaves
+            // the run's trajectory bit-identical.
+            if let Some(rules) = self.cfg.health_rules {
+                if self.health.is_some() {
+                    while self.queue.now() >= self.next_health {
+                        let at = self.next_health;
+                        self.health_sample(at);
+                        self.next_health += rules.sample_every;
+                    }
+                }
+            }
             // 3. One contention round on the medium.
             if !self.medium_round() {
                 // Medium idle: advance to whatever fires next — a wire
@@ -520,6 +676,12 @@ impl Testbed {
                             fold(Some(self.repair_watch[ci].1 + SimDuration::from_millis(31)));
                         }
                     }
+                }
+                // Interferer bursts wake the loop on their own (folded
+                // only when configured, so fault-free runs keep their
+                // exact event trajectory).
+                if self.cfg.interferer.is_some() {
+                    fold(Some(self.next_interference));
                 }
                 match wake {
                     Some(t) if t < end => {
@@ -615,6 +777,15 @@ impl Testbed {
         self.metrics
             .count("trace.dropped", self.flight.total_dropped());
         self.report.flight = self.flight.snapshot();
+
+        // Health verdict: resolve every alert's causal id against the
+        // flight dump (and drop alerts the dump refutes).
+        if let Some(eng) = self.health.take() {
+            let health = eng.finish(&self.report.flight);
+            self.metrics
+                .count("health.alerts", health.alerts.len() as u64);
+            self.report.health = health;
+        }
 
         // Snapshot every subsystem's counters into the registry.
         let qs = self.queue.stats();
@@ -827,6 +998,66 @@ impl Testbed {
         }
     }
 
+    /// One health tick: refresh the sampling gauges from live state,
+    /// then step every detector over the registry. Reads only — the
+    /// trajectory of the run is untouched.
+    fn health_sample(&mut self, at: SimTime) {
+        let nc = self.cfg.clients_per_ap;
+        for a in 0..self.aps.len() {
+            let backlog: usize = self.aps[a]
+                .queues
+                .iter()
+                .chain(self.aps[a].prio.iter())
+                .map(|q| q.len())
+                .sum();
+            self.metrics.gauge_set(
+                self.g_backlog[a],
+                i64::try_from(backlog).unwrap_or(i64::MAX),
+            );
+            self.metrics.gauge_set(
+                self.g_fast_acks[a],
+                i64::try_from(self.aps[a].agent.stats.fast_acks_sent).unwrap_or(i64::MAX),
+            );
+            let inflight: u64 = self.senders[a * nc..(a + 1) * nc]
+                .iter()
+                .map(|s| s.flight_size())
+                .sum();
+            self.metrics.gauge_set(
+                self.g_inflight[a],
+                i64::try_from(inflight).unwrap_or(i64::MAX),
+            );
+        }
+        let timeouts: u64 = self.senders.iter().map(|s| s.timeout_count).sum();
+        self.metrics
+            .gauge_set(self.g_timeouts, i64::try_from(timeouts).unwrap_or(i64::MAX));
+        self.metrics.gauge_set(
+            self.g_busy,
+            i64::try_from(self.busy.as_nanos()).unwrap_or(i64::MAX),
+        );
+        if std::env::var_os("IMC_HEALTH_DEBUG").is_some() {
+            eprintln!(
+                "[health {:>6}ms] aggs={:?} frames={:?} busy={:?} timeouts={:?}",
+                at.as_millis(),
+                self.metrics.counter_value("mac.ap0.ampdu.aggregates"),
+                self.metrics.counter_value("mac.ap0.ampdu.frames"),
+                self.metrics.gauge_value("health.air.busy_ns"),
+                self.metrics.gauge_value("health.tcp.timeouts"),
+            );
+        }
+        if let Some(eng) = self.health.as_mut() {
+            eng.step(at, &self.metrics);
+        }
+    }
+
+    /// Effective-SNR degradation from the interferer, dB (0 before it
+    /// switches on or when no fault is configured).
+    fn snr_penalty(&self, now: SimTime) -> f64 {
+        match self.cfg.interferer {
+            Some(i) if now >= i.at => i.snr_penalty_db,
+            _ => 0.0,
+        }
+    }
+
     /// Queue a client-generated ACK with its release delay.
     fn push_client_ack(&mut self, c: usize, ack: AckSegment, now: SimTime) {
         let delay =
@@ -975,10 +1206,12 @@ impl Testbed {
         self.aps[a].rr = (slot + 1) % nc;
         let client_idx = a * nc + slot;
         let link = self.clients[client_idx].link;
+        let snr_db = link.snr_db - self.snr_penalty(self.queue.now());
 
-        // Rate from the client's SNR.
+        // Rate from the client's SNR (degraded while an interferer is
+        // active — rate control reacts to the noise floor it measures).
         let sel = IdealSelector::new(self.cfg.width, link.max_nss);
-        let rate = sel.select(link.snr_db);
+        let rate = sel.select(snr_db);
 
         // Assemble the aggregate: priority MPDUs first, then the queue.
         let mut staged: Vec<(QueuedMpdu, SimTime)> = Vec::new();
@@ -1036,10 +1269,12 @@ impl Testbed {
         self.clients[client_idx].agg_sizes.push(taken);
         self.metrics.inc(self.c_aggregates);
         self.metrics.add(self.c_frames, taken as u64);
+        self.metrics.inc(self.c_ap_aggs[a]);
+        self.metrics.add(self.c_ap_frames[a], taken as u64);
         self.metrics.observe(self.h_ampdu, taken as f64);
 
         // Per-MPDU delivery draws.
-        let per = 1.0 - mpdu_success_rate(link.snr_db - 1.0, rate.mcs, self.cfg.width, 1500);
+        let per = 1.0 - mpdu_success_rate(snr_db - 1.0, rate.mcs, self.cfg.width, 1500);
         let mut delivered_count = 0usize;
         for (mpdu, enq) in staged.into_iter() {
             let delivered = !self.rng.chance(per);
@@ -1160,7 +1395,8 @@ impl Testbed {
         let sizes = vec![90usize; n]; // TCP ACK + MAC overhead
         let link = self.clients[c].link;
         let sel = IdealSelector::new(self.cfg.width, link.max_nss);
-        let rate = sel.select(link.snr_db - 2.0); // uplink slightly worse
+        // Uplink slightly worse; the interferer hits it too.
+        let rate = sel.select(link.snr_db - 2.0 - self.snr_penalty(now));
         let dur = ampdu_duration(
             &sizes,
             rate.mcs,
@@ -1548,6 +1784,7 @@ mod tests {
             "air.client_txop",
             "air.beacon",
             "air.collision",
+            "air.interferer",
         ];
         let attributed: u64 = spans
             .iter()
@@ -1557,5 +1794,84 @@ mod tests {
         let busy_ns = (r.medium_utilization * r.duration_s * 1e9) as u64;
         let diff = attributed.abs_diff(busy_ns);
         assert!(diff < busy_ns / 100, "spans {attributed} vs busy {busy_ns}");
+    }
+
+    #[test]
+    fn clean_run_raises_no_alerts() {
+        // The default rule catalog over a fault-free run must stay
+        // silent — the central false-positive guarantee.
+        let r = quick(
+            TestbedConfig {
+                clients_per_ap: 6,
+                fastack: vec![true],
+                seed: 42,
+                ..TestbedConfig::default()
+            },
+            4,
+        );
+        assert!(r.health.steps > 10, "sampler never ran: {}", r.health.steps);
+        assert!(r.health.alerts.is_empty(), "{:#?}", r.health.alerts);
+    }
+
+    #[test]
+    fn health_rules_none_disables_the_engine() {
+        let r = quick(
+            TestbedConfig {
+                clients_per_ap: 2,
+                fastack: vec![true],
+                health_rules: None,
+                ..TestbedConfig::default()
+            },
+            1,
+        );
+        assert_eq!(r.health.steps, 0);
+        assert!(r.health.alerts.is_empty());
+    }
+
+    #[test]
+    fn interferer_fault_raises_ampdu_collapse_with_causal_chain() {
+        // The acceptance scenario: a non-WiFi interferer switches on
+        // mid-run, aggregates collapse, the detector raises, and the
+        // alert's cause id resolves to a complete cross-layer chain.
+        let cfg = TestbedConfig {
+            clients_per_ap: 6,
+            fastack: vec![true],
+            seed: 42,
+            interferer: Some(InterfererFault::default()),
+            ..TestbedConfig::default()
+        };
+        let r = Testbed::new(cfg.clone()).run(SimDuration::from_secs(5));
+        let collapse: Vec<_> = r
+            .health
+            .alerts
+            .iter()
+            .filter(|a| a.rule == "ampdu-collapse")
+            .collect();
+        assert!(!collapse.is_empty(), "alerts: {:#?}", r.health.alerts);
+        let alert = collapse[0];
+        assert!(alert.raised_at >= InterfererFault::default().at);
+        let flow = alert.cause_flow().expect("cause id resolved");
+        let chain = r.flight.chain(flow);
+        for layer in ["tcp-seg", "ampdu-build", "mac-tx", "block-ack"] {
+            assert!(
+                chain.iter().any(|(_, ev)| ev.record.layer() == layer),
+                "chain for flow {flow} is missing {layer}"
+            );
+        }
+        // The interferer's airtime is itself on the record.
+        assert!(r
+            .flight
+            .components
+            .iter()
+            .any(|c| c.records.iter().any(|ev| matches!(
+                ev.record,
+                TraceRecord::AirtimeSpan {
+                    kind: AirKind::Interferer,
+                    ..
+                }
+            ))));
+        // And the health verdict is part of the determinism contract.
+        let again = Testbed::new(cfg).run(SimDuration::from_secs(5));
+        assert_eq!(r.health.to_json(), again.health.to_json());
     }
 }

@@ -97,6 +97,8 @@ pub enum AirKind {
     Beacon,
     /// Collision cost (all colliding transmissions lost).
     Collision,
+    /// Non-WiFi interferer occupying the medium (fault injection).
+    Interferer,
 }
 
 impl AirKind {
@@ -106,6 +108,7 @@ impl AirKind {
             AirKind::ClientTxop => 1,
             AirKind::Beacon => 2,
             AirKind::Collision => 3,
+            AirKind::Interferer => 4,
         }
     }
 
@@ -115,6 +118,7 @@ impl AirKind {
             1 => AirKind::ClientTxop,
             2 => AirKind::Beacon,
             3 => AirKind::Collision,
+            4 => AirKind::Interferer,
             t => return Err(format!("unknown AirKind tag {t}")),
         })
     }
@@ -125,6 +129,7 @@ impl AirKind {
             AirKind::ClientTxop => "client_txop",
             AirKind::Beacon => "beacon",
             AirKind::Collision => "collision",
+            AirKind::Interferer => "interferer",
         }
     }
 }

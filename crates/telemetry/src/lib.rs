@@ -8,7 +8,9 @@
 //! registry + sim-time profiler ([`metrics`]) that every subsystem
 //! reports its counters through, and a causal flight recorder
 //! ([`flight`]) that captures typed, cross-layer packet traces into
-//! fixed-capacity rings with deterministic binary dumps.
+//! fixed-capacity rings with deterministic binary dumps, and a
+//! rule-driven SLO/anomaly-detection engine ([`health`]) that turns
+//! those raw signals into a typed, byte-stable alert stream.
 //!
 //! ```
 //! use telemetry::stats::{Cdf, jain_fairness};
@@ -19,6 +21,7 @@
 //! ```
 
 pub mod flight;
+pub mod health;
 pub mod littletable;
 pub mod metrics;
 pub mod stats;
@@ -28,7 +31,10 @@ pub use flight::{
     cause_for, AirKind, CauseId, ComponentTrace, FlightDump, FlightEvent, FlightRecorder,
     TraceRecord,
 };
+pub use health::{
+    Alert, Detector, HealthEngine, HealthReport, HealthRollup, HealthRules, Severity,
+};
 pub use littletable::{Agg, LittleTable, SeriesKey};
 pub use metrics::{CounterId, GaugeId, HistId, Registry, Span, SpanId, SpanStat};
 pub use stats::{jain_fairness, median, quantile, summarize, Cdf, Histogram, Summary};
-pub use streaming::{Ewma, P2Quantile, RateCounter};
+pub use streaming::{Ewma, P2Quantile, RateCounter, RollingWindow};

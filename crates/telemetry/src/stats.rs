@@ -177,8 +177,21 @@ impl Histogram {
             return;
         }
         let bins = self.counts.len();
-        let t = ((x - self.lo) / (self.hi - self.lo) * bins as f64).floor();
-        let idx = (t.max(0.0) as usize).min(bins - 1);
+        let span = self.hi - self.lo;
+        let t = ((x - self.lo) / span * bins as f64).floor();
+        let mut idx = (t.max(0.0) as usize).min(bins - 1);
+        // Bins are half-open `[edge_i, edge_{i+1})` with
+        // `edge_i = lo + span * i / bins`. The scaled floor above can
+        // land one bin off when `x` sits on (or within an ulp of) an
+        // interior edge — e.g. `lo=0, hi=10, bins=5`: `6.0/10*5`
+        // evaluates to 2.999…96, putting an exact upper-edge value in
+        // the bin *below* its edge — so correct against the true edges.
+        let edge = |i: usize| self.lo + span * (i as f64 / bins as f64);
+        if idx + 1 < bins && x >= edge(idx + 1) {
+            idx += 1;
+        } else if idx > 0 && x < edge(idx) {
+            idx -= 1;
+        }
         self.counts[idx] += 1;
         self.total += 1;
     }
@@ -297,6 +310,24 @@ mod tests {
         assert_eq!(pdf[0].0, 1.0, "bin center");
         let total: f64 = pdf.iter().map(|(_, f)| f).sum();
         assert!((total - 1.0).abs() < 1e-12);
+    }
+
+    // Regression: values exactly on an interior upper edge belong to
+    // the bin *above* the edge (`[edge_i, edge_{i+1})`). Pre-fix, pure
+    // float scaling put 6.0 into [4,6) — `6.0/10*5` rounds to
+    // 2.999…96 and floors to bin 2 — so detectors comparing adjacent
+    // histogram snapshots saw edge values migrate between bins.
+    #[test]
+    fn histogram_upper_edge_values_land_in_upper_bin() {
+        let mut h = Histogram::new(0.0, 10.0, 5);
+        for x in [0.0, 2.0, 4.0, 6.0, 8.0] {
+            h.add(x); // every exact edge opens its own bin
+        }
+        assert_eq!(h.counts, vec![1, 1, 1, 1, 1]);
+        h.add(10.0); // `hi` itself clamps into the last bin
+        h.add(5.999999999999999); // just under an edge stays below it
+        assert_eq!(h.counts, vec![1, 1, 2, 1, 2]);
+        assert_eq!(h.total, 7);
     }
 
     // NaN regression tests. Pre-fix, `add(NaN)` landed in bin 0 and

@@ -32,6 +32,45 @@ const CHAIN_LAYERS: [&str; 5] = [
     "fastack-synth",
 ];
 
+/// Minimal JSON string escaping (control chars, quotes, backslash).
+fn json_escape(s: &str, out: &mut String) {
+    out.push('"');
+    for ch in s.chars() {
+        match ch {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+/// One event as a JSON object (shared by the `--json` renderers).
+fn event_json(component: &str, ev: &FlightEvent, out: &mut String) {
+    out.push_str("{\"at_ns\":");
+    out.push_str(&ev.at.as_nanos().to_string());
+    out.push_str(",\"component\":");
+    json_escape(component, out);
+    out.push_str(",\"layer\":");
+    json_escape(ev.record.layer(), out);
+    out.push_str(",\"flow\":");
+    match ev.flow() {
+        Some(f) => out.push_str(&f.to_string()),
+        None => out.push_str("null"),
+    }
+    out.push_str(",\"cause\":{\"flow\":");
+    out.push_str(&ev.cause.flow_hint().to_string());
+    out.push_str(",\"seq\":");
+    out.push_str(&ev.cause.seq_hint().to_string());
+    out.push_str("},\"text\":");
+    json_escape(&ev.record.to_string(), out);
+    out.push('}');
+}
+
 fn event_line(component: &str, ev: &FlightEvent) -> String {
     let cause = ev.cause;
     format!(
@@ -87,6 +126,49 @@ pub fn summary(dump: &FlightDump) -> String {
     out
 }
 
+/// Machine-readable summary: component stats plus the flows present.
+pub fn summary_json(dump: &FlightDump) -> String {
+    let mut out = String::from("{\"components\":[");
+    for (i, c) in dump.components.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str("{\"name\":");
+        json_escape(&c.name, &mut out);
+        out.push_str(&format!(
+            ",\"records\":{},\"capacity\":{},\"dropped\":{}",
+            c.records.len(),
+            c.capacity,
+            c.dropped
+        ));
+        out.push_str(",\"first_ns\":");
+        match c.records.first() {
+            Some(ev) => out.push_str(&ev.at.as_nanos().to_string()),
+            None => out.push_str("null"),
+        }
+        out.push_str(",\"last_ns\":");
+        match c.records.last() {
+            Some(ev) => out.push_str(&ev.at.as_nanos().to_string()),
+            None => out.push_str("null"),
+        }
+        out.push('}');
+    }
+    out.push_str(&format!(
+        "],\"total_records\":{},\"total_dropped\":{},\"flows\":[",
+        dump.total_records(),
+        dump.total_dropped()
+    ));
+    let flows = dump.flows();
+    for (i, f) in flows.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&f.to_string());
+    }
+    out.push_str("]}\n");
+    out
+}
+
 /// Record listing filtered by component-name prefix and/or flow id.
 pub fn grep(dump: &FlightDump, component: Option<&str>, flow: Option<u64>) -> String {
     let mut out = String::new();
@@ -124,25 +206,27 @@ fn layers_covered(chain: &[(&str, FlightEvent)]) -> Vec<&'static str> {
         .collect()
 }
 
+/// Resolve an explicit flow id, or auto-pick the lowest-numbered flow
+/// whose chain covers every layer in [`CHAIN_LAYERS`] (falling back to
+/// the first flow present at all). `None` means the dump has no flows.
+fn pick_flow(dump: &FlightDump, flow: Option<u64>) -> Option<u64> {
+    flow.or_else(|| {
+        let flows = dump.flows();
+        flows
+            .iter()
+            .copied()
+            .find(|&f| layers_covered(&dump.chain(f)).len() == CHAIN_LAYERS.len())
+            .or_else(|| flows.first().copied())
+    })
+}
+
 /// The full causal chain of one flow, time-ordered across every layer.
 /// With `flow = None`, picks the lowest-numbered flow whose chain
 /// covers every layer in [`CHAIN_LAYERS`] (falling back to the first
 /// flow present at all).
 pub fn chain(dump: &FlightDump, flow: Option<u64>) -> String {
-    let flow = match flow {
-        Some(f) => f,
-        None => {
-            let flows = dump.flows();
-            match flows
-                .iter()
-                .copied()
-                .find(|&f| layers_covered(&dump.chain(f)).len() == CHAIN_LAYERS.len())
-                .or_else(|| flows.first().copied())
-            {
-                Some(f) => f,
-                None => return "no flows in dump\n".to_owned(),
-            }
-        }
+    let Some(flow) = pick_flow(dump, flow) else {
+        return "no flows in dump\n".to_owned();
     };
     let chain = dump.chain(flow);
     let mut out = String::new();
@@ -157,6 +241,36 @@ pub fn chain(dump: &FlightDump, flow: Option<u64>) -> String {
         "chain {}: {}\n",
         if complete { "complete" } else { "partial" },
         covered.join(" -> "),
+    ));
+    out
+}
+
+/// Machine-readable causal chain: same flow selection as [`chain`],
+/// records in causal order, plus which layers are covered and whether
+/// the chain is complete. A dump with no flows yields `"flow":null`.
+pub fn chain_json(dump: &FlightDump, flow: Option<u64>) -> String {
+    let Some(flow) = pick_flow(dump, flow) else {
+        return "{\"flow\":null,\"records\":[],\"layers\":[],\"complete\":false}\n".to_owned();
+    };
+    let chain = dump.chain(flow);
+    let mut out = format!("{{\"flow\":{flow},\"records\":[");
+    for (i, (name, ev)) in chain.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        event_json(name, ev, &mut out);
+    }
+    out.push_str("],\"layers\":[");
+    let covered = layers_covered(&chain);
+    for (i, l) in covered.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        json_escape(l, &mut out);
+    }
+    out.push_str(&format!(
+        "],\"complete\":{}}}\n",
+        covered.len() == CHAIN_LAYERS.len()
     ));
     out
 }
@@ -222,9 +336,9 @@ pub fn usage() -> String {
         "tracectl — inspect flight-recorder dumps",
         "",
         "usage:",
-        "  tracectl summary <dump.bin>",
+        "  tracectl summary <dump.bin> [--json]",
         "  tracectl grep <dump.bin> [--component <prefix>] [--flow <id>]",
-        "  tracectl chain <dump.bin> [<flow>]",
+        "  tracectl chain <dump.bin> [<flow>] [--json]",
         "  tracectl diff <a.bin> <b.bin>",
         "",
     ]
@@ -243,8 +357,27 @@ pub fn run(args: &[String]) -> Result<(String, i32), String> {
     let cmd = args.first().map(String::as_str);
     match cmd {
         Some("summary") => {
-            let path = args.get(1).ok_or_else(usage)?;
-            Ok((summary(&load(path)?), 0))
+            let mut path: Option<&String> = None;
+            let mut json = false;
+            for a in &args[1..] {
+                match a.as_str() {
+                    "--json" => json = true,
+                    other if other.starts_with("--") => {
+                        return Err(format!("unknown summary argument {other}\n{}", usage()));
+                    }
+                    _ if path.is_none() => path = Some(a),
+                    other => return Err(format!("extra summary argument {other}\n{}", usage())),
+                }
+            }
+            let dump = load(path.ok_or_else(usage)?)?;
+            Ok((
+                if json {
+                    summary_json(&dump)
+                } else {
+                    summary(&dump)
+                },
+                0,
+            ))
         }
         Some("grep") => {
             let path = args.get(1).ok_or_else(usage)?;
@@ -272,12 +405,31 @@ pub fn run(args: &[String]) -> Result<(String, i32), String> {
             Ok((grep(&load(path)?, component.as_deref(), flow), 0))
         }
         Some("chain") => {
-            let path = args.get(1).ok_or_else(usage)?;
-            let flow = match args.get(2) {
-                Some(v) => Some(v.parse().map_err(|e| format!("bad flow id {v}: {e}"))?),
-                None => None,
-            };
-            Ok((chain(&load(path)?, flow), 0))
+            let mut path: Option<&String> = None;
+            let mut flow: Option<u64> = None;
+            let mut json = false;
+            for a in &args[1..] {
+                match a.as_str() {
+                    "--json" => json = true,
+                    other if other.starts_with("--") => {
+                        return Err(format!("unknown chain argument {other}\n{}", usage()));
+                    }
+                    _ if path.is_none() => path = Some(a),
+                    v if flow.is_none() => {
+                        flow = Some(v.parse().map_err(|e| format!("bad flow id {v}: {e}"))?);
+                    }
+                    other => return Err(format!("extra chain argument {other}\n{}", usage())),
+                }
+            }
+            let dump = load(path.ok_or_else(usage)?)?;
+            Ok((
+                if json {
+                    chain_json(&dump, flow)
+                } else {
+                    chain(&dump, flow)
+                },
+                0,
+            ))
         }
         Some("diff") => {
             let pa = args.get(1).ok_or_else(usage)?;
@@ -402,6 +554,46 @@ mod tests {
     }
 
     #[test]
+    fn summary_json_is_structured_and_stable() {
+        let d = sample();
+        let s = summary_json(&d);
+        assert!(s.starts_with("{\"components\":["), "{s}");
+        assert!(
+            s.contains("{\"name\":\"mac.ampdu\",\"records\":1,\"capacity\":16,\"dropped\":0"),
+            "{s}"
+        );
+        assert!(s.contains("\"total_records\":6,\"total_dropped\":0"), "{s}");
+        assert!(s.ends_with("\"flows\":[3]}\n"), "{s}");
+        // Deterministic: same dump, same bytes.
+        assert_eq!(s, summary_json(&d));
+    }
+
+    #[test]
+    fn chain_json_reports_layers_and_completeness() {
+        let d = sample();
+        let s = chain_json(&d, Some(3));
+        assert!(s.starts_with("{\"flow\":3,\"records\":["), "{s}");
+        assert!(s.contains("\"layer\":\"tcp-seg\""), "{s}");
+        assert!(s.contains("\"cause\":{\"flow\":3,\"seq\":1460}"), "{s}");
+        assert!(
+            s.ends_with(
+                "\"layers\":[\"tcp-seg\",\"ampdu-build\",\"mac-tx\",\"block-ack\",\
+                 \"fastack-synth\"],\"complete\":true}\n"
+            ),
+            "{s}"
+        );
+        // Auto-pick resolves to the same flow.
+        assert_eq!(chain_json(&d, None), s);
+        // A missing flow is an incomplete (empty) chain, not an error.
+        let missing = chain_json(&d, Some(42));
+        assert!(missing.contains("\"flow\":42,\"records\":[]"), "{missing}");
+        assert!(missing.contains("\"complete\":false"), "{missing}");
+        // No flows at all.
+        let empty = chain_json(&FlightDump::default(), None);
+        assert!(empty.contains("\"flow\":null"), "{empty}");
+    }
+
+    #[test]
     fn diff_reports_identity_and_divergence() {
         let d = sample();
         let (out, same) = diff(&d, &d.clone());
@@ -453,6 +645,21 @@ mod tests {
         let (out, code) = run(&["chain".to_owned(), path.clone(), "3".to_owned()]).unwrap();
         assert_eq!(code, 0);
         assert!(out.contains("chain complete"), "{out}");
+
+        // --json variants of summary and chain.
+        let (out, code) = run(&["summary".to_owned(), path.clone(), "--json".to_owned()]).unwrap();
+        assert_eq!(code, 0);
+        assert!(out.starts_with("{\"components\":["), "{out}");
+        let (out, code) = run(&[
+            "chain".to_owned(),
+            "--json".to_owned(),
+            path.clone(),
+            "3".to_owned(),
+        ])
+        .unwrap();
+        assert_eq!(code, 0);
+        assert!(out.contains("\"complete\":true"), "{out}");
+        assert!(run(&["chain".to_owned(), path.clone(), "--bogus".to_owned()]).is_err());
 
         let (_, code) = run(&["diff".to_owned(), path.clone(), path.clone()]).unwrap();
         assert_eq!(code, 0);

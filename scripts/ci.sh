@@ -60,4 +60,25 @@ target/release/tracectl summary "$metrics_dir/trace-1.bin" > /dev/null \
 target/release/tracectl chain "$metrics_dir/trace-1.bin" | grep -q "chain complete" \
   || { echo "tracectl chain found no complete causal chain in fig15 dump"; exit 1; }
 
+echo "=== health snapshot reproducibility ==="
+# Same property for the health/alerting layer: two runs of the same
+# experiment (default rules) must serialize byte-identical --health
+# snapshots, and healthctl must be able to triage them.
+cargo build --release --quiet -p bench --bin fig18_multi_ap
+cargo build --release --quiet -p healthctl
+for i in 1 2; do
+  IMC_RESULTS_DIR="$metrics_dir" \
+    target/release/fig18_multi_ap --health "$metrics_dir/health-$i.json" \
+    > /dev/null
+done
+cmp "$metrics_dir/health-1.json" "$metrics_dir/health-2.json" \
+  || { echo "health snapshot diverged between identical runs"; exit 1; }
+target/release/healthctl summary "$metrics_dir/health-1.json" > /dev/null \
+  || { echo "healthctl could not parse its own snapshot"; exit 1; }
+target/release/healthctl explain "$metrics_dir/health-1.json" > /dev/null \
+  || { echo "healthctl explain failed on the fig18 snapshot"; exit 1; }
+target/release/healthctl diff "$metrics_dir/health-1.json" "$metrics_dir/health-2.json" \
+  > /dev/null \
+  || { echo "healthctl diff flagged identical snapshots"; exit 1; }
+
 echo "ci: all green"
