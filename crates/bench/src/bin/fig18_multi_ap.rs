@@ -24,9 +24,14 @@ fn run(fa1: bool, fa2: bool) -> TestbedReport {
 
 fn main() {
     let mut exp = Experiment::new("fig18", "two co-channel APs: baseline/FastACK matrix");
+    // Wall-clock sample for `--perf` (clippy.toml disallows
+    // `Instant::now` in sim code; the bench harness is host-side).
+    #[allow(clippy::disallowed_methods)]
+    let wall_start = std::time::Instant::now();
     let bb = run(false, false);
     let bf = run(false, true);
     let ff = run(true, true);
+    let wall_s = wall_start.elapsed().as_secs_f64();
 
     let gain_ff = ff.total_mbps() / bb.total_mbps() - 1.0;
     let gain_bf = bf.total_mbps() / bb.total_mbps() - 1.0;
@@ -83,5 +88,7 @@ fn main() {
     exp.absorb_health("bb", &bb.health);
     exp.absorb_health("bf", &bf.health);
     exp.absorb_health("ff", &ff.health);
+    let events = exp.metrics.counter_value("sim.queue.popped").unwrap_or(0);
+    exp.perf("fig18_multi_ap", events, wall_s);
     std::process::exit(if exp.finish() { 0 } else { 1 });
 }

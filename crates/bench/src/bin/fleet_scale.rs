@@ -60,6 +60,11 @@ fn main() {
             );
             checksums.push(run.report.checksum);
             rates.push(rate);
+            exp.perf(
+                format!("fleet_{n}x{t}_plans"),
+                run.report.plans_run as u64,
+                wall,
+            );
             if n == 1000 && t == 8 {
                 fig2_run = Some(run);
             }

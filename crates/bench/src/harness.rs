@@ -33,6 +33,21 @@ pub struct Experiment {
     /// when the binary is invoked with `--health <path>`; inspect with
     /// `healthctl`.
     pub health: HealthReport,
+    /// Wall-clock throughput samples (see [`Experiment::perf`]).
+    /// Written as `BENCH_simperf.json`-style JSON when the binary is
+    /// invoked with `--perf <path>`. Unlike every other artifact this
+    /// one is *not* deterministic — it records host wall-clock speed.
+    pub perf_samples: Vec<PerfSample>,
+}
+
+/// One wall-clock throughput measurement: how fast the host simulated
+/// `events` discrete events (or another workload unit named by the
+/// label) in `wall_s` seconds of real time.
+#[derive(Debug)]
+pub struct PerfSample {
+    pub label: String,
+    pub events: u64,
+    pub wall_s: f64,
 }
 
 /// One paper-vs-measured scalar.
@@ -142,6 +157,46 @@ impl Experiment {
         self.health.absorb(label, report);
     }
 
+    /// Record a wall-clock throughput sample: `events` workload units
+    /// completed in `wall_s` seconds of host time. Dumped via `--perf`.
+    pub fn perf(&mut self, label: impl Into<String>, events: u64, wall_s: f64) {
+        self.perf_samples.push(PerfSample {
+            label: label.into(),
+            events,
+            wall_s,
+        });
+    }
+
+    /// The `--perf` artifact: per-sample events, wall seconds, and the
+    /// derived events/sec rate.
+    fn perf_json(&self) -> String {
+        let mut o = String::new();
+        o.push_str("{\n");
+        let _ = writeln!(o, "  \"bench\": {},", json_string(&self.id));
+        o.push_str("  \"samples\": [");
+        for (i, s) in self.perf_samples.iter().enumerate() {
+            let rate = if s.wall_s > 0.0 {
+                s.events as f64 / s.wall_s
+            } else {
+                0.0
+            };
+            let _ = write!(
+                o,
+                "{}\n    {{ \"label\": {}, \"events\": {}, \"wall_s\": {}, \"events_per_s\": {} }}",
+                if i == 0 { "" } else { "," },
+                json_string(&s.label),
+                s.events,
+                json_f64(s.wall_s),
+                json_f64(rate)
+            );
+        }
+        if !self.perf_samples.is_empty() {
+            o.push_str("\n  ");
+        }
+        o.push_str("]\n}\n");
+        o
+    }
+
     /// Print the report and write the JSON dump. Returns `true` if every
     /// comparison agreed.
     pub fn finish(&self) -> bool {
@@ -186,7 +241,9 @@ impl Experiment {
         // dump. `--health <path>`: write the merged health report as
         // canonical JSON. All three are deterministic by construction,
         // so two invocations of the same binary must produce identical
-        // files — scripts/ci.sh enforces exactly that.
+        // files — scripts/ci.sh enforces exactly that. `--perf <path>`
+        // is the exception: it records wall-clock events/sec and is
+        // never byte-compared.
         let mut trace_out: Option<String> = None;
         let mut trace_filter: Option<String> = None;
         let mut argv = std::env::args().skip(1);
@@ -209,6 +266,17 @@ impl Experiment {
             };
             if let Some(p) = health_target {
                 if let Err(e) = fs::write(&p, self.health.to_json()) {
+                    eprintln!("warning: could not write {p}: {e}");
+                }
+                continue;
+            }
+            let perf_target = if arg == "--perf" {
+                argv.next()
+            } else {
+                arg.strip_prefix("--perf=").map(str::to_owned)
+            };
+            if let Some(p) = perf_target {
+                if let Err(e) = fs::write(&p, self.perf_json()) {
                     eprintln!("warning: could not write {p}: {e}");
                 }
             } else if arg == "--trace" {
@@ -372,6 +440,19 @@ mod tests {
         // Canonical JSON round-trips.
         let parsed = HealthReport::parse(&e.health.to_json()).unwrap();
         assert_eq!(parsed, e.health);
+    }
+
+    #[test]
+    fn perf_json_reports_rate() {
+        let mut e = Experiment::new("t", "perf");
+        e.perf("arm-a", 1_000_000, 2.0);
+        e.perf("degenerate", 5, 0.0);
+        let j = e.perf_json();
+        assert!(j.contains("\"bench\": \"t\""), "{j}");
+        assert!(j.contains("\"label\": \"arm-a\""), "{j}");
+        assert!(j.contains("\"events_per_s\": 500000"), "{j}");
+        // Zero wall clock degrades to rate 0, not inf/NaN.
+        assert!(j.contains("\"events_per_s\": 0"), "{j}");
     }
 
     #[test]

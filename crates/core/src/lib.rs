@@ -13,6 +13,7 @@
 //! | [`chanassign`] | TurboCA (NodeP/NetP, ACC, NBO, schedule) + ReservedCA and baselines | §4 |
 //! | [`netsim`] | testbed, populations, topologies, deployments, diurnal model, plan evaluation | §3, §4.6, §5.6 |
 //! | [`telemetry`] | CDF/PDF/percentiles/Jain, LittleTable-style store | §2.2, §4.6 |
+//! | [`qoe`] | application-layer QoE: probe flows, windowed scoring, fleet rollups | §2.2, §5.6 |
 //! | [`fleet`] | sharded cloud controller: collect→plan→push over N networks, fleet ingest/aggregation | §2.2, §4.5 |
 //!
 //! ## Quickstart
@@ -42,6 +43,7 @@ pub use fleet;
 pub use mac80211 as mac;
 pub use netsim;
 pub use phy80211 as phy;
+pub use qoe;
 pub use sim;
 pub use tcpsim as tcp;
 pub use telemetry;
@@ -57,6 +59,7 @@ pub mod prelude {
     pub use netsim::testbed::{Testbed, TestbedConfig, TestbedReport};
     pub use phy80211::channels::{Band, Channel, Width};
     pub use phy80211::mcs::{GuardInterval, Mcs};
+    pub use qoe::{ClientReport, ProbeConfig, QoeRollup};
     pub use sim::{Rng, SimDuration, SimTime};
     pub use tcpsim::{CcAlgorithm, FlowId};
     pub use telemetry::stats::{jain_fairness, median, Cdf};

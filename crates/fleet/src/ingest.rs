@@ -162,6 +162,7 @@ mod tests {
             tcp_p90_ms: 30.0,
             tcp_p99_ms: 400.0,
             mean_goodput_mbps: 100.0,
+            qoe_score: 90.0,
             util_2_4: vec![
                 (SimTime::from_secs(0), 0.2),
                 (SimTime::from_secs(900), 0.25),

@@ -130,6 +130,11 @@ pub struct FleetRun {
     /// rule/severity and the worst-N networks. `health.to_json()` is
     /// byte-identical for any thread count.
     pub health: telemetry::HealthRollup,
+    /// Fleet-wide QoE rollup: per-network scores folded in id order —
+    /// mean, degraded/critical band counts, worst-N networks by score,
+    /// and alert counts by rule. `qoe.to_json()` is byte-identical for
+    /// any thread count.
+    pub qoe: qoe::QoeRollup,
 }
 
 /// Run the collect→plan→push loop over a synthesized fleet.
@@ -202,6 +207,14 @@ pub fn run_fleet(cfg: &FleetConfig) -> FleetRun {
         10,
     );
 
+    // Fleet QoE rollup, same fold order and worst-N depth.
+    let qoe_rollup = qoe::QoeRollup::rollup(
+        per_network
+            .iter()
+            .map(|r| (format!("net{}", r.id), r.qoe_score, &r.health)),
+        10,
+    );
+
     let (util_2_4_median, util_5_median) = aggregate.util_medians();
     let netp: Vec<f64> = per_network.iter().map(|r| r.final_net_p_ln).collect();
     let p50s: Vec<f64> = per_network.iter().map(|r| r.tcp_p50_ms).collect();
@@ -233,6 +246,7 @@ pub fn run_fleet(cfg: &FleetConfig) -> FleetRun {
         metrics,
         flight: flight.snapshot(),
         health,
+        qoe: qoe_rollup,
     }
 }
 
@@ -360,6 +374,30 @@ mod tests {
         }
         // And it round-trips through the on-disk format.
         let parsed = telemetry::HealthRollup::parse(&base).expect("parses");
+        assert_eq!(parsed.to_json(), base);
+    }
+
+    #[test]
+    fn qoe_rollup_is_byte_identical_across_1_2_8_threads() {
+        let one = run_fleet(&small(1));
+        let base = one.qoe.to_json();
+        assert_eq!(one.qoe.n, 6);
+        assert!(
+            one.per_network.iter().all(|r| r.qoe_score > 0.0),
+            "every network gets a score: {:?}",
+            one.per_network
+                .iter()
+                .map(|r| r.qoe_score)
+                .collect::<Vec<_>>()
+        );
+        // Worst-N is populated (ascending by score) even with no alerts.
+        assert!(!one.qoe.worst.is_empty());
+        for threads in [2, 8] {
+            let json = run_fleet(&small(threads)).qoe.to_json();
+            assert_eq!(base, json, "qoe rollup diverged at {threads} threads");
+        }
+        // And it round-trips through the on-disk format.
+        let parsed = qoe::QoeRollup::parse(&base).expect("parses");
         assert_eq!(parsed.to_json(), base);
     }
 

@@ -200,6 +200,16 @@ impl ManagedNetwork {
             tcp_p90_ms: pq(0.90),
             tcp_p99_ms: pq(0.99),
             mean_goodput_mbps: mean_goodput,
+            // The fleet model has no per-packet probes; score the
+            // network through the same penalty curve from its latency
+            // distribution (p90−p50 spread standing in for jitter).
+            qoe_score: qoe::score(&qoe::QoeDims {
+                delay_p50_ms: pq(0.50),
+                delay_p99_ms: pq(0.99),
+                jitter_p50_ms: (pq(0.90) - pq(0.50)).max(0.0) * 0.5,
+                loss: 0.0,
+                reorder: 0.0,
+            }),
             util_2_4: std::mem::take(&mut self.util_2_4),
             util_5: std::mem::take(&mut self.util_5),
             health,

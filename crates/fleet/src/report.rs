@@ -23,6 +23,10 @@ pub struct NetworkReport {
     pub tcp_p90_ms: f64,
     pub tcp_p99_ms: f64,
     pub mean_goodput_mbps: f64,
+    /// Application-layer QoE score (0–100) synthesized from the plan
+    /// evaluation's latency distribution via the `qoe` penalty model
+    /// (see `qoe::score`); feeds the fleet-wide QoE rollup.
+    pub qoe_score: f64,
     /// Raw utilization polls `(when, value)` per radio, all APs pooled.
     pub util_2_4: Vec<(SimTime, f64)>,
     pub util_5: Vec<(SimTime, f64)>,
@@ -139,6 +143,7 @@ pub fn mix_network_report(c: &mut Checksum, r: &NetworkReport) {
     c.mix_f64(r.tcp_p90_ms);
     c.mix_f64(r.tcp_p99_ms);
     c.mix_f64(r.mean_goodput_mbps);
+    c.mix_f64(r.qoe_score);
     for &(t, v) in r.util_2_4.iter().chain(r.util_5.iter()) {
         c.mix_u64(t.as_nanos());
         c.mix_f64(v);
@@ -169,6 +174,7 @@ mod tests {
             tcp_p90_ms: 30.0,
             tcp_p99_ms: 410.0,
             mean_goodput_mbps: 120.0,
+            qoe_score: 92.5,
             util_2_4: vec![(SimTime::from_secs(0), 0.2)],
             util_5: vec![(SimTime::from_secs(0), 0.03)],
             health: telemetry::HealthReport::default(),

@@ -10,6 +10,8 @@
 //!   rule and severity, and (for rollups) the worst-N networks;
 //! * `healthctl alerts <health.json> [--rule <r>] [--network <n>]
 //!   [--severity <s>]` — filtered alert listing;
+//! * both take `--json` for a machine-readable rendering (one JSON
+//!   object, byte-stable for a given snapshot);
 //! * `healthctl explain <health.json> [<idx>] [--trace <dump.bin>]` —
 //!   one alert in detail. With no index, picks the worst alert
 //!   (highest severity, earliest raise). With `--trace`, resolves the
@@ -65,6 +67,122 @@ impl Loaded {
             Loaded::Rollup(r) => r.to_json(),
         }
     }
+}
+
+// ---- JSON renderers -----------------------------------------------
+//
+// `Alert::to_json` is private to telemetry (it is a fragment of the
+// canonical snapshot grammar), so the machine-readable listings here
+// are built from the public fields with the same conventions: fixed
+// key order, `{:?}` floats, minimal escaping. Output is byte-stable
+// for a given snapshot — ci.sh smoke-tests it.
+
+fn json_escape(s: &str, out: &mut String) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+fn alert_json(a: &Alert, out: &mut String) {
+    out.push_str("{\"component\":");
+    json_escape(&a.component, out);
+    out.push_str(",\"rule\":");
+    json_escape(&a.rule, out);
+    out.push_str(",\"severity\":\"");
+    out.push_str(a.severity.as_str());
+    out.push_str("\",\"raised_at_ns\":");
+    out.push_str(&a.raised_at.as_nanos().to_string());
+    out.push_str(",\"cleared_at_ns\":");
+    match a.cleared_at {
+        Some(t) => out.push_str(&t.as_nanos().to_string()),
+        None => out.push_str("null"),
+    }
+    out.push_str(",\"flow\":");
+    match a.cause_flow() {
+        Some(f) => out.push_str(&f.to_string()),
+        None => out.push_str("null"),
+    }
+    out.push_str(",\"value\":");
+    out.push_str(&format!("{:?}", a.value));
+    out.push_str(",\"threshold\":");
+    out.push_str(&format!("{:?}", a.threshold));
+    out.push('}');
+}
+
+fn count_map_json(counts: &std::collections::BTreeMap<String, u64>, out: &mut String) {
+    out.push('{');
+    for (i, (k, v)) in counts.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        json_escape(k, out);
+        out.push(':');
+        out.push_str(&v.to_string());
+    }
+    out.push('}');
+}
+
+/// `summary` as one JSON object (`--json`).
+pub fn summary_json(loaded: &Loaded) -> String {
+    let r = loaded.report();
+    let mut out = String::new();
+    out.push_str("{\"kind\":\"");
+    out.push_str(loaded.kind());
+    out.push_str("\",\"steps\":");
+    out.push_str(&r.steps.to_string());
+    out.push_str(",\"alerts\":");
+    out.push_str(&r.alerts.len().to_string());
+    out.push_str(",\"open\":");
+    out.push_str(&r.open().count().to_string());
+    out.push_str(",\"score\":");
+    out.push_str(&r.score().to_string());
+    out.push_str(",\"by_rule\":");
+    count_map_json(&r.counts_by_rule(), &mut out);
+    out.push_str(",\"by_severity\":");
+    count_map_json(&r.counts_by_severity(), &mut out);
+    if let Loaded::Rollup(roll) = loaded {
+        out.push_str(",\"worst\":[");
+        for (i, (label, score)) in roll.worst.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push('[');
+            json_escape(label, &mut out);
+            out.push(',');
+            out.push_str(&score.to_string());
+            out.push(']');
+        }
+        out.push(']');
+    }
+    out.push_str("}\n");
+    out
+}
+
+/// `alerts` as one JSON object (`--json`), same filter semantics and
+/// canonical order as the text listing.
+pub fn alerts_json(loaded: &Loaded, filter: &AlertFilter) -> String {
+    let mut out = String::from("{\"alerts\":[");
+    let mut n = 0;
+    for a in &loaded.report().alerts {
+        if filter.accepts(a) {
+            if n > 0 {
+                out.push(',');
+            }
+            alert_json(a, &mut out);
+            n += 1;
+        }
+    }
+    out.push_str("],\"matched\":");
+    out.push_str(&n.to_string());
+    out.push_str("}\n");
+    out
 }
 
 fn alert_line(a: &Alert) -> String {
@@ -254,8 +372,8 @@ pub fn usage() -> String {
         "healthctl — triage health snapshots",
         "",
         "usage:",
-        "  healthctl summary <health.json>",
-        "  healthctl alerts <health.json> [--rule <r>] [--network <n>] [--severity <s>]",
+        "  healthctl summary <health.json> [--json]",
+        "  healthctl alerts <health.json> [--rule <r>] [--network <n>] [--severity <s>] [--json]",
         "  healthctl explain <health.json> [<idx>] [--trace <dump.bin>]",
         "  healthctl diff <a.json> <b.json>",
         "",
@@ -281,17 +399,33 @@ pub fn run(args: &[String]) -> Result<(String, i32), String> {
     match cmd {
         Some("summary") => {
             let path = args.get(1).ok_or_else(usage)?;
-            Ok((summary(&load(path)?), 0))
+            let mut json = false;
+            for a in &args[2..] {
+                if a == "--json" {
+                    json = true;
+                } else {
+                    return Err(format!("unknown summary argument {a}\n{}", usage()));
+                }
+            }
+            let loaded = load(path)?;
+            let out = if json {
+                summary_json(&loaded)
+            } else {
+                summary(&loaded)
+            };
+            Ok((out, 0))
         }
         Some("alerts") => {
             let path = args.get(1).ok_or_else(usage)?;
             let mut filter = AlertFilter::default();
+            let mut json = false;
             let mut it = args[2..].iter();
             while let Some(a) = it.next() {
                 match a.as_str() {
                     "--rule" => filter.rule = it.next().cloned(),
                     "--network" => filter.network = it.next().cloned(),
                     "--severity" => filter.severity = it.next().cloned(),
+                    "--json" => json = true,
                     other => {
                         if let Some(p) = other.strip_prefix("--rule=") {
                             filter.rule = Some(p.to_owned());
@@ -305,7 +439,13 @@ pub fn run(args: &[String]) -> Result<(String, i32), String> {
                     }
                 }
             }
-            Ok((alerts(&load(path)?, &filter), 0))
+            let loaded = load(path)?;
+            let out = if json {
+                alerts_json(&loaded, &filter)
+            } else {
+                alerts(&loaded, &filter)
+            };
+            Ok((out, 0))
         }
         Some("explain") => {
             let path = args.get(1).ok_or_else(usage)?;
@@ -536,6 +676,57 @@ mod tests {
     }
 
     #[test]
+    fn json_renderers_are_canonical_and_filterable() {
+        let l = Loaded::Report(mk_report());
+        let s = summary_json(&l);
+        assert!(
+            s.starts_with("{\"kind\":\"report\",\"steps\":12,\"alerts\":2,\"open\":1,\"score\":4,"),
+            "{s}"
+        );
+        assert!(
+            s.contains("\"by_rule\":{\"ampdu-collapse\":1,\"rto-storm\":1}"),
+            "{s}"
+        );
+        assert!(
+            s.contains("\"by_severity\":{\"critical\":1,\"warning\":1}"),
+            "{s}"
+        );
+        assert!(
+            !s.contains("\"worst\""),
+            "report summary has no worst list: {s}"
+        );
+        assert!(s.ends_with("}\n"), "{s}");
+
+        let roll = Loaded::Rollup(mk_rollup());
+        let s = summary_json(&roll);
+        assert!(s.contains("\"kind\":\"rollup\""), "{s}");
+        assert!(s.contains("\"worst\":[[\"net0\",4]]"), "{s}");
+
+        let a = alerts_json(&roll, &AlertFilter::default());
+        assert!(
+            a.starts_with("{\"alerts\":[{\"component\":\"net0.ap0\","),
+            "{a}"
+        );
+        assert!(a.contains("\"severity\":\"critical\""), "{a}");
+        assert!(a.contains("\"flow\":3"), "{a}");
+        assert!(a.contains("\"cleared_at_ns\":null"), "{a}");
+        assert!(a.contains("\"value\":2.0,\"threshold\":1.8"), "{a}");
+        assert!(a.ends_with("],\"matched\":2}\n"), "{a}");
+
+        let f = AlertFilter {
+            severity: Some("critical".to_owned()),
+            ..AlertFilter::default()
+        };
+        let a = alerts_json(&roll, &f);
+        assert!(a.ends_with("],\"matched\":1}\n"), "{a}");
+        let none = alerts_json(
+            &Loaded::Report(HealthReport::default()),
+            &AlertFilter::default(),
+        );
+        assert_eq!(none, "{\"alerts\":[],\"matched\":0}\n");
+    }
+
+    #[test]
     fn diff_reports_identity_and_divergence() {
         let a = Loaded::Report(mk_report());
         let (out, same) = diff(&a, &a.clone());
@@ -580,6 +771,14 @@ mod tests {
         .unwrap();
         assert_eq!(code, 0);
         assert!(out.contains("1 alerts matched"), "{out}");
+
+        let (out, code) = run(&["summary".to_owned(), path.clone(), "--json".to_owned()]).unwrap();
+        assert_eq!(code, 0);
+        assert!(out.starts_with("{\"kind\":\"rollup\""), "{out}");
+        let (out, code) = run(&["alerts".to_owned(), path.clone(), "--json".to_owned()]).unwrap();
+        assert_eq!(code, 0);
+        assert!(out.starts_with("{\"alerts\":["), "{out}");
+        assert!(run(&["summary".to_owned(), path.clone(), "--bogus".to_owned()]).is_err());
 
         let dump_p = dir.join("dump.bin");
         std::fs::write(&dump_p, sample_dump().to_bytes()).unwrap();

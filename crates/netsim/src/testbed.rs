@@ -33,7 +33,7 @@ use tcpsim::{
     AckSegment, CcAlgorithm, DataSegment, FlowId, ReceiverConfig, SenderConfig, TcpReceiver,
     TcpSender,
 };
-use telemetry::health::{standard_ap_detectors, AirtimeSlo, RtoStorm};
+use telemetry::health::{standard_ap_detectors, AirtimeSlo, QoeDegraded, RtoStorm};
 use telemetry::{
     AirKind, CauseId, CounterId, FlightDump, FlightRecorder, GaugeId, HealthEngine, HealthReport,
     HealthRules, HistId, Registry, SpanId, TraceRecord,
@@ -175,6 +175,13 @@ pub struct TestbedConfig {
     /// Optional fault injection: a non-WiFi interferer that switches on
     /// mid-run (the health layer's acceptance scenario).
     pub interferer: Option<InterfererFault>,
+    /// Application-layer QoE probing (see the `qoe` crate): when set,
+    /// every client receives a fixed-rate stream of tiny timestamped
+    /// probe MSDUs riding the normal downlink MAC path, and the run
+    /// reports per-client delay/jitter/loss/reorder windows reduced to
+    /// a 0–100 QoE score. `None` (the default) injects nothing and
+    /// registers nothing — existing runs keep their exact trajectory.
+    pub qoe: Option<qoe::ProbeConfig>,
 }
 
 impl Default for TestbedConfig {
@@ -212,6 +219,7 @@ impl Default for TestbedConfig {
             flight_dump_on_violation: None,
             health_rules: Some(HealthRules::default()),
             interferer: None,
+            qoe: None,
         }
     }
 }
@@ -269,6 +277,10 @@ pub struct TestbedReport {
     /// [`HealthReport::to_json`]; equal seeds yield byte-identical
     /// JSON. Empty (zero steps) when `health_rules` is `None`.
     pub health: HealthReport,
+    /// Per-client application-layer QoE reports (probe-flow derived
+    /// delay/jitter/loss/reorder windows and 0–100 scores). Empty when
+    /// `qoe` probing is disabled.
+    pub qoe: Vec<qoe::ClientReport>,
 }
 
 impl TestbedReport {
@@ -368,6 +380,10 @@ pub struct Testbed {
     next_health: SimTime,
     /// Next interferer burst (MAX when no fault is configured).
     next_interference: SimTime,
+    /// Per-client QoE collectors (empty when probing is disabled).
+    qoe: Vec<qoe::ClientQoe>,
+    /// Next probe-injection tick (MAX when probing is disabled).
+    next_probe: SimTime,
     sp_ap_txop: SpanId,
     sp_client_txop: SpanId,
     sp_beacon: SpanId,
@@ -387,6 +403,9 @@ pub struct Testbed {
     g_backlog: Vec<GaugeId>,
     g_busy: GaugeId,
     g_timeouts: GaugeId,
+    /// Per-client QoE score gauges (registered only when probing is on;
+    /// the `QoeDegraded` detector reads these paths).
+    g_qoe_score: Vec<GaugeId>,
 }
 
 impl Testbed {
@@ -485,6 +504,15 @@ impl Testbed {
             .collect();
         let g_busy = metrics.gauge("health.air.busy_ns");
         let g_timeouts = metrics.gauge("health.tcp.timeouts");
+        // QoE score gauges exist only when probing is configured, so a
+        // probe-free run's registry (and its JSON) is untouched.
+        let g_qoe_score: Vec<GaugeId> = if cfg.qoe.is_some() {
+            (0..n_clients)
+                .map(|c| metrics.gauge(&format!("qoe.client{c}.score")))
+                .collect()
+        } else {
+            Vec::new()
+        };
 
         // The standard rule catalog, scoped per AP (each watches only
         // the flows terminating there) plus the shared TCP and airtime
@@ -511,6 +539,22 @@ impl Testbed {
             if let Some(r) = rules.airtime_slo {
                 eng.add(Box::new(AirtimeSlo::new("air", "health.air.busy_ns", r)));
             }
+            // QoE degradation watches each AP's clients' score gauges;
+            // like the gauges themselves it exists only when probing is
+            // configured.
+            if cfg.qoe.is_some() {
+                if let Some(r) = rules.qoe_degraded {
+                    for a in 0..cfg.n_aps {
+                        let watch: Vec<(String, u64)> = (0..cfg.clients_per_ap)
+                            .map(|k| {
+                                let c = a * cfg.clients_per_ap + k;
+                                (format!("qoe.client{c}.score"), qoe::probe_flow(c))
+                            })
+                            .collect();
+                        eng.add(Box::new(QoeDegraded::new(format!("ap{a}"), watch, r)));
+                    }
+                }
+            }
             (!eng.is_empty()).then_some(eng)
         });
 
@@ -519,6 +563,14 @@ impl Testbed {
             telemetry::flight::install_violation_dump(&flight, path.clone());
         }
         let next_interference = cfg.interferer.map_or(SimTime::MAX, |i| i.at);
+        let qoe_state: Vec<qoe::ClientQoe> = match &cfg.qoe {
+            Some(p) => (0..n_clients).map(|_| qoe::ClientQoe::new(p)).collect(),
+            None => Vec::new(),
+        };
+        let next_probe = cfg
+            .qoe
+            .as_ref()
+            .map_or(SimTime::MAX, |p| SimTime::ZERO + p.interval());
 
         Testbed {
             cfg,
@@ -541,6 +593,8 @@ impl Testbed {
             health,
             next_health: SimTime::ZERO,
             next_interference,
+            qoe: qoe_state,
+            next_probe,
             sp_ap_txop,
             sp_client_txop,
             sp_beacon,
@@ -558,6 +612,7 @@ impl Testbed {
             g_backlog,
             g_busy,
             g_timeouts,
+            g_qoe_score,
         }
     }
 
@@ -647,6 +702,19 @@ impl Testbed {
                     }
                 }
             }
+            // 2e. QoE probe injection on its fixed cadence: one tiny
+            // timestamped MSDU per client per tick, enqueued behind the
+            // bulk traffic. Probes ride the normal MAC path — contention,
+            // aggregation, retries — so their one-way delay measures
+            // what an application flow would experience. Injection draws
+            // no randomness.
+            if let Some(pcfg) = self.cfg.qoe {
+                while self.queue.now() >= self.next_probe {
+                    let at = self.next_probe;
+                    self.inject_probes(&pcfg, at);
+                    self.next_probe += pcfg.interval();
+                }
+            }
             // 3. One contention round on the medium.
             if !self.medium_round() {
                 // Medium idle: advance to whatever fires next — a wire
@@ -682,6 +750,11 @@ impl Testbed {
                 // exact event trajectory).
                 if self.cfg.interferer.is_some() {
                     fold(Some(self.next_interference));
+                }
+                // Probe ticks likewise wake the loop only when QoE
+                // probing is configured.
+                if self.cfg.qoe.is_some() {
+                    fold(Some(self.next_probe));
                 }
                 match wake {
                     Some(t) if t < end => {
@@ -810,6 +883,30 @@ impl Testbed {
         for s in &self.senders {
             s.export_metrics(&mut self.metrics, "tcp");
             self.metrics.observe(self.h_cwnd, s.cwnd_segments());
+        }
+        // QoE snapshot: per-client probe counters plus the operational
+        // score (x100 so the integer counter keeps two decimals), and
+        // the full windowed reports on the report struct.
+        if !self.qoe.is_empty() {
+            for (c, q) in self.qoe.iter().enumerate() {
+                self.metrics.count(&format!("qoe.client{c}.sent"), q.sent);
+                self.metrics
+                    .count(&format!("qoe.client{c}.delivered"), q.delivered);
+                self.metrics.count(&format!("qoe.client{c}.lost"), q.lost);
+                self.metrics
+                    .count(&format!("qoe.client{c}.reordered"), q.reordered);
+                let score = q.score(qoe::OPERATIONAL_WINDOW);
+                self.metrics.count(
+                    &format!("qoe.client{c}.score_x100"),
+                    (score * 100.0).round() as u64,
+                );
+            }
+            self.report.qoe = self
+                .qoe
+                .iter()
+                .enumerate()
+                .map(|(c, q)| qoe::ClientReport::from_qoe(c, q))
+                .collect();
         }
         debug_assert!(self.metrics.profiler_idle(), "unbalanced span guards");
         self.report.metrics = std::mem::take(&mut self.metrics);
@@ -1044,8 +1141,44 @@ impl Testbed {
                 self.metrics.gauge_value("health.tcp.timeouts"),
             );
         }
+        if !self.qoe.is_empty() {
+            for (c, q) in self.qoe.iter().enumerate() {
+                let score = q.score(qoe::OPERATIONAL_WINDOW);
+                self.metrics
+                    .gauge_set(self.g_qoe_score[c], score.round() as i64);
+            }
+        }
         if let Some(eng) = self.health.as_mut() {
             eng.step(at, &self.metrics);
+        }
+    }
+
+    /// One probe tick: every client gets one tiny MSDU stamped with its
+    /// send time (the collector keeps the timestamp; the MPDU id packs
+    /// the probe flow + sequence, which is also the flight-record cause
+    /// joining the tx record to the MAC's delivery report).
+    fn inject_probes(&mut self, pcfg: &qoe::ProbeConfig, at: SimTime) {
+        for c in 0..self.clients.len() {
+            let seq = self.qoe[c].on_sent(at);
+            let flow = qoe::probe_flow(c);
+            let cause = telemetry::cause_for(flow, seq);
+            self.flight.emit(
+                "qoe.tx",
+                at,
+                cause,
+                TraceRecord::QoeProbe {
+                    flow,
+                    seq,
+                    delay_ns: 0,
+                },
+            );
+            let ap = self.clients[c].ap;
+            let slot = c % self.cfg.clients_per_ap;
+            let mpdu = QueuedMpdu {
+                id: cause.0,
+                bytes: pcfg.payload_bytes as usize + 40, // + IP/UDP headers
+            };
+            self.aps[ap].queues[slot].push_back((mpdu, at));
         }
     }
 
@@ -1278,12 +1411,15 @@ impl Testbed {
         let mut delivered_count = 0usize;
         for (mpdu, enq) in staged.into_iter() {
             let delivered = !self.rng.chance(per);
+            // Probe MPDUs carry their own flow id in the packed MPDU id;
+            // for TCP (and UDP) MPDUs the hint equals `flow.0`.
+            let mflow = CauseId(mpdu.id).flow_hint();
             self.flight.emit(
                 "mac.tx",
                 now,
                 CauseId(mpdu.id),
                 TraceRecord::MacTx {
-                    flow: flow.0,
+                    flow: mflow,
                     seq: mpdu_seq(mpdu.id),
                     delivered,
                 },
@@ -1295,6 +1431,29 @@ impl Testbed {
                 continue;
             }
             delivered_count += 1;
+            // QoE probe delivery: hand the one-way delay to the client's
+            // collector and record the receive side of the probe chain.
+            // Probes carry no TCP payload, so they bypass the transport
+            // and throughput accounting below (and the MAC-latency
+            // figure samples, which measure the bulk workload).
+            if !self.qoe.is_empty() {
+                if let Some(pc) = qoe::probe_client(mflow) {
+                    let seq = mpdu_seq(mpdu.id);
+                    if self.qoe[pc].on_delivered(seq, now).is_some() {
+                        self.flight.emit(
+                            "qoe.rx",
+                            now,
+                            CauseId(mpdu.id),
+                            TraceRecord::QoeProbe {
+                                flow: mflow,
+                                seq,
+                                delay_ns: now.saturating_since(enq).as_nanos(),
+                            },
+                        );
+                    }
+                    continue;
+                }
+            }
             // 802.11 latency sample.
             self.report
                 .mac_latencies
@@ -1366,8 +1525,18 @@ impl Testbed {
             let exhausted = self.aps[a].backoff.on_failure();
             if exhausted {
                 // Retry limit: drop this client's pending retransmissions
-                // (rare at these SNRs; TCP recovers end-to-end).
-                self.aps[a].prio[slot].clear();
+                // (rare at these SNRs; TCP recovers end-to-end). Dropped
+                // QoE probes are terminal — report them to the collector
+                // as lost. Draining equals the old `clear()` when no
+                // probes are queued.
+                while let Some((m, _)) = self.aps[a].prio[slot].pop_front() {
+                    if self.qoe.is_empty() {
+                        continue;
+                    }
+                    if let Some(pc) = qoe::probe_client(CauseId(m.id).flow_hint()) {
+                        self.qoe[pc].on_lost(mpdu_seq(m.id));
+                    }
+                }
                 self.aps[a].backoff.on_drop();
             }
         } else {
@@ -1873,5 +2042,86 @@ mod tests {
         // And the health verdict is part of the determinism contract.
         let again = Testbed::new(cfg).run(SimDuration::from_secs(5));
         assert_eq!(r.health.to_json(), again.health.to_json());
+    }
+
+    #[test]
+    fn qoe_probes_flow_and_score_on_a_clean_run() {
+        let cfg = TestbedConfig {
+            clients_per_ap: 4,
+            fastack: vec![true],
+            seed: 42,
+            qoe: Some(qoe::ProbeConfig::default()),
+            ..TestbedConfig::default()
+        };
+        let r = Testbed::new(cfg).run(SimDuration::from_secs(4));
+        assert_eq!(r.qoe.len(), 4);
+        for cr in &r.qoe {
+            assert!(cr.sent > 100, "client {} sent {}", cr.client, cr.sent);
+            assert!(
+                cr.delivered as f64 >= cr.sent as f64 * 0.5,
+                "client {}: {}/{} delivered",
+                cr.client,
+                cr.delivered,
+                cr.sent
+            );
+        }
+        // No interferer: nobody should look degraded.
+        assert!(
+            !r.health.alerts.iter().any(|a| a.rule == "qoe-degraded"),
+            "clean run raised: {:#?}",
+            r.health.alerts
+        );
+        // Probe counters land in the metrics namespace.
+        assert!(r.metrics.counter_value("qoe.client0.sent").unwrap_or(0) > 100);
+        assert!(r.metrics.counter_value("qoe.client0.score_x100").is_some());
+    }
+
+    #[test]
+    fn qoe_degrades_under_interference_with_probe_causal_chain() {
+        // The QoE acceptance scenario: the interferer switches on
+        // mid-run, probe delay/loss blow up, the worst client's score
+        // collapses, and the alert's cause resolves to the probe flow's
+        // own records.
+        let cfg = TestbedConfig {
+            clients_per_ap: 6,
+            fastack: vec![true],
+            seed: 42,
+            interferer: Some(InterfererFault::default()),
+            qoe: Some(qoe::ProbeConfig::default()),
+            ..TestbedConfig::default()
+        };
+        let r = Testbed::new(cfg.clone()).run(SimDuration::from_secs(5));
+        let degraded: Vec<_> = r
+            .health
+            .alerts
+            .iter()
+            .filter(|a| a.rule == "qoe-degraded")
+            .collect();
+        assert!(!degraded.is_empty(), "alerts: {:#?}", r.health.alerts);
+        let alert = degraded[0];
+        assert!(alert.raised_at >= InterfererFault::default().at);
+        let flow = alert.cause_flow().expect("cause id resolved");
+        assert!(
+            qoe::is_probe_flow(flow),
+            "cause flow {flow:#x} is not a probe flow"
+        );
+        let chain = r.flight.chain(flow);
+        for layer in ["qoe-probe", "mac-tx"] {
+            assert!(
+                chain.iter().any(|(_, ev)| ev.record.layer() == layer),
+                "chain for probe flow {flow:#x} is missing {layer}"
+            );
+        }
+        // The victim's report shows the damage the alert claims.
+        let victim = qoe::probe_client(flow).expect("probe flow maps back");
+        let score = r.qoe[victim].score();
+        assert!(score <= 60.0, "victim score {score} not degraded");
+
+        // Determinism: the whole QoE pipeline is part of the contract.
+        let again = Testbed::new(cfg).run(SimDuration::from_secs(5));
+        assert_eq!(r.health.to_json(), again.health.to_json());
+        assert_eq!(r.metrics.to_json(), again.metrics.to_json());
+        assert_eq!(r.flight.to_bytes(), again.flight.to_bytes());
+        assert_eq!(r.qoe, again.qoe);
     }
 }

@@ -168,6 +168,10 @@ pub enum TraceRecord {
     },
     /// One controller epoch of the fleet collect→plan→push loop.
     FleetEpoch { epoch: u64, networks: u64 },
+    /// A synthetic QoE probe crossed the application layer: injected
+    /// at the AP (`delay_ns == 0`) or delivered at the client with the
+    /// measured one-way delay.
+    QoeProbe { flow: u64, seq: u64, delay_ns: u64 },
 }
 
 impl TraceRecord {
@@ -178,7 +182,8 @@ impl TraceRecord {
             | TraceRecord::MacTx { flow, .. }
             | TraceRecord::AmpduBuild { flow, .. }
             | TraceRecord::BlockAck { flow, .. }
-            | TraceRecord::FastAckSynth { flow, .. } => Some(flow),
+            | TraceRecord::FastAckSynth { flow, .. }
+            | TraceRecord::QoeProbe { flow, .. } => Some(flow),
             TraceRecord::AirtimeSpan { .. } | TraceRecord::FleetEpoch { .. } => None,
         }
     }
@@ -193,6 +198,7 @@ impl TraceRecord {
             TraceRecord::AirtimeSpan { .. } => "airtime-span",
             TraceRecord::FastAckSynth { .. } => "fastack-synth",
             TraceRecord::FleetEpoch { .. } => "fleet-epoch",
+            TraceRecord::QoeProbe { .. } => "qoe-probe",
         }
     }
 }
@@ -243,6 +249,17 @@ impl fmt::Display for TraceRecord {
             ),
             TraceRecord::FleetEpoch { epoch, networks } => {
                 write!(f, "fleet-epoch epoch={epoch} networks={networks}")
+            }
+            TraceRecord::QoeProbe {
+                flow,
+                seq,
+                delay_ns,
+            } => {
+                if delay_ns == 0 {
+                    write!(f, "qoe-probe flow={flow} seq={seq} sent")
+                } else {
+                    write!(f, "qoe-probe flow={flow} seq={seq} delay_ns={delay_ns}")
+                }
             }
         }
     }
@@ -698,6 +715,16 @@ fn encode_event(ev: &FlightEvent) -> Vec<u8> {
             p.extend_from_slice(&epoch.to_le_bytes());
             p.extend_from_slice(&networks.to_le_bytes());
         }
+        TraceRecord::QoeProbe {
+            flow,
+            seq,
+            delay_ns,
+        } => {
+            p.push(7);
+            p.extend_from_slice(&flow.to_le_bytes());
+            p.extend_from_slice(&seq.to_le_bytes());
+            p.extend_from_slice(&delay_ns.to_le_bytes());
+        }
     }
     p
 }
@@ -744,6 +771,11 @@ fn decode_event(payload: &[u8]) -> Result<FlightEvent, String> {
         6 => TraceRecord::FleetEpoch {
             epoch: r.u64()?,
             networks: r.u64()?,
+        },
+        7 => TraceRecord::QoeProbe {
+            flow: r.u64()?,
+            seq: r.u64()?,
+            delay_ns: r.u64()?,
         },
         t => return Err(format!("unknown record tag {t}")),
     };
@@ -906,6 +938,27 @@ mod tests {
                 networks: 4,
             },
         );
+        let pc = cause_for(0x4000, 7);
+        rec.emit(
+            "qoe.tx",
+            t(7),
+            pc,
+            TraceRecord::QoeProbe {
+                flow: 0x4000,
+                seq: 7,
+                delay_ns: 0,
+            },
+        );
+        rec.emit(
+            "qoe.rx",
+            t(8),
+            pc,
+            TraceRecord::QoeProbe {
+                flow: 0x4000,
+                seq: 7,
+                delay_ns: 850_000,
+            },
+        );
         rec.snapshot()
     }
 
@@ -956,7 +1009,12 @@ mod tests {
         assert!(chain.iter().any(|(c, _)| *c == "air"));
         // Chains are per-flow.
         assert!(dump.chain(99).is_empty());
-        assert_eq!(dump.flows(), vec![3]);
+        assert_eq!(dump.flows(), vec![3, 0x4000]);
+        // The probe flow chains independently of the TCP flow.
+        let probe = dump.chain(0x4000);
+        let probe_layers: Vec<&str> = probe.iter().map(|(_, ev)| ev.record.layer()).collect();
+        assert_eq!(probe_layers, vec!["qoe-probe", "qoe-probe"]);
+        assert!(probe.windows(2).all(|w| w[0].1.at <= w[1].1.at));
     }
 
     #[test]

@@ -38,6 +38,8 @@ pub const RULE_RTO_STORM: &str = "rto-storm";
 pub const RULE_AIRTIME_SLO: &str = "airtime-slo";
 /// Rule name of [`QueueStarvation`].
 pub const RULE_QUEUE_STARVATION: &str = "queue-starvation";
+/// Rule name of [`QoeDegraded`].
+pub const RULE_QOE_DEGRADED: &str = "qoe-degraded";
 
 /// Alert severity. `Critical` is raised when the detector level reaches
 /// the rule's critical multiple of its raise threshold; an open alert
@@ -713,6 +715,29 @@ impl Default for QueueStarvationRule {
     }
 }
 
+/// Per-rule tuning for [`QoeDegraded`]. Levels are *penalties*
+/// (`100 - score`), so "raise at 40" means "raise when the worst
+/// watched client's QoE score drops to 60 or below".
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct QoeDegradedRule {
+    /// Raise when the worst client's penalty reaches this.
+    pub raise_penalty: f64,
+    /// Clear when it falls back to (or below) this.
+    pub clear_penalty: f64,
+    /// Critical when it reaches this (score ≤ 100 − critical).
+    pub critical_penalty: f64,
+}
+
+impl Default for QoeDegradedRule {
+    fn default() -> QoeDegradedRule {
+        QoeDegradedRule {
+            raise_penalty: 40.0,
+            clear_penalty: 25.0,
+            critical_penalty: 55.0,
+        }
+    }
+}
+
 /// The standard rule set, `None` per rule to disable it. `Copy` so the
 /// fleet config stays `Copy`.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -725,6 +750,7 @@ pub struct HealthRules {
     pub rto_storm: Option<RtoStormRule>,
     pub airtime_slo: Option<AirtimeSloRule>,
     pub queue_starvation: Option<QueueStarvationRule>,
+    pub qoe_degraded: Option<QoeDegradedRule>,
 }
 
 impl Default for HealthRules {
@@ -737,6 +763,7 @@ impl Default for HealthRules {
             rto_storm: Some(RtoStormRule::default()),
             airtime_slo: Some(AirtimeSloRule::default()),
             queue_starvation: Some(QueueStarvationRule::default()),
+            qoe_degraded: Some(QoeDegradedRule::default()),
         }
     }
 }
@@ -1461,6 +1488,111 @@ impl Detector for QueueStarvation {
     }
 }
 
+/// Application-layer QoE degradation: watches per-client QoE score
+/// gauges (0–100, probe-flow derived) and raises when the *worst*
+/// watched client's penalty (`100 − score`) crosses the rule's raise
+/// threshold. The alert's cause is the last probe (or MAC tx) record
+/// of the worst-affected client's probe flow, so `healthctl explain
+/// --trace` walks from the application-layer symptom down the stack.
+pub struct QoeDegraded {
+    component: String,
+    /// `(score gauge path, probe flow id)` per watched client.
+    clients: Vec<(String, u64)>,
+    trig: Trigger,
+    /// `(raised_at, worst client's probe flow)` per raise, for
+    /// cause resolution after the fact.
+    raise_flows: Vec<(SimTime, u64)>,
+}
+
+impl QoeDegraded {
+    pub fn new(
+        component: impl Into<String>,
+        clients: Vec<(String, u64)>,
+        rule: QoeDegradedRule,
+    ) -> QoeDegraded {
+        QoeDegraded {
+            component: component.into(),
+            clients,
+            trig: Trigger::new(
+                rule.raise_penalty,
+                rule.clear_penalty,
+                rule.critical_penalty,
+            ),
+            raise_flows: Vec::new(),
+        }
+    }
+
+    fn flow_for(&self, raised_at: SimTime) -> Option<u64> {
+        self.raise_flows
+            .iter()
+            .find(|(r, _)| *r == raised_at)
+            .map(|(_, f)| *f)
+    }
+}
+
+impl Detector for QoeDegraded {
+    fn rule(&self) -> &'static str {
+        RULE_QOE_DEGRADED
+    }
+
+    fn component(&self) -> &str {
+        &self.component
+    }
+
+    fn step(&mut self, now: SimTime, metrics: &Registry) -> Option<Transition> {
+        // Worst watched client this epoch; clients whose gauge is not
+        // registered (QoE sampling off) are skipped, and with none
+        // registered the detector stays silent.
+        let mut worst: Option<(f64, u64)> = None;
+        for (path, flow) in &self.clients {
+            let Some(score) = probe(metrics, path) else {
+                continue;
+            };
+            if worst.is_none_or(|(s, _)| score < s) {
+                worst = Some((score, *flow));
+            }
+        }
+        let (score, flow) = worst?;
+        let level = (100.0 - score).max(0.0);
+        let was_active = self.trig.is_active();
+        let t = self.trig.eval(level);
+        if let Some(Transition::Raise { .. }) = t {
+            if !was_active {
+                self.raise_flows.push((now, flow));
+            }
+        }
+        t
+    }
+
+    fn resolve_cause(&self, dump: &FlightDump, raised_at: SimTime) -> Option<CauseId> {
+        let flow = self.flow_for(raised_at)?;
+        last_cause(dump, &["qoe-probe", "mac-tx"], &[flow], raised_at)
+    }
+
+    fn confirm(&self, dump: &FlightDump, alert: &Alert) -> bool {
+        let Some(flow) = self.flow_for(alert.raised_at) else {
+            return true;
+        };
+        // A degraded-QoE alert implies probe traffic existed. If the
+        // flight ring retained *any* probe records, one for this flow
+        // must be among them; none at all (recording off or evicted)
+        // is inconclusive and passes.
+        let mut saw_any = false;
+        let mut saw_flow = false;
+        for comp in &dump.components {
+            for ev in &comp.records {
+                if let TraceRecord::QoeProbe { flow: f, .. } = ev.record {
+                    saw_any = true;
+                    if f == flow {
+                        saw_flow = true;
+                    }
+                }
+            }
+        }
+        !saw_any || saw_flow
+    }
+}
+
 /// Build the standard catalog for one AP scope. `flows` are the flow
 /// ids terminating at this AP; paths follow the testbed's metric
 /// naming. Hosts with different naming can construct detectors
@@ -1983,5 +2115,115 @@ mod tests {
         assert_eq!(probe(&m, "g"), Some(-4.0));
         assert_eq!(probe(&m, "s"), Some(500.0));
         assert_eq!(probe(&m, "missing"), None);
+    }
+
+    #[test]
+    fn qoe_degraded_tracks_worst_client_and_links_its_probe_flow() {
+        let rec = FlightRecorder::new(64);
+        // Probe traffic for both clients; flow 0x4001 is the one that
+        // degrades, so its last probe record is the expected cause.
+        for s in 0..4u64 {
+            for flow in [0x4000u64, 0x4001] {
+                rec.emit(
+                    "qoe.tx",
+                    t(s),
+                    cause_for(flow, s),
+                    TraceRecord::QoeProbe {
+                        flow,
+                        seq: s,
+                        delay_ns: 0,
+                    },
+                );
+            }
+        }
+        let run = || {
+            let mut m = Registry::new();
+            let g0 = m.gauge("qoe.client0.score");
+            let g1 = m.gauge("qoe.client1.score");
+            let mut eng = HealthEngine::new();
+            eng.add(Box::new(QoeDegraded::new(
+                "ap0",
+                vec![
+                    ("qoe.client0.score".to_string(), 0x4000),
+                    ("qoe.client1.score".to_string(), 0x4001),
+                ],
+                QoeDegradedRule::default(),
+            )));
+            for s in 0..12 {
+                m.gauge_set(g0, 95);
+                // Client 1 collapses at step 4: score 30 (penalty 70,
+                // past the critical threshold), recovers at step 8.
+                m.gauge_set(g1, if (4..8).contains(&s) { 30 } else { 95 });
+                eng.step(t(s), &m);
+            }
+            eng.finish(&rec.snapshot())
+        };
+        let report = run();
+        assert_eq!(report.alerts.len(), 1);
+        let a = &report.alerts[0];
+        assert_eq!(a.rule, RULE_QOE_DEGRADED);
+        assert_eq!(a.severity, Severity::Critical, "penalty 70 >= critical 55");
+        assert_eq!(a.raised_at, t(4));
+        assert_eq!(a.cleared_at, Some(t(8)), "recovery clears via hysteresis");
+        assert_eq!(
+            a.cause_flow(),
+            Some(0x4001),
+            "cause is the worst-affected client's probe flow"
+        );
+        assert_eq!(
+            a.cause,
+            Some(cause_for(0x4001, 3)),
+            "last probe before raise"
+        );
+        // Determinism: identical scenario reproduces byte-for-byte.
+        assert_eq!(run().to_json(), report.to_json());
+    }
+
+    #[test]
+    fn qoe_degraded_is_silent_without_score_gauges() {
+        let m = Registry::new();
+        let mut det = QoeDegraded::new(
+            "ap0",
+            vec![("qoe.client0.score".to_string(), 0x4000)],
+            QoeDegradedRule::default(),
+        );
+        for s in 0..20 {
+            assert_eq!(det.step(t(s), &m), None, "unregistered gauge raised");
+        }
+    }
+
+    #[test]
+    fn qoe_degraded_refuted_when_probe_records_miss_the_flow() {
+        let rec = FlightRecorder::new(64);
+        // Probe records exist, but only for a *different* flow: the
+        // claimed victim has no probe traffic on record, so confirm
+        // must refute the alert.
+        rec.emit(
+            "qoe.tx",
+            t(0),
+            cause_for(0x4002, 0),
+            TraceRecord::QoeProbe {
+                flow: 0x4002,
+                seq: 0,
+                delay_ns: 0,
+            },
+        );
+        let mut m = Registry::new();
+        let g = m.gauge("qoe.client0.score");
+        let mut eng = HealthEngine::new();
+        eng.add(Box::new(QoeDegraded::new(
+            "ap0",
+            vec![("qoe.client0.score".to_string(), 0x4000)],
+            QoeDegradedRule::default(),
+        )));
+        m.gauge_set(g, 20);
+        for s in 0..4 {
+            eng.step(t(s), &m);
+        }
+        let report = eng.finish(&rec.snapshot());
+        assert!(
+            report.alerts.is_empty(),
+            "alert without probe evidence for its flow must be refuted"
+        );
     }
 }

@@ -32,7 +32,8 @@ pub use flight::{
     TraceRecord,
 };
 pub use health::{
-    Alert, Detector, HealthEngine, HealthReport, HealthRollup, HealthRules, Severity,
+    Alert, Detector, HealthEngine, HealthReport, HealthRollup, HealthRules, QoeDegraded,
+    QoeDegradedRule, Severity,
 };
 pub use littletable::{Agg, LittleTable, SeriesKey};
 pub use metrics::{CounterId, GaugeId, HistId, Registry, Span, SpanId, SpanStat};

@@ -81,4 +81,27 @@ target/release/healthctl diff "$metrics_dir/health-1.json" "$metrics_dir/health-
   > /dev/null \
   || { echo "healthctl diff flagged identical snapshots"; exit 1; }
 
+echo "=== QoE pipeline reproducibility ==="
+# Same property for the application-layer QoE subsystem: probe
+# injection, windowed scoring and the qoe-degraded detector must be
+# deterministic end to end — two fig19_qoe runs byte-identical in both
+# --metrics and --health — and the machine-readable healthctl listings
+# must round-trip the snapshot.
+cargo build --release --quiet -p bench --bin fig19_qoe
+for i in 1 2; do
+  IMC_RESULTS_DIR="$metrics_dir" \
+    target/release/fig19_qoe --metrics "$metrics_dir/qoe-metrics-$i.json" \
+    --health "$metrics_dir/qoe-health-$i.json" \
+    > /dev/null
+done
+cmp "$metrics_dir/qoe-metrics-1.json" "$metrics_dir/qoe-metrics-2.json" \
+  || { echo "fig19_qoe metrics snapshot diverged between identical runs"; exit 1; }
+cmp "$metrics_dir/qoe-health-1.json" "$metrics_dir/qoe-health-2.json" \
+  || { echo "fig19_qoe health snapshot diverged between identical runs"; exit 1; }
+target/release/healthctl alerts "$metrics_dir/qoe-health-1.json" \
+  --rule qoe-degraded --json | grep -q '"rule":"qoe-degraded"' \
+  || { echo "healthctl alerts --json found no qoe-degraded alert"; exit 1; }
+target/release/healthctl summary "$metrics_dir/qoe-health-1.json" --json > /dev/null \
+  || { echo "healthctl summary --json failed on the fig19 snapshot"; exit 1; }
+
 echo "ci: all green"

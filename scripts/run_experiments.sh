@@ -18,7 +18,7 @@ EXPERIMENTS=(
   fig06_ap_snapshot tab02_usage fig07_rssi_pdf fig08_tcp_latency_cdf
   fig09_bitrate_efficiency fig10_latency_vs_clients fig14_cwnd
   fig15_aggregation fig16_throughput fig17_fairness fig18_multi_ap
-  fleet_scale
+  fig19_qoe fleet_scale
   abl_nbo_hops abl_penalty abl_fastack_cache abl_bad_hints abl_rxwin abl_baselines
 )
 
