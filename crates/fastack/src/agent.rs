@@ -645,7 +645,9 @@ fn sack_blocks(state: &FlowState) -> Vec<(u64, u64)> {
             blocks.push((c, state.seq_high));
         }
     }
+    //= spec: rfc2018:4:first-block-newest
     blocks.reverse();
+    //= spec: rfc2018:4:three-block-limit
     blocks.truncate(3);
     blocks
 }
@@ -820,6 +822,8 @@ mod tests {
         // first, and the 3-block cap drops the *oldest* block. The
         // pre-fix code kept the lowest three in ascending order,
         // discarding exactly the newest loss information.
+        //= spec: rfc2018:4:first-block-newest
+        //= spec: rfc2018:4:three-block-limit
         let mut a = mk();
         let m = MSS as u64;
         // Receive even segments 0,2,4,6,8: holes at 1,3,5,7.
@@ -840,6 +844,7 @@ mod tests {
     fn emulated_dupack_carries_newest_first_sack() {
         // End-to-end: with >3 holes the emitted dupACK's first SACK
         // block must name the segment that triggered it.
+        //= spec: rfc2018:4:first-block-newest
         let mut a = mk();
         let m = MSS as u64;
         for i in [0u64, 2, 4, 6] {

@@ -110,6 +110,8 @@ impl RetransmissionCache {
             .collect();
         let mut freed = 0u64;
         for k in keys {
+            // `k` was just collected from this same map.
+            // simcheck: allow(unwrap-in-lib)
             let len = self.segments.remove(&k).expect("present");
             freed += len as u64;
         }

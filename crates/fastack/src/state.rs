@@ -141,6 +141,8 @@ impl FlowState {
             .map(|(&s, _)| s)
             .collect();
         for s in overlapping {
+            // `s` was just collected from this same map.
+            // simcheck: allow(unwrap-in-lib)
             let e = self.q_seq.remove(&s).expect("present");
             start = start.min(s);
             end = end.max(e);

@@ -121,6 +121,7 @@ impl EdcaParams {
 
     /// Contention window for the given retry count (exponential growth,
     /// capped at `cw_max`).
+    //= spec: dot11ac:dcf:cw-doubling
     pub fn cw_for_retry(&self, retries: u32) -> u32 {
         let mut cw = self.cw_min;
         for _ in 0..retries {
@@ -152,6 +153,7 @@ mod tests {
 
     #[test]
     fn cw_doubles_then_caps() {
+        //= spec: dot11ac:dcf:cw-doubling
         let be = EdcaParams::for_ac(AccessCategory::BestEffort);
         assert_eq!(be.cw_for_retry(0), 15);
         assert_eq!(be.cw_for_retry(1), 31);

@@ -54,6 +54,7 @@ impl Ampdu {
     pub fn flight_record(&self, flow: u64) -> telemetry::TraceRecord {
         telemetry::TraceRecord::AmpduBuild {
             flow,
+            // simcheck: allow(unwrap-in-lib) — size() ≤ 64 by check_ampdu
             frames: u32::try_from(self.size()).expect("A-MPDU frame count"),
             bytes: self.payload_bytes() as u64,
         }
@@ -98,9 +99,14 @@ pub fn build_ampdu(
     let mut take = 0usize;
     let mut sizes: Vec<usize> = Vec::new();
     let mut duration = SimDuration::ZERO;
+    //= spec: dot11ac:ampdu:frame-cap
     while take < queue.len() && take < limits.max_frames {
         sizes.push(queue[take].bytes);
         let d = ampdu_duration(&sizes, mcs, nss, width, gi)?;
+        // `take > 0` is the single-MPDU exception: the head frame is
+        // taken even when it alone busts the duration cap.
+        //= spec: dot11ac:ampdu:duration-cap
+        //= spec: dot11ac:ampdu:single-mpdu-exception
         if d > limits.max_duration && take > 0 {
             sizes.pop();
             break;
@@ -111,6 +117,7 @@ pub fn build_ampdu(
             break; // single over-long MPDU: allowed, but nothing more
         }
     }
+    //= spec: dot11ac:ampdu:fifo-order
     let mpdus: Vec<QueuedMpdu> = queue.drain(..take).collect();
     let ampdu = Ampdu { mpdus, duration };
     check_ampdu(&ampdu, limits.max_frames);
@@ -126,6 +133,7 @@ pub fn check_ampdu(ampdu: &Ampdu, max_frames: usize) {
         return;
     }
     sim::sanitize::check(!ampdu.mpdus.is_empty(), "A-MPDU with zero MPDUs");
+    //= spec: dot11ac:ampdu:frame-cap
     if ampdu.size() > max_frames.min(MAX_AMPDU_FRAMES) {
         sim::sanitize::violation(&format!(
             "A-MPDU of {} frames exceeds the {}-frame BlockAck window",
@@ -145,6 +153,7 @@ pub fn check_blockack(ampdu: &Ampdu, ba: &BlockAck) {
     if !sim::sanitize::enabled() {
         return;
     }
+    //= spec: dot11ac:ba:exact-cover
     if ba.per_mpdu.len() > MAX_AMPDU_FRAMES {
         sim::sanitize::violation(&format!(
             "BlockAck covers {} MPDUs, window is {MAX_AMPDU_FRAMES}",
@@ -297,6 +306,8 @@ mod tests {
 
     #[test]
     fn takes_up_to_64_frames_at_high_rate() {
+        //= spec: dot11ac:ampdu:frame-cap
+        //= spec: dot11ac:ampdu:fifo-order
         let mut queue = q(100, 1460);
         let a = build_ampdu(&mut queue, Mcs(9), 3, Width::W80, SGI, AggLimits::default()).unwrap();
         assert_eq!(a.size(), 64);
@@ -310,6 +321,7 @@ mod tests {
     #[test]
     fn duration_cap_binds_at_low_rate() {
         // At MCS0 20MHz a 1460B MPDU takes ~0.9ms: only ~5 fit in 5.3ms.
+        //= spec: dot11ac:ampdu:duration-cap
         let mut queue = q(64, 1460);
         let a = build_ampdu(&mut queue, Mcs(0), 1, Width::W20, SGI, AggLimits::default()).unwrap();
         assert!(a.size() < 10, "size = {}", a.size());
@@ -318,6 +330,7 @@ mod tests {
 
     #[test]
     fn single_overlong_mpdu_is_still_sent() {
+        //= spec: dot11ac:ampdu:single-mpdu-exception
         let mut queue = q(3, 60_000); // jumbo payload exceeding cap alone
         let a = build_ampdu(&mut queue, Mcs(0), 1, Width::W20, SGI, AggLimits::default()).unwrap();
         assert_eq!(a.size(), 1);
@@ -417,6 +430,7 @@ mod tests {
         #[test]
         #[should_panic(expected = "sim-sanitizer: A-MPDU of 65 frames exceeds")]
         fn oversized_ampdu_is_violation() {
+            //= spec: dot11ac:ampdu:frame-cap
             let ids: Vec<u64> = (0..65).collect();
             check_ampdu(&ampdu(&ids), MAX_AMPDU_FRAMES);
         }
@@ -424,6 +438,7 @@ mod tests {
         #[test]
         #[should_panic(expected = "sim-sanitizer: BlockAck covers")]
         fn blockack_count_mismatch_is_violation() {
+            //= spec: dot11ac:ba:exact-cover
             let a = ampdu(&[1, 2, 3]);
             let ba = BlockAck {
                 per_mpdu: vec![(1, true), (2, true)],
@@ -434,6 +449,7 @@ mod tests {
         #[test]
         #[should_panic(expected = "sim-sanitizer: BlockAck sequence regression at index 1")]
         fn blockack_id_regression_is_violation() {
+            //= spec: dot11ac:ba:exact-cover
             let a = ampdu(&[1, 2, 3]);
             let ba = BlockAck {
                 per_mpdu: vec![(1, true), (3, true), (2, true)],

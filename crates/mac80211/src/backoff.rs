@@ -64,6 +64,7 @@ impl Backoff {
     }
 
     /// Ensure a backoff value is drawn for the head-of-line frame.
+    //= spec: dot11ac:dcf:uniform-draw
     pub fn ensure_drawn(&mut self, rng: &mut Rng) -> u32 {
         match self.remaining_slots {
             Some(s) => s,
@@ -79,10 +80,13 @@ impl Backoff {
 
     /// Total slots this queue must see idle before transmitting:
     /// AIFSN + residual backoff. Caller must have called `ensure_drawn`.
+    //= spec: dot11ac:dcf:aifs-precedence
     pub fn slots_to_tx(&self) -> u32 {
         self.params.aifsn
             + self
                 .remaining_slots
+                // Documented contract: callers run ensure_drawn first.
+                // simcheck: allow(unwrap-in-lib)
                 .expect("slots_to_tx before ensure_drawn")
     }
 
@@ -90,6 +94,7 @@ impl Backoff {
     /// elapsed before someone else's transmission began. Decrement the
     /// residual counter by however many of those slots this queue was
     /// actually counting down (those past its own AIFS).
+    //= spec: dot11ac:dcf:freeze-resume
     pub fn freeze_after_loss(&mut self, observed_idle_slots: u32) {
         if let Some(rem) = self.remaining_slots.as_mut() {
             let counted = observed_idle_slots.saturating_sub(self.params.aifsn);
@@ -99,6 +104,7 @@ impl Backoff {
     }
 
     /// The queue transmitted successfully: reset CW and clear the draw.
+    //= spec: dot11ac:dcf:cw-doubling
     pub fn on_success(&mut self) {
         self.retries = 0;
         self.remaining_slots = None;
@@ -112,6 +118,7 @@ impl Backoff {
         self.retries += 1;
         self.remaining_slots = None;
         self.stats.failures += 1;
+        //= spec: dot11ac:dcf:retry-drop
         self.retries > self.params.retry_limit
     }
 
@@ -134,6 +141,7 @@ mod tests {
 
     #[test]
     fn draw_is_within_cw() {
+        //= spec: dot11ac:dcf:uniform-draw
         let mut rng = Rng::new(1);
         for _ in 0..1000 {
             let mut b = be();
@@ -144,6 +152,7 @@ mod tests {
 
     #[test]
     fn draw_is_sticky_until_reset() {
+        //= spec: dot11ac:dcf:uniform-draw
         let mut rng = Rng::new(2);
         let mut b = be();
         let s1 = b.ensure_drawn(&mut rng);
@@ -153,6 +162,7 @@ mod tests {
 
     #[test]
     fn slots_to_tx_includes_aifsn() {
+        //= spec: dot11ac:dcf:aifs-precedence
         let mut rng = Rng::new(3);
         let mut b = be();
         let s = b.ensure_drawn(&mut rng);
@@ -161,6 +171,7 @@ mod tests {
 
     #[test]
     fn freeze_decrements_only_past_own_aifs() {
+        //= spec: dot11ac:dcf:freeze-resume
         let mut b = be(); // aifsn = 3
         b.remaining_slots = Some(10);
         b.freeze_after_loss(8); // 8 idle slots: 3 were AIFS, 5 counted
@@ -173,6 +184,7 @@ mod tests {
 
     #[test]
     fn failure_grows_cw_until_drop() {
+        //= spec: dot11ac:dcf:retry-drop
         let mut rng = Rng::new(4);
         let mut b = Backoff::new(EdcaParams::for_ac(AccessCategory::Voice)); // limit 4
         let mut dropped = false;
@@ -192,6 +204,7 @@ mod tests {
 
     #[test]
     fn success_resets_cw() {
+        //= spec: dot11ac:dcf:cw-doubling
         let mut rng = Rng::new(5);
         let mut b = be();
         b.on_failure();

@@ -45,6 +45,8 @@ pub fn resolve(queues: &mut [&mut Backoff], rng: &mut Rng) -> Option<ContentionO
         .iter()
         .map(|q| q.slots_to_tx())
         .min()
+        // Guarded by the early return above: `queues` is non-empty.
+        // simcheck: allow(unwrap-in-lib)
         .expect("non-empty");
     let winners: Vec<usize> = queues
         .iter()

@@ -179,6 +179,8 @@ impl MediumSim {
             for b in taken.iter_mut() {
                 refs.push(b);
             }
+            // `contenders` is checked non-empty before this branch.
+            // simcheck: allow(unwrap-in-lib)
             let outcome = resolve(&mut refs, &mut self.rng).expect("non-empty");
             drop(refs);
             for (&i, b) in contenders.iter().zip(taken) {

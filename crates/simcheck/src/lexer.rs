@@ -12,7 +12,12 @@
 //! Line comments are additionally scanned for the escape hatch
 //! `// simcheck: allow(rule-a, rule-b)`, which suppresses those rules on
 //! the comment's own line and the line below it (so the annotation can
-//! sit above the offending statement or trail it).
+//! sit above the offending statement or trail it), and for `//=`
+//! citation directives (`//= spec: <clause-id>`), which speccheck uses
+//! to tie code and tests back to spec clauses. Both are recognized only
+//! in plain `//` comments: doc comments (`///`, `//!`) merely *talk
+//! about* the syntax, and a doc example must never suppress a real
+//! diagnostic or fabricate a citation.
 
 /// One lexical token with the 1-based line it starts on.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -66,11 +71,22 @@ pub struct Allow {
     pub rules: Vec<String>,
 }
 
+/// A `//= …` citation directive found while lexing (the s2n-quic-style
+/// spec-annotation syntax; see `crates/speccheck`).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Directive {
+    /// Line the comment appears on (1-based).
+    pub line: u32,
+    /// Text after the `//=` marker, trimmed.
+    pub text: String,
+}
+
 /// The result of lexing one source file.
 #[derive(Debug, Default)]
 pub struct Lexed {
     pub tokens: Vec<Token>,
     pub allows: Vec<Allow>,
+    pub directives: Vec<Directive>,
 }
 
 /// Lex `src` into tokens + escape-hatch annotations. Unterminated
@@ -158,6 +174,11 @@ impl Lexer {
         }
         if let Some(rules) = parse_allow(&text) {
             self.out.allows.push(Allow { line, rules });
+        } else if let Some(directive) = parse_directive(&text) {
+            self.out.directives.push(Directive {
+                line,
+                text: directive,
+            });
         }
     }
 
@@ -387,10 +408,17 @@ impl Lexer {
     }
 }
 
-/// Parse `simcheck: allow(a, b)` out of a line comment's text, if present.
+/// Parse `// simcheck: allow(a, b)` out of a line comment's text, if
+/// present. Only a plain `//` comment whose body *starts* with
+/// `simcheck:` counts: matching the marker anywhere would let a doc
+/// comment that documents the syntax (`//! … simcheck: allow(x) …`)
+/// silently suppress a genuine diagnostic on the line below it.
 fn parse_allow(comment: &str) -> Option<Vec<String>> {
-    let idx = comment.find("simcheck:")?;
-    let rest = comment[idx + "simcheck:".len()..].trim_start();
+    let body = comment.strip_prefix("//")?;
+    if body.starts_with('/') || body.starts_with('!') {
+        return None; // `///` / `//!` doc comment
+    }
+    let rest = body.trim_start().strip_prefix("simcheck:")?.trim_start();
     let rest = rest.strip_prefix("allow")?.trim_start();
     let rest = rest.strip_prefix('(')?;
     let close = rest.find(')')?;
@@ -404,6 +432,18 @@ fn parse_allow(comment: &str) -> Option<Vec<String>> {
     } else {
         Some(rules)
     }
+}
+
+/// Parse a `//= <text>` citation directive out of a line comment, if
+/// present. `//==…` banner/separator comments are decoration, not
+/// directives, and doc comments never match (their text starts `///` or
+/// `//!`, not `//=`).
+fn parse_directive(comment: &str) -> Option<String> {
+    let body = comment.strip_prefix("//=")?;
+    if body.starts_with('=') {
+        return None; // `//====` banner
+    }
+    Some(body.trim().to_string())
 }
 
 #[cfg(test)]
@@ -506,5 +546,99 @@ mod tests {
             .tokens
             .iter()
             .any(|t| t.kind.ident().is_some_and(|i| i.contains("Hash"))));
+    }
+
+    #[test]
+    fn doc_comments_do_not_register_allows() {
+        // A doc comment that *documents* the escape-hatch syntax must
+        // not act as one — it would silently suppress a genuine
+        // diagnostic on the line below the docs.
+        let src = "//! e.g. simcheck: allow(float-eq)\nlet a = 1;\n/// simcheck: allow(wall-clock)\nlet b = 2;";
+        assert_eq!(lex(src).allows, vec![]);
+        // …while a plain comment still does, including trailing ones.
+        let src2 = "// simcheck: allow(float-eq)\nlet a = 1; // simcheck: allow(wall-clock)";
+        assert_eq!(lex(src2).allows.len(), 2);
+        // Prose mentioning the marker mid-comment is not an annotation.
+        let src3 = "// see simcheck: allow(float-eq) in DESIGN.md\nlet a = 1;";
+        assert_eq!(lex(src3).allows, vec![]);
+    }
+
+    #[test]
+    fn directives_are_collected_from_plain_comments_only() {
+        let src = concat!(
+            "//= spec: rfc5681:3.2:dupack-threshold\n",
+            "//= spec: rfc6675:6:once-per-episode\n",
+            "let x = 1;\n",
+            "//======= banner, not a directive\n",
+            "/// //= spec: doc-example-not-collected\n",
+            "let s = \"//= spec: string-not-collected\";\n",
+            "let r = r#\"//= spec: raw-string-not-collected\"#;\n",
+        );
+        let l = lex(src);
+        let texts: Vec<&str> = l.directives.iter().map(|d| d.text.as_str()).collect();
+        assert_eq!(
+            texts,
+            vec![
+                "spec: rfc5681:3.2:dupack-threshold",
+                "spec: rfc6675:6:once-per-episode"
+            ]
+        );
+        assert_eq!(l.directives[0].line, 1);
+        assert_eq!(l.directives[1].line, 2);
+    }
+
+    #[test]
+    fn raw_strings_with_embedded_quotes_do_not_derail_the_scan() {
+        // If the raw-string scanner stopped at the inner `"`, the rest
+        // of the file would lex as code and the trailing `HashMap`
+        // comment would leak out as an identifier.
+        let src = r##"let a = r#"quoted "inner" text"#; let b = 1; // HashMap"##;
+        let l = lex(src);
+        assert!(!l
+            .tokens
+            .iter()
+            .any(|t| t.kind.ident().is_some_and(|i| i.contains("Hash"))));
+        assert_eq!(
+            l.tokens.iter().filter(|t| t.kind == TokenKind::Str).count(),
+            1
+        );
+    }
+
+    #[test]
+    fn quote_char_literals_do_not_open_strings() {
+        // `'"'` and `b'"'` contain a double quote; mistaking it for a
+        // string opener would swallow the rest of the line.
+        let l = lex("let q = '\"'; let b = b'\"'; let f = 1.0;");
+        assert_eq!(
+            l.tokens
+                .iter()
+                .filter(|t| t.kind == TokenKind::Char)
+                .count(),
+            2
+        );
+        assert_eq!(
+            l.tokens.iter().filter(|t| t.kind == TokenKind::Str).count(),
+            0
+        );
+        assert_eq!(
+            l.tokens
+                .iter()
+                .filter(|t| t.kind == TokenKind::Float)
+                .count(),
+            1
+        );
+    }
+
+    #[test]
+    fn nested_block_comments_close_where_rustc_says() {
+        // Rust block comments nest: `/* a /* b */ c */` is one comment.
+        // Closing too early would expose `c */` as tokens; closing too
+        // late would swallow the code after it.
+        let l = lex("/* outer /* inner */ still comment */ let visible = 1;");
+        let idents: Vec<&str> = l.tokens.iter().filter_map(|t| t.kind.ident()).collect();
+        assert_eq!(idents, vec!["let", "visible"]);
+        // Unterminated nesting consumes the rest of the file without
+        // panicking (linter robustness contract).
+        assert_eq!(lex("/* open /* never closed */ let x = 1;").tokens, vec![]);
     }
 }

@@ -11,7 +11,10 @@
 //!
 //! * [`lexer`] — a dependency-free Rust token scanner (comments,
 //!   strings, raw strings, lifetimes, float-vs-int literals) that also
-//!   collects `// simcheck: allow(rule)` escape hatches;
+//!   collects `// simcheck: allow(rule)` escape hatches and `//=`
+//!   citation directives;
+//! * [`context`] — `#[cfg(test)]` / `#[test]` region detection over the
+//!   token stream, shared with speccheck's impl-vs-test classification;
 //! * [`rules`] — the rule catalog (see its table) over the token stream;
 //! * [`workspace`] — file walking, per-crate exemptions, JSON output.
 //!
@@ -22,6 +25,7 @@
 //! the sim-sanitizer (`sim::sanitize` and the hooks behind the
 //! `sanitize` features).
 
+pub mod context;
 pub mod lexer;
 pub mod rules;
 pub mod workspace;

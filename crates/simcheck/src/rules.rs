@@ -12,11 +12,14 @@
 //! | `float-eq`         | `==`/`!=` against a float literal (use an epsilon, an integer representation, or bit-pattern comparison) |
 //! | `narrowing-cast`   | `as u32`-style narrowing of time- or sequence-suffixed values (silent truncation of ns timestamps / unwrapped 64-bit sequence offsets) |
 //! | `time-unit-suffix` | declaring a bare-numeric field/binding whose name is a time word (`timeout`, `delay`, …) without a unit suffix (`_us`, `_ms`, `_s`, …) — use `SimTime`/`SimDuration` or name the unit |
+//! | `unwrap-in-lib`    | `.unwrap()` / `.expect(…)` outside test code in the per-packet hot-path crates (sim, mac80211, tcp, fastack) — a panic mid-simulation loses the whole run; handle the case or justify the invariant with an allow |
+//! | `sorted-iteration` | re-sorting a `Vec` freshly collected from an ordered BTree iteration (`.keys()`, `.values()`, `.range()` …) — the collection is already sorted; the `.sort()` is a redundant O(n log n) |
 //!
 //! Suppression: `// simcheck: allow(rule-id)` on the offending line or
 //! the line directly above it. Per-crate exemptions live in
 //! [`crate::workspace::crate_exemptions`].
 
+use crate::context::{in_test_context, is_test_path, test_line_ranges};
 use crate::lexer::{Lexed, Token, TokenKind};
 use std::collections::BTreeSet;
 use std::fmt;
@@ -29,15 +32,19 @@ pub enum Rule {
     FloatEq,
     NarrowingCast,
     TimeUnitSuffix,
+    UnwrapInLib,
+    SortedIteration,
 }
 
 impl Rule {
-    pub const ALL: [Rule; 5] = [
+    pub const ALL: [Rule; 7] = [
         Rule::HashCollections,
         Rule::WallClock,
         Rule::FloatEq,
         Rule::NarrowingCast,
         Rule::TimeUnitSuffix,
+        Rule::UnwrapInLib,
+        Rule::SortedIteration,
     ];
 
     pub fn id(self) -> &'static str {
@@ -47,6 +54,8 @@ impl Rule {
             Rule::FloatEq => "float-eq",
             Rule::NarrowingCast => "narrowing-cast",
             Rule::TimeUnitSuffix => "time-unit-suffix",
+            Rule::UnwrapInLib => "unwrap-in-lib",
+            Rule::SortedIteration => "sorted-iteration",
         }
     }
 
@@ -120,6 +129,15 @@ fn final_segment(name: &str) -> &str {
 pub fn check(file: &str, lexed: &Lexed, rules: &BTreeSet<Rule>) -> Vec<Diagnostic> {
     let mut out = Vec::new();
     let toks = &lexed.tokens;
+    // Panics are fine in test code: compute test regions once when the
+    // unwrap rule is in force (integration tests are whole-file test
+    // context by path).
+    let scan_unwraps = rules.contains(&Rule::UnwrapInLib) && !is_test_path(file);
+    let test_ranges = if scan_unwraps {
+        test_line_ranges(toks)
+    } else {
+        Vec::new()
+    };
     for (i, tok) in toks.iter().enumerate() {
         if let Some(name) = tok.kind.ident() {
             if rules.contains(&Rule::HashCollections) && (name == "HashMap" || name == "HashSet") {
@@ -171,6 +189,16 @@ pub fn check(file: &str, lexed: &Lexed, rules: &BTreeSet<Rule>) -> Vec<Diagnosti
         }
         if rules.contains(&Rule::TimeUnitSuffix) {
             if let Some(d) = missing_unit_suffix_at(file, toks, i) {
+                out.push(d);
+            }
+        }
+        if scan_unwraps {
+            if let Some(d) = unwrap_in_lib_at(file, toks, i, &test_ranges) {
+                out.push(d);
+            }
+        }
+        if rules.contains(&Rule::SortedIteration) {
+            if let Some(d) = sorted_iteration_at(file, toks, i) {
                 out.push(d);
             }
         }
@@ -257,6 +285,117 @@ fn missing_unit_suffix_at(file: &str, toks: &[Token], i: usize) -> Option<Diagno
     ))
 }
 
+/// `.unwrap()` / `.expect(…)` at position `i` (the method name) outside
+/// test context. A panic in the per-packet hot path aborts the whole
+/// simulated run; handle the case or state the invariant with an allow.
+fn unwrap_in_lib_at(
+    file: &str,
+    toks: &[Token],
+    i: usize,
+    test_ranges: &[(u32, u32)],
+) -> Option<Diagnostic> {
+    let name = toks[i].kind.ident()?;
+    if name != "unwrap" && name != "expect" {
+        return None;
+    }
+    if i == 0 || !toks[i - 1].kind.is_punct('.') {
+        return None;
+    }
+    if !toks.get(i + 1)?.kind.is_punct('(') {
+        return None;
+    }
+    // Only the zero-arg `.unwrap()` is Option/Result::unwrap; domain
+    // methods named `unwrap` that take arguments (e.g. the sequence
+    // `Unwrapper`) are not panics.
+    if name == "unwrap" && !toks.get(i + 2)?.kind.is_punct(')') {
+        return None;
+    }
+    if in_test_context(test_ranges, toks[i].line) {
+        return None;
+    }
+    Some(diag(
+        file,
+        &toks[i],
+        Rule::UnwrapInLib,
+        format!("`.{name}(…)` can panic in hot-path library code; handle the case or justify the invariant with an allow"),
+    ))
+}
+
+/// Idents inside an initializer that mark it as iterating an ordered
+/// BTree structure, whose collected `Vec` is therefore already sorted.
+const ORDERED_SOURCE_HINTS: [&str; 7] = [
+    "BTreeMap",
+    "BTreeSet",
+    "keys",
+    "values",
+    "range",
+    "first_key_value",
+    "last_key_value",
+];
+
+/// `let v = …BTree-iteration….collect(); … v.sort()` at position `i`
+/// (the `let`). Collecting an ordered iteration and then re-sorting the
+/// `Vec` is a redundant O(n log n); `sort_by*` is deliberately not
+/// flagged — imposing a *different* order is legitimate.
+fn sorted_iteration_at(file: &str, toks: &[Token], i: usize) -> Option<Diagnostic> {
+    if toks[i].kind.ident() != Some("let") {
+        return None;
+    }
+    let mut j = i + 1;
+    if toks.get(j)?.kind.ident() == Some("mut") {
+        j += 1;
+    }
+    let name = toks.get(j)?.kind.ident()?;
+    // Scan the initializer up to its terminating `;`.
+    let mut saw_collect = false;
+    let mut saw_ordered_source = false;
+    let mut depth = 0usize;
+    loop {
+        j += 1;
+        let t = toks.get(j)?;
+        match &t.kind {
+            TokenKind::Punct('(') | TokenKind::Punct('[') | TokenKind::Punct('{') => depth += 1,
+            TokenKind::Punct(')') | TokenKind::Punct(']') | TokenKind::Punct('}') => {
+                depth = depth.saturating_sub(1);
+            }
+            TokenKind::Punct(';') if depth == 0 => break,
+            TokenKind::Ident(s) => match s.as_str() {
+                "collect" => saw_collect = true,
+                s if ORDERED_SOURCE_HINTS.contains(&s) => saw_ordered_source = true,
+                // Ran into another statement: the `let` had no
+                // initializer (`let x;`) or the file is unbalanced.
+                "let" => return None,
+                _ => {}
+            },
+            _ => {}
+        }
+    }
+    if !(saw_collect && saw_ordered_source) {
+        return None;
+    }
+    // A re-sort shortly after the binding: `name.sort()` /
+    // `name.sort_unstable()` within the next few statements.
+    for k in j..toks.len().min(j + 40) {
+        if toks[k].kind.ident() == Some(name)
+            && toks.get(k + 1).is_some_and(|t| t.kind.is_punct('.'))
+        {
+            if let Some(m) = toks.get(k + 2).and_then(|t| t.kind.ident()) {
+                if (m == "sort" || m == "sort_unstable")
+                    && toks.get(k + 3).is_some_and(|t| t.kind.is_punct('('))
+                {
+                    return Some(diag(
+                        file,
+                        &toks[k + 2],
+                        Rule::SortedIteration,
+                        format!("`{name}` was collected from an ordered BTree iteration and is already sorted; drop the redundant `.{m}()`"),
+                    ));
+                }
+            }
+        }
+    }
+    None
+}
+
 fn diag(file: &str, tok: &Token, rule: Rule, message: String) -> Diagnostic {
     Diagnostic {
         file: file.to_string(),
@@ -307,6 +446,54 @@ mod tests {
     fn allow_is_rule_specific() {
         let src = "use std::collections::HashMap; // simcheck: allow(wall-clock)";
         assert_eq!(run(src).len(), 1, "wrong rule id does not suppress");
+    }
+
+    #[test]
+    fn unwrap_in_lib_flags_non_test_code_only() {
+        let bad = "fn f(x: Option<u8>) -> u8 { x.unwrap() }";
+        let d = run(bad);
+        assert_eq!(d.len(), 1);
+        assert_eq!(d[0].rule, Rule::UnwrapInLib);
+        let bad2 = "fn f(x: Option<u8>) -> u8 { x.expect(\"set\") }";
+        assert_eq!(run(bad2).len(), 1);
+        // The same calls inside `#[cfg(test)]` / `#[test]` items pass.
+        let test_mod = "#[cfg(test)]\nmod tests {\n    fn f(x: Option<u8>) -> u8 { x.unwrap() }\n}";
+        assert_eq!(run(test_mod), vec![]);
+        let test_fn = "#[test]\nfn t() {\n    Some(1).expect(\"present\");\n}";
+        assert_eq!(run(test_fn), vec![]);
+        // `unwrap_or` / `unwrap_or_default` and bare path mentions are
+        // not panics.
+        let fine = "fn f(x: Option<u8>) -> u8 { x.unwrap_or_default() }\nlet g = xs.iter().map(Option::unwrap);";
+        assert_eq!(run(fine), vec![]);
+        // Domain methods named `unwrap` that take arguments (the
+        // sequence `Unwrapper`) are not Option::unwrap.
+        let domain = "fn f(u: &mut Unwrapper, w: WireSeq) -> u64 { u.unwrap(w) }";
+        assert_eq!(run(domain), vec![]);
+        // The allow hatch works like every other rule.
+        let src =
+            "fn f(x: Option<u8>) -> u8 {\n    // simcheck: allow(unwrap-in-lib)\n    x.unwrap()\n}";
+        assert_eq!(run(src), vec![]);
+    }
+
+    #[test]
+    fn sorted_iteration_flags_redundant_resort() {
+        let bad = "let mut v: Vec<u64> = m.keys().copied().collect();\nv.sort_unstable();";
+        let d = run(bad);
+        assert_eq!(d.len(), 1);
+        assert_eq!(d[0].rule, Rule::SortedIteration);
+        assert_eq!(d[0].line, 2);
+        let bad2 = "fn f(m: &BTreeMap<u32, u32>) {\n    let xs: Vec<(u32, u32)> = m.range(..10).map(|(k, v)| (*k, *v)).collect();\n    xs.sort();\n}";
+        assert_eq!(run(bad2).len(), 1);
+        // Re-sorting by a *different* key is legitimate.
+        let by_key = "let mut v: Vec<(u64, u64)> = m.keys().map(|k| (score(k), *k)).collect();\nv.sort_by_key(|p| p.0);";
+        assert_eq!(run(by_key), vec![]);
+        // Sorting a Vec collected from an unordered source is the
+        // normal pattern, not a violation.
+        let fine = "let mut v: Vec<u64> = samples.iter().copied().collect();\nv.sort_unstable();";
+        assert_eq!(run(fine), vec![]);
+        // And the hatch applies on the sort's line.
+        let hatched = "let mut v: Vec<u64> = m.keys().copied().collect();\n// simcheck: allow(sorted-iteration)\nv.sort_unstable();";
+        assert_eq!(run(hatched), vec![]);
     }
 
     #[test]

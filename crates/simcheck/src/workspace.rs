@@ -33,6 +33,13 @@ pub fn crate_exemptions(crate_name: &str) -> BTreeSet<Rule> {
         // simcheck itself — gets the full catalog.
         _ => {}
     }
+    // `unwrap-in-lib` polices only the per-packet hot-path crates: a
+    // panic there aborts a whole simulated run. Tooling, telemetry
+    // readers, CLIs and the vendored test shims may panic on malformed
+    // input by design.
+    if !matches!(crate_name, "sim" | "mac80211" | "tcp" | "fastack") {
+        off.insert(Rule::UnwrapInLib);
+    }
     off
 }
 
@@ -168,6 +175,25 @@ mod tests {
         // Even exempt crates keep the rest of the catalog.
         assert!(rules_for("bench").contains(&Rule::HashCollections));
         assert_eq!(rules_for("sim").len(), Rule::ALL.len());
+    }
+
+    #[test]
+    fn unwrap_rule_covers_only_hot_path_crates() {
+        for hot in ["sim", "mac80211", "tcp", "fastack"] {
+            assert!(rules_for(hot).contains(&Rule::UnwrapInLib), "{hot}");
+        }
+        for cold in [
+            "bench",
+            "telemetry",
+            "fleet",
+            "simcheck",
+            "healthctl",
+            "imc17-ac",
+        ] {
+            assert!(!rules_for(cold).contains(&Rule::UnwrapInLib), "{cold}");
+            // …but the redundant-sort rule is global.
+            assert!(rules_for(cold).contains(&Rule::SortedIteration), "{cold}");
+        }
     }
 
     #[test]

@@ -74,6 +74,61 @@ fn time_unit_suffix_bad_and_clean() {
 }
 
 #[test]
+fn unwrap_in_lib_bad_and_clean() {
+    assert!(rules_hit("fn f(x: Option<u8>) -> u8 { x.unwrap() }").contains(&Rule::UnwrapInLib));
+    assert!(
+        rules_hit("fn f(x: Option<u8>) -> u8 { x.expect(\"set\") }").contains(&Rule::UnwrapInLib)
+    );
+    // Test code may panic freely — by `#[cfg(test)]` region or by path.
+    let in_tests = "#[cfg(test)]\nmod tests {\n    fn f() { Some(1).unwrap(); }\n}";
+    assert!(scan(in_tests).is_empty());
+    assert!(scan_source(
+        "crates/tcp/tests/integration.rs",
+        "fn f() { Some(1).unwrap(); }"
+    )
+    .is_empty());
+    // Cold crates are exempt: panicking on malformed input is fine in
+    // tooling.
+    assert!(scan_source(
+        "crates/healthctl/src/lib.rs",
+        "fn f(x: Option<u8>) -> u8 { x.unwrap() }"
+    )
+    .is_empty());
+}
+
+#[test]
+fn sorted_iteration_bad_and_clean() {
+    let bad = "let mut v: Vec<u64> = m.keys().copied().collect();\nv.sort_unstable();";
+    assert!(rules_hit(bad).contains(&Rule::SortedIteration));
+    let clean = "let mut v: Vec<u64> = samples.iter().copied().collect();\nv.sort_unstable();";
+    assert!(scan(clean).is_empty());
+    let hatched =
+        "let mut v: Vec<u64> = m.keys().copied().collect();\nv.sort_unstable(); // simcheck: allow(sorted-iteration)";
+    assert!(scan(hatched).is_empty());
+}
+
+#[test]
+fn doc_comment_mentions_do_not_suppress() {
+    // A doc comment that quotes the allow syntax right above a real
+    // violation must not suppress it (regression for the hardened
+    // `parse_allow`).
+    let src = "/// Use `// simcheck: allow(float-eq)` to opt out.\nlet same = x == 0.5;";
+    assert_eq!(scan(src).len(), 1);
+}
+
+#[test]
+fn lexer_edge_cases_do_not_false_positive() {
+    // Raw strings with embedded quotes, byte/char literals containing
+    // `"`, and nested block comments must all stay opaque to the rules.
+    let raw = r##"let s = r#"x == 0.5 and "HashMap" too"#;"##;
+    assert!(scan(raw).is_empty());
+    let quote_chars = "let q = '\"'; let b = b'\"'; let ok = n == 5;";
+    assert!(scan(quote_chars).is_empty());
+    let nested = "/* x == 0.5 /* HashMap */ Instant */ let a = 1;";
+    assert!(scan(nested).is_empty());
+}
+
+#[test]
 fn allow_hatch_silences_same_line_and_line_above() {
     let inline = "let same = x == 0.5; // simcheck: allow(float-eq)";
     assert!(scan(inline).is_empty());

@@ -1,0 +1,257 @@
+//! Scanning `//= spec: <clause-id>` citations out of workspace source.
+//!
+//! Citations ride simcheck's lexer: directives come from *comments
+//! only*, so a clause id inside a string literal or doc comment can
+//! never fabricate coverage. Each citation is classified as an
+//! *implementation* citation or a *test* citation using the shared
+//! test-context detection ([`simcheck::context`]): citations inside
+//! `#[cfg(test)]` / `#[test]` regions, or anywhere in `tests/` /
+//! `benches/` files, enforce; everything else implements.
+//!
+//! A citation must stay *anchored*: the directive's own line holds code
+//! (trailing-comment form), or the next line is non-blank (the cited
+//! statement, another directive of the same block, or at minimum a
+//! comment). When the code under a citation is deleted — leaving the
+//! directive hanging over a blank line or EOF — speccheck fails,
+//! which is the "cited source line no longer exists" contract.
+
+use simcheck::context::{in_test_context, is_test_path, test_line_ranges};
+use simcheck::lexer::lex;
+use std::collections::BTreeSet;
+use std::path::Path;
+
+/// Whether a citation sits in implementation or test code.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CiteKind {
+    Impl,
+    Test,
+}
+
+impl CiteKind {
+    pub fn as_str(self) -> &'static str {
+        match self {
+            CiteKind::Impl => "impl",
+            CiteKind::Test => "test",
+        }
+    }
+}
+
+/// One `//= spec: <clause-id>` citation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Citation {
+    /// Workspace-relative path.
+    pub file: String,
+    /// 1-based line of the directive comment.
+    pub line: u32,
+    pub clause: String,
+    pub kind: CiteKind,
+}
+
+/// A defect in the annotations themselves (as opposed to a coverage
+/// gap). Every problem is fatal: exit 1.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Problem {
+    pub file: String,
+    pub line: u32,
+    pub kind: ProblemKind,
+    pub detail: String,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ProblemKind {
+    /// `//=` directive that is not `spec: <clause-id>`.
+    Malformed,
+    /// Citation whose next source line is blank or missing.
+    Unanchored,
+    /// Citation naming a clause id absent from the registry.
+    UnknownClause,
+}
+
+impl ProblemKind {
+    pub fn as_str(self) -> &'static str {
+        match self {
+            ProblemKind::Malformed => "malformed-directive",
+            ProblemKind::Unanchored => "unanchored-citation",
+            ProblemKind::UnknownClause => "unknown-clause",
+        }
+    }
+}
+
+impl std::fmt::Display for Problem {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{}:{}: [{}] {}",
+            self.file,
+            self.line,
+            self.kind.as_str(),
+            self.detail
+        )
+    }
+}
+
+/// Scan one source string as if it were `rel_path` in the workspace.
+pub fn scan_file(rel_path: &str, src: &str) -> (Vec<Citation>, Vec<Problem>) {
+    let lexed = lex(src);
+    let ranges = test_line_ranges(&lexed.tokens);
+    let path_is_test = is_test_path(rel_path);
+    let token_lines: BTreeSet<u32> = lexed.tokens.iter().map(|t| t.line).collect();
+    let lines: Vec<&str> = src.lines().collect();
+
+    let mut citations = Vec::new();
+    let mut problems = Vec::new();
+    for d in &lexed.directives {
+        let clause = match d.text.strip_prefix("spec:") {
+            Some(rest) => rest.trim(),
+            None => {
+                problems.push(Problem {
+                    file: rel_path.to_string(),
+                    line: d.line,
+                    kind: ProblemKind::Malformed,
+                    detail: format!(
+                        "unrecognized directive `//= {}`; expected `//= spec: <clause-id>`",
+                        d.text
+                    ),
+                });
+                continue;
+            }
+        };
+        if clause.is_empty() || clause.contains(char::is_whitespace) {
+            problems.push(Problem {
+                file: rel_path.to_string(),
+                line: d.line,
+                kind: ProblemKind::Malformed,
+                detail: format!("`//= spec:` needs a single clause id, got `{clause}`"),
+            });
+            continue;
+        }
+        // Anchor rule: code on the directive's own line (trailing
+        // comment), or a non-blank next line.
+        let next_nonblank = lines
+            .get(d.line as usize) // 0-based index of the *next* line
+            .is_some_and(|l| !l.trim().is_empty());
+        if !token_lines.contains(&d.line) && !next_nonblank {
+            problems.push(Problem {
+                file: rel_path.to_string(),
+                line: d.line,
+                kind: ProblemKind::Unanchored,
+                detail: format!(
+                    "citation of `{clause}` hangs over a blank line or EOF; the cited code is gone"
+                ),
+            });
+            continue;
+        }
+        let kind = if path_is_test || in_test_context(&ranges, d.line) {
+            CiteKind::Test
+        } else {
+            CiteKind::Impl
+        };
+        citations.push(Citation {
+            file: rel_path.to_string(),
+            line: d.line,
+            clause: clause.to_string(),
+            kind,
+        });
+    }
+    (citations, problems)
+}
+
+/// Scan every workspace source file (same walk as simcheck: `crates/`,
+/// `src/`, `tests/`, `examples/`, `benches/`, skipping `target` and
+/// fixture corpora), in sorted path order.
+pub fn scan_workspace(root: &Path) -> Result<(Vec<Citation>, Vec<Problem>), String> {
+    let files = simcheck::workspace::source_files(root)
+        .map_err(|e| format!("cannot walk {}: {e}", root.display()))?;
+    let mut citations = Vec::new();
+    let mut problems = Vec::new();
+    for file in files {
+        let rel = file.strip_prefix(root).unwrap_or(&file);
+        let src = std::fs::read_to_string(&file)
+            .map_err(|e| format!("cannot read {}: {e}", file.display()))?;
+        let (c, p) = scan_file(&rel.to_string_lossy().replace('\\', "/"), &src);
+        citations.extend(c);
+        problems.extend(p);
+    }
+    Ok((citations, problems))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn impl_and_test_citations_are_classified() {
+        let src = "\
+//= spec: rfc5681:3.2:dupack-threshold
+fn fast_retransmit() {}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn t() {
+        //= spec: rfc5681:3.2:dupack-threshold
+        assert!(true);
+    }
+}
+";
+        let (cites, probs) = scan_file("crates/tcp/src/sender.rs", src);
+        assert_eq!(probs, vec![]);
+        assert_eq!(cites.len(), 2);
+        assert_eq!(cites[0].kind, CiteKind::Impl);
+        assert_eq!(cites[0].line, 1);
+        assert_eq!(cites[1].kind, CiteKind::Test);
+        assert_eq!(cites[0].clause, "rfc5681:3.2:dupack-threshold");
+    }
+
+    #[test]
+    fn tests_dir_files_are_test_citations() {
+        let src = "//= spec: toy:1:x\nfn check() {}\n";
+        let (cites, _) = scan_file("crates/tcp/tests/integration.rs", src);
+        assert_eq!(cites[0].kind, CiteKind::Test);
+        let (cites, _) = scan_file("tests/end_to_end.rs", src);
+        assert_eq!(cites[0].kind, CiteKind::Test);
+    }
+
+    #[test]
+    fn stacked_directives_anchor_through_each_other() {
+        let src = "//= spec: toy:1:a\n//= spec: toy:1:b\nfn f() {}\n";
+        let (cites, probs) = scan_file("crates/tcp/src/x.rs", src);
+        assert_eq!(probs, vec![]);
+        assert_eq!(cites.len(), 2);
+    }
+
+    #[test]
+    fn unanchored_citations_are_problems() {
+        // Blank line below.
+        let (c, p) = scan_file("crates/tcp/src/x.rs", "//= spec: toy:1:a\n\nfn f() {}\n");
+        assert_eq!(c, vec![]);
+        assert_eq!(p.len(), 1);
+        assert_eq!(p[0].kind, ProblemKind::Unanchored);
+        // EOF below.
+        let (c, p) = scan_file("crates/tcp/src/x.rs", "fn f() {}\n//= spec: toy:1:a\n");
+        assert_eq!(c, vec![]);
+        assert_eq!(p[0].kind, ProblemKind::Unanchored);
+        // Trailing-comment form anchors on its own line.
+        let (c, p) = scan_file("crates/tcp/src/x.rs", "fn f() {} //= spec: toy:1:a\n");
+        assert_eq!(p, vec![]);
+        assert_eq!(c.len(), 1);
+    }
+
+    #[test]
+    fn malformed_directives_are_problems() {
+        let (c, p) = scan_file("crates/tcp/src/x.rs", "//= cite: toy:1:a\nfn f() {}\n");
+        assert_eq!(c, vec![]);
+        assert_eq!(p[0].kind, ProblemKind::Malformed);
+        let (c, p) = scan_file("crates/tcp/src/x.rs", "//= spec: two ids\nfn f() {}\n");
+        assert_eq!(c, vec![]);
+        assert_eq!(p[0].kind, ProblemKind::Malformed);
+    }
+
+    #[test]
+    fn strings_and_doc_comments_cannot_fabricate_citations() {
+        let src = "let s = \"//= spec: toy:1:a\";\n/// //= spec: toy:1:b\nfn f() {}\n";
+        let (c, p) = scan_file("crates/tcp/src/x.rs", src);
+        assert_eq!(c, vec![]);
+        assert_eq!(p, vec![]);
+    }
+}

@@ -1,0 +1,208 @@
+//! Fixture tests for speccheck: coverage statuses end to end, binary
+//! exit codes, and the byte-stable JSON contract CI relies on.
+
+use speccheck::coverage::Status;
+use speccheck::registry::Level;
+
+/// A registry + sources fixture written to a temp workspace; `tag`
+/// keeps concurrent tests from sharing a directory.
+fn temp_workspace(tag: &str) -> std::path::PathBuf {
+    let dir = std::env::temp_dir().join(format!("speccheck-fixture-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(dir.join("specs")).expect("mkdir specs");
+    std::fs::create_dir_all(dir.join("crates/tcp/src")).expect("mkdir src");
+    dir
+}
+
+const TOY_SPEC: &str = "\
+spec toy
+title A toy protocol
+url https://example.com/toy
+
+clause toy:1:covered MUST
+  Fully covered clause.
+clause toy:2:impl-only MUST
+  Clause with an implementation but no enforcing test.
+clause toy:3:test-only SHOULD
+  Clause with a test but no implementation citation.
+clause toy:4:uncovered SHOULD
+  Clause nobody cites.
+";
+
+/// Sources giving toy:1 full coverage, toy:2 impl-only, toy:3
+/// test-only. A SHOULD gap must not fail; a MUST gap must.
+const LIB_RS: &str = "\
+//= spec: toy:1:covered
+pub fn covered() {}
+
+//= spec: toy:2:impl-only
+pub fn impl_only() {}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn t() {
+        //= spec: toy:1:covered
+        //= spec: toy:3:test-only
+        super::covered();
+    }
+}
+";
+
+fn write_fixture(dir: &std::path::Path, spec: &str, lib: &str) {
+    std::fs::write(dir.join("specs/toy.spec"), spec).expect("write spec");
+    std::fs::write(dir.join("crates/tcp/src/lib.rs"), lib).expect("write lib");
+}
+
+fn run(dir: &std::path::Path, args: &[&str]) -> (String, String, i32) {
+    let out = std::process::Command::new(env!("CARGO_BIN_EXE_speccheck"))
+        .args(args)
+        .args(["--root", dir.to_str().unwrap()])
+        .output()
+        .expect("run speccheck");
+    (
+        String::from_utf8_lossy(&out.stdout).into_owned(),
+        String::from_utf8_lossy(&out.stderr).into_owned(),
+        out.status.code().unwrap_or(-1),
+    )
+}
+
+#[test]
+fn statuses_cover_the_four_quadrants() {
+    let dir = temp_workspace("quadrants");
+    write_fixture(&dir, TOY_SPEC, LIB_RS);
+    let report = speccheck::report(&dir).expect("report");
+    let statuses: Vec<(String, Status)> = report
+        .clauses()
+        .map(|c| (c.id.clone(), c.status()))
+        .collect();
+    assert_eq!(
+        statuses,
+        vec![
+            ("toy:1:covered".to_string(), Status::Covered),
+            ("toy:2:impl-only".to_string(), Status::ImplOnly),
+            ("toy:3:test-only".to_string(), Status::TestOnly),
+            ("toy:4:uncovered".to_string(), Status::Uncovered),
+        ]
+    );
+    // toy:2 is the only MUST gap.
+    assert_eq!(report.uncovered_must().len(), 1);
+    assert_eq!(report.exit_code(), 1);
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn binary_fails_on_uncovered_must_and_passes_once_tested() {
+    let dir = temp_workspace("must-gap");
+    write_fixture(&dir, TOY_SPEC, LIB_RS);
+    let (out, _, code) = run(&dir, &["summary"]);
+    assert_eq!(code, 1, "uncovered MUST must exit 1:\n{out}");
+    assert!(out.contains("FAIL"), "{out}");
+    let (out, _, code) = run(&dir, &["uncovered"]);
+    assert_eq!(code, 1);
+    assert!(out.contains("[FATAL] toy:2:impl-only"), "{out}");
+    assert!(out.contains("[advisory] toy:4:uncovered"), "{out}");
+
+    // Add the missing enforcing test: the MUST gap closes, and the
+    // remaining SHOULD gaps are advisory — the tree passes.
+    let fixed = LIB_RS.replace(
+        "        //= spec: toy:1:covered\n",
+        "        //= spec: toy:1:covered\n        //= spec: toy:2:impl-only\n",
+    );
+    write_fixture(&dir, TOY_SPEC, &fixed);
+    let (out, _, code) = run(&dir, &["summary"]);
+    assert_eq!(code, 0, "SHOULD gaps are advisory:\n{out}");
+    assert!(out.contains("PASS"), "{out}");
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn binary_fails_on_dangling_and_unanchored_citations() {
+    // A citation of a clause that is not in the registry.
+    let dir = temp_workspace("dangling");
+    let full = LIB_RS.replace(
+        "        //= spec: toy:1:covered\n",
+        "        //= spec: toy:1:covered\n        //= spec: toy:2:impl-only\n",
+    );
+    let dangling = format!("{full}\n//= spec: toy:9:ghost\npub fn ghost() {{}}\n");
+    write_fixture(&dir, TOY_SPEC, &dangling);
+    let (out, _, code) = run(&dir, &["summary"]);
+    assert_eq!(code, 1, "dangling citation must fail:\n{out}");
+    assert!(out.contains("unknown-clause"), "{out}");
+    assert!(out.contains("toy:9:ghost"), "{out}");
+
+    // A citation hanging over a blank line (the cited code was
+    // deleted): also fatal.
+    let unanchored = format!("{full}\n//= spec: toy:1:covered\n\npub fn moved() {{}}\n");
+    write_fixture(&dir, TOY_SPEC, &unanchored);
+    let (out, _, code) = run(&dir, &["summary"]);
+    assert_eq!(code, 1, "unanchored citation must fail:\n{out}");
+    assert!(out.contains("unanchored-citation"), "{out}");
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn broken_registry_is_exit_2_not_all_covered() {
+    let dir = temp_workspace("bad-registry");
+    write_fixture(&dir, "spec toy\nclause toy:1:x MUST\n  t\n", LIB_RS);
+    let (_, err, code) = run(&dir, &["summary"]);
+    assert_eq!(code, 2, "registry parse error is a usage-class failure");
+    assert!(err.contains("no title"), "{err}");
+    // So is a missing specs/ directory.
+    let empty = temp_workspace("no-specs");
+    std::fs::remove_dir_all(empty.join("specs")).expect("rm specs");
+    let (_, err, code) = run(&empty, &["summary"]);
+    assert_eq!(code, 2);
+    assert!(err.contains("specs"), "{err}");
+    let _ = std::fs::remove_dir_all(&dir);
+    let _ = std::fs::remove_dir_all(&empty);
+}
+
+#[test]
+fn json_is_byte_identical_across_runs() {
+    let dir = temp_workspace("json-stable");
+    write_fixture(&dir, TOY_SPEC, LIB_RS);
+    let (a, _, code_a) = run(&dir, &["json"]);
+    let (b, _, code_b) = run(&dir, &["--json"]);
+    assert_eq!(code_a, 1);
+    assert_eq!(code_b, 1, "--json is an alias for the json subcommand");
+    assert_eq!(a.as_bytes(), b.as_bytes(), "JSON must be byte-stable");
+    assert!(a.contains("\"status\": \"impl-only\""), "{a}");
+    assert!(a.contains("\"must_total\": 2"), "{a}");
+    assert!(a.contains("\"pass\": false"), "{a}");
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// The committed tree itself must pass with full MUST coverage — this
+/// is the regression test that keeps the seed corpus annotated.
+#[test]
+fn committed_workspace_has_full_must_coverage() {
+    let root = std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
+        .parent()
+        .and_then(|p| p.parent())
+        .expect("speccheck lives at <ws>/crates/speccheck")
+        .to_path_buf();
+    let report = speccheck::report(&root).expect("workspace report");
+    assert!(
+        report.problems.is_empty(),
+        "annotation problems:\n{}",
+        report
+            .problems
+            .iter()
+            .map(|p| p.to_string())
+            .collect::<Vec<_>>()
+            .join("\n")
+    );
+    let uncovered: Vec<&str> = report
+        .uncovered_must()
+        .iter()
+        .map(|c| c.id.as_str())
+        .collect();
+    assert_eq!(uncovered, Vec::<&str>::new(), "uncovered MUST clauses");
+    assert!(
+        report.count(Level::Must) >= 25,
+        "expected ≥ 25 MUST clauses, have {}",
+        report.count(Level::Must)
+    );
+    assert_eq!(report.exit_code(), 0);
+}

@@ -74,6 +74,8 @@ impl CongestionController {
             // Appropriate byte counting (RFC 3465) with L = 2: growth per
             // ACK is capped at 2·MSS, so a jump-ACK after recovery cannot
             // instantly inflate cwnd into a line-rate burst.
+            //= spec: rfc5681:3.1:slow-start-growth
+            //= spec: rfc5681:3.1:abc-byte-counting
             let inc = (acked as f64).min(2.0 * self.mss as f64);
             self.cwnd = (self.cwnd + inc).min(self.max_cwnd);
             if self.cwnd >= self.ssthresh {
@@ -101,6 +103,8 @@ impl CongestionController {
                     self.k = ((wmax_seg - cwnd_seg).max(0.0) / CUBIC_C).cbrt();
                 }
                 let t = now
+                    // Set by the `is_none()` branch directly above.
+                    // simcheck: allow(unwrap-in-lib)
                     .saturating_since(self.epoch_start.expect("just set"))
                     .as_secs_f64();
                 let rtt_s = srtt.as_secs_f64().max(1e-3);
@@ -135,6 +139,7 @@ impl CongestionController {
         self.w_max = self.cwnd;
         self.epoch_start = None;
         let _ = now;
+        //= spec: rfc5681:3.1:ssthresh-on-loss
         self.ssthresh = (self.cwnd * beta).max(2.0 * self.mss as f64);
         self.cwnd = self.ssthresh;
         self.cwnd as u64
@@ -146,6 +151,7 @@ impl CongestionController {
         self.w_max = self.cwnd;
         self.epoch_start = None;
         self.ssthresh = (self.cwnd / 2.0).max(2.0 * self.mss as f64);
+        //= spec: rfc5681:3.1:rto-collapse
         self.cwnd = self.mss as f64;
     }
 }
@@ -187,6 +193,7 @@ mod tests {
 
     #[test]
     fn slow_start_doubles_per_rtt() {
+        //= spec: rfc5681:3.1:slow-start-growth
         let mut cc = CongestionController::new(CcAlgorithm::Reno, MSS, 770);
         let before = cc.cwnd_bytes();
         ack_full_window(&mut cc, 20);
@@ -197,6 +204,7 @@ mod tests {
     fn abc_caps_jump_ack_growth() {
         // A single cumulative ACK covering 100 segments must not inflate
         // cwnd by 100 segments (RFC 3465, L = 2).
+        //= spec: rfc5681:3.1:abc-byte-counting
         let mut cc = CongestionController::new(CcAlgorithm::Reno, MSS, 770);
         let before = cc.cwnd_bytes();
         cc.on_ack(100 * MSS as u64, t(20), rtt());
@@ -215,6 +223,7 @@ mod tests {
 
     #[test]
     fn reno_loss_halves() {
+        //= spec: rfc5681:3.1:ssthresh-on-loss
         let mut cc = CongestionController::new(CcAlgorithm::Reno, MSS, 770);
         for i in 0..20 {
             ack_full_window(&mut cc, 20 * (i + 1));
@@ -239,6 +248,7 @@ mod tests {
 
     #[test]
     fn timeout_collapses_to_one_mss() {
+        //= spec: rfc5681:3.1:rto-collapse
         let mut cc = CongestionController::new(CcAlgorithm::Reno, MSS, 770);
         for i in 0..10 {
             ack_full_window(&mut cc, 20 * (i + 1));

@@ -106,9 +106,14 @@ impl TcpReceiver {
             self.advance_to(end);
             self.absorb_ooo();
             self.unacked_segments += 1;
+            //= spec: rfc5681:4.2:ack-every-second
+            //= spec: rfc5681:4.2:holefill-immediate-ack
             if self.unacked_segments >= self.cfg.delack_every || had_ooo {
                 return Some(self.emit_ack());
             }
+            // The delayed ACK is bounded by the delack timer, far inside
+            // the 500 ms ceiling.
+            //= spec: rfc5681:4.2:ack-500ms
             if self.delack_deadline.is_none() {
                 self.delack_deadline = Some(now + self.cfg.delack_timeout);
             }
@@ -117,6 +122,7 @@ impl TcpReceiver {
 
         // Out of order: store and emit an immediate duplicate ACK with
         // SACK info (this is what drives fast retransmit at the sender).
+        //= spec: rfc5681:4.2:ooo-immediate-dupack
         self.insert_ooo(start, end);
         Some(self.emit_ack())
     }
@@ -163,6 +169,8 @@ impl TcpReceiver {
             .map(|(&s, _)| s)
             .collect();
         for s in overlapping {
+            // `s` was just collected from this same map.
+            // simcheck: allow(unwrap-in-lib)
             let e = self.ooo.remove(&s).expect("present");
             start = start.min(s);
             end = end.max(e);
@@ -179,13 +187,19 @@ impl TcpReceiver {
     fn make_ack(&self) -> AckSegment {
         let sack = if self.cfg.sack {
             // Up to 3 SACK blocks, lowest first (sufficient for the
-            // simulator; real stacks order most-recent-first).
+            // simulator's honest receiver, whose ooo ranges are few; the
+            // AP-side FastACK emulation orders most-recent-first).
+            // Every block comes from `ooo`, which only ever holds ranges
+            // above `rcv_nxt`.
+            //= spec: rfc2018:4:three-block-limit
+            //= spec: rfc2018:4:blocks-above-ack
             self.ooo.iter().take(3).map(|(&s, &e)| (s, e)).collect()
         } else {
             Vec::new()
         };
         AckSegment {
             flow: self.flow,
+            //= spec: rfc793:3.3:cumulative-ack
             ack: self.rcv_nxt,
             rwnd: self.rwnd(),
             sack,
@@ -216,6 +230,7 @@ mod tests {
 
     #[test]
     fn in_order_data_delack_every_second_segment() {
+        //= spec: rfc5681:4.2:ack-every-second
         let mut r = mk();
         assert!(r.on_data(&seg(0, 1460), t(0)).is_none(), "first delayed");
         let a = r.on_data(&seg(1460, 1460), t(1)).expect("second acks");
@@ -225,6 +240,7 @@ mod tests {
 
     #[test]
     fn delack_timer_flushes() {
+        //= spec: rfc5681:4.2:ack-500ms
         let mut r = mk();
         assert!(r.on_data(&seg(0, 1460), t(0)).is_none());
         let dl = r.delack_deadline().unwrap();
@@ -237,6 +253,8 @@ mod tests {
 
     #[test]
     fn out_of_order_acks_immediately_with_sack() {
+        //= spec: rfc5681:4.2:ooo-immediate-dupack
+        //= spec: rfc2018:4:blocks-above-ack
         let mut r = mk();
         let a = r.on_data(&seg(2920, 1460), t(0)).expect("immediate dupack");
         assert_eq!(a.ack, 0, "cumulative ack unchanged");
@@ -245,6 +263,7 @@ mod tests {
 
     #[test]
     fn hole_fill_advances_over_ooo() {
+        //= spec: rfc793:3.3:cumulative-ack
         let mut r = mk();
         r.on_data(&seg(1460, 1460), t(0)); // ooo
         r.on_data(&seg(2920, 1460), t(1)); // ooo, merged
@@ -297,6 +316,7 @@ mod tests {
 
     #[test]
     fn sack_blocks_capped_at_three() {
+        //= spec: rfc2018:4:three-block-limit
         let mut r = mk();
         // Four disjoint holes.
         r.on_data(&seg(2_000, 500), t(0));
@@ -329,6 +349,7 @@ mod tests {
     #[test]
     fn in_order_while_holes_exist_acks_immediately() {
         let mut r = mk();
+        //= spec: rfc5681:4.2:holefill-immediate-ack
         r.on_data(&seg(2920, 1460), t(0)); // hole at [0,2920)
                                            // First in-order segment: must ACK immediately (not delay) while
                                            // reassembly queue is non-empty, per RFC 5681 §4.2.

@@ -27,9 +27,12 @@ impl RtoEstimator {
         RtoEstimator {
             srtt: None,
             rttvar: SimDuration::ZERO,
+            //= spec: rfc6298:2.1:initial-rto
             rto: SimDuration::from_secs(1),
             backoff: 0,
+            //= spec: rfc6298:2.4:rto-lower-bound
             min_rto: SimDuration::from_millis(200),
+            //= spec: rfc6298:5.7:max-backoff
             max_rto: SimDuration::from_secs(60),
         }
     }
@@ -39,11 +42,13 @@ impl RtoEstimator {
     pub fn on_rtt_sample(&mut self, rtt: SimDuration) {
         match self.srtt {
             None => {
+                //= spec: rfc6298:2.2:first-measurement
                 self.srtt = Some(rtt);
                 self.rttvar = rtt / 2;
             }
             Some(srtt) => {
                 // RFC 6298: beta = 1/4, alpha = 1/8.
+                //= spec: rfc6298:2.3:subsequent-measurement
                 let delta = if srtt > rtt { srtt - rtt } else { rtt - srtt };
                 self.rttvar = (self.rttvar * 3 + delta) / 4;
                 self.srtt = Some((srtt * 7 + rtt) / 8);
@@ -81,6 +86,7 @@ impl RtoEstimator {
     }
 
     /// A timeout fired: double the RTO (exponential backoff).
+    //= spec: rfc6298:5.5:backoff
     pub fn on_timeout(&mut self) {
         self.backoff += 1;
         self.recompute();
@@ -108,6 +114,7 @@ mod tests {
 
     #[test]
     fn initial_rto_is_one_second() {
+        //= spec: rfc6298:2.1:initial-rto
         let e = RtoEstimator::new();
         assert_eq!(e.rto(), SimDuration::from_secs(1));
         assert!(e.srtt().is_none());
@@ -115,6 +122,7 @@ mod tests {
 
     #[test]
     fn first_sample_initializes() {
+        //= spec: rfc6298:2.2:first-measurement
         let mut e = RtoEstimator::new();
         e.on_rtt_sample(ms(100));
         assert_eq!(e.srtt(), Some(ms(100)));
@@ -124,6 +132,7 @@ mod tests {
 
     #[test]
     fn min_rto_floor() {
+        //= spec: rfc6298:2.4:rto-lower-bound
         let mut e = RtoEstimator::new();
         for _ in 0..20 {
             e.on_rtt_sample(ms(5));
@@ -133,6 +142,7 @@ mod tests {
 
     #[test]
     fn smoothing_converges() {
+        //= spec: rfc6298:2.3:subsequent-measurement
         let mut e = RtoEstimator::new();
         for _ in 0..100 {
             e.on_rtt_sample(ms(80));
@@ -143,6 +153,7 @@ mod tests {
 
     #[test]
     fn variance_reacts_to_jitter() {
+        //= spec: rfc6298:2.3:subsequent-measurement
         let mut stable = RtoEstimator::new();
         let mut jittery = RtoEstimator::new();
         for i in 0..100 {
@@ -154,6 +165,8 @@ mod tests {
 
     #[test]
     fn timeout_backoff_doubles_and_caps() {
+        //= spec: rfc6298:5.5:backoff
+        //= spec: rfc6298:5.7:max-backoff
         let mut e = RtoEstimator::new();
         e.on_rtt_sample(ms(100));
         let base = e.rto();

@@ -17,6 +17,7 @@ pub struct WireSeq(pub u32);
 impl WireSeq {
     /// Modular "less than": true if `self` precedes `other` within half
     /// the sequence space.
+    //= spec: rfc793:3.3:modular-compare
     pub fn lt(self, other: WireSeq) -> bool {
         (other.0.wrapping_sub(self.0) as i32) > 0
     }
@@ -35,6 +36,7 @@ impl WireSeq {
     }
 
     /// Bytes from `self` to `other` (forward distance, modular).
+    //= spec: rfc793:3.3:modular-compare
     pub fn distance_to(self, other: WireSeq) -> u32 {
         other.0.wrapping_sub(self.0)
     }
@@ -75,6 +77,8 @@ impl Unwrapper {
         let best = *candidates
             .iter()
             .min_by_key(|&&c| c.abs_diff(self.high))
+            // `candidates` is a fixed 3-element array.
+            // simcheck: allow(unwrap-in-lib)
             .expect("non-empty");
         self.high = self.high.max(best);
         best
@@ -94,6 +98,7 @@ mod tests {
 
     #[test]
     fn ordering_across_wrap() {
+        //= spec: rfc793:3.3:modular-compare
         let near_max = WireSeq(u32::MAX - 10);
         let wrapped = WireSeq(5);
         assert!(near_max.lt(wrapped));
@@ -108,6 +113,7 @@ mod tests {
 
     #[test]
     fn distance_is_modular() {
+        //= spec: rfc793:3.3:modular-compare
         assert_eq!(WireSeq(10).distance_to(WireSeq(30)), 20);
         assert_eq!(WireSeq(u32::MAX - 5).distance_to(WireSeq(4)), 10);
     }

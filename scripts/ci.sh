@@ -18,6 +18,24 @@ echo "=== simcheck (determinism & unit-safety linter) ==="
 # "Determinism rules" and `cargo run -p simcheck -- --help`.
 cargo run -p simcheck --release --quiet
 
+echo "=== speccheck (spec-anchored compliance coverage) ==="
+# Exits 1 if any registered MUST clause (specs/*.spec) lacks both an
+# implementation citation and an enforcing-test citation, if a
+# `//= spec:` annotation names a nonexistent clause, or if a citation
+# no longer anchors to code; see DESIGN.md "Spec compliance".
+cargo run -p speccheck --release --quiet -- summary
+
+echo "=== speccheck JSON reproducibility ==="
+# The machine-readable report is consumed downstream; two runs over
+# the same tree must be byte-identical.
+spec_dir="$(mktemp -d)"
+for i in 1 2; do
+  cargo run -p speccheck --release --quiet -- json > "$spec_dir/spec-$i.json"
+done
+cmp "$spec_dir/spec-1.json" "$spec_dir/spec-2.json" \
+  || { echo "speccheck json diverged between identical runs"; rm -rf "$spec_dir"; exit 1; }
+rm -rf "$spec_dir"
+
 echo "=== cargo test ==="
 cargo test --workspace -q
 

@@ -33,12 +33,41 @@ for exp in "${EXPERIMENTS[@]}"; do
   fi
 done
 
+# Experiments that double as wall-clock throughput benchmarks. Each
+# writes a per-binary `--perf` artifact; the artifacts are merged into
+# BENCH_simperf.json below. Perf numbers are host-dependent and never
+# byte-compared — they exist to catch order-of-magnitude regressions.
+PERF_EXPERIMENTS=(fig18_multi_ap fleet_scale)
+
 fail=0
 for exp in "${EXPERIMENTS[@]}"; do
   echo "=== $exp ==="
-  if ! "target/release/$exp"; then
+  args=()
+  for p in "${PERF_EXPERIMENTS[@]}"; do
+    if [[ "$exp" == "$p" ]]; then
+      args=(--perf "$OUTDIR/$exp.perf.json")
+    fi
+  done
+  if ! "target/release/$exp" "${args[@]}"; then
     echo "!! $exp reported mismatches"
     fail=1
   fi
 done
+
+# Merge the per-binary perf artifacts into one BENCH_simperf.json.
+{
+  printf '{\n  "benches": ['
+  first=1
+  for p in "${PERF_EXPERIMENTS[@]}"; do
+    f="$OUTDIR/$p.perf.json"
+    [[ -s "$f" ]] || continue
+    if [[ $first -eq 0 ]]; then printf ','; fi
+    first=0
+    printf '\n'
+    sed 's/^/    /' "$f" | sed -e '$ { /^ *$/d }'
+  done
+  printf '  ]\n}\n'
+} > "$OUTDIR/BENCH_simperf.json"
+echo "=== perf baseline: $OUTDIR/BENCH_simperf.json ==="
+
 exit $fail
