@@ -18,8 +18,13 @@ fn run(fastack: bool) -> TestbedReport {
 
 fn main() {
     let mut exp = Experiment::new("fig14", "TCP cwnd traces, baseline vs FastACK (10 flows)");
+    // Wall-clock sample for `--perf` (clippy.toml disallows
+    // `Instant::now` in sim code; the bench harness is host-side).
+    #[allow(clippy::disallowed_methods)]
+    let wall_start = std::time::Instant::now();
     let base = run(false);
     let fast = run(true);
+    let wall_s = wall_start.elapsed().as_secs_f64();
 
     // Final-second cwnd per flow.
     let final_cwnd = |r: &TestbedReport| -> Vec<f64> {
@@ -97,5 +102,7 @@ fn main() {
     exp.absorb(&fast.metrics);
     exp.absorb_flight("base", &base.flight);
     exp.absorb_flight("fast", &fast.flight);
+    let events = exp.metrics.counter_value("sim.queue.popped").unwrap_or(0);
+    exp.perf("fig14_cwnd", events, wall_s);
     std::process::exit(if exp.finish() { 0 } else { 1 });
 }

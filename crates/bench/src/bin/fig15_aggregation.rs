@@ -18,8 +18,13 @@ fn run(fastack: bool) -> TestbedReport {
 
 fn main() {
     let mut exp = Experiment::new("fig15", "802.11 aggregation size per client (30 clients)");
+    // Wall-clock sample for `--perf` (clippy.toml disallows
+    // `Instant::now` in sim code; the bench harness is host-side).
+    #[allow(clippy::disallowed_methods)]
+    let wall_start = std::time::Instant::now();
     let base = run(false);
     let fast = run(true);
+    let tcp_wall_s = wall_start.elapsed().as_secs_f64();
 
     let sorted = |r: &TestbedReport| {
         let mut v = r.client_aggregation.clone();
@@ -56,6 +61,8 @@ fn main() {
         mean(&fa) > mean(&b) && fa[29] > b[29],
     );
     // UDP upper bound: connectionless saturation, measured.
+    #[allow(clippy::disallowed_methods)]
+    let udp_start = std::time::Instant::now();
     let udp = Testbed::new(TestbedConfig {
         clients_per_ap: 30,
         fastack: vec![false],
@@ -64,6 +71,7 @@ fn main() {
         ..TestbedConfig::default()
     })
     .run(SimDuration::from_secs(4));
+    let wall_s = tcp_wall_s + udp_start.elapsed().as_secs_f64();
     let udp_mean = udp.client_aggregation.iter().sum::<f64>() / 30.0;
     exp.compare(
         "UDP upper bound",
@@ -85,5 +93,7 @@ fn main() {
     exp.absorb_flight("base", &base.flight);
     exp.absorb_flight("fast", &fast.flight);
     exp.absorb_flight("udp", &udp.flight);
+    let events = exp.metrics.counter_value("sim.queue.popped").unwrap_or(0);
+    exp.perf("fig15_aggregation", events, wall_s);
     std::process::exit(if exp.finish() { 0 } else { 1 });
 }

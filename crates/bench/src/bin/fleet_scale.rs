@@ -26,7 +26,80 @@ fn config(n_networks: usize, threads: usize) -> FleetConfig {
     }
 }
 
+/// `--networks N --threads T`: focused thread-scaling regression. Runs
+/// the same fleet at 1 thread and at T threads; T must stay
+/// bit-identical and must not be slower beyond noise (the clamped shard
+/// executor makes oversubscription a no-op rather than a slowdown).
+fn scaling_regression(networks: usize, threads: usize) -> bool {
+    let mut exp = Experiment::new(
+        "fleet_scale",
+        "fleet thread-scaling regression: T threads must not lose to 1",
+    );
+    let mut walls = Vec::new();
+    let mut sums = Vec::new();
+    for &t in &[1usize, threads] {
+        // One 15-min epoch per network — enough work for the timing to
+        // be meaningful while keeping the gate itself fast. Best-of-3
+        // wall clock: this is a perf gate, so take the least-noisy
+        // sample of each arm.
+        let cfg = FleetConfig {
+            n_networks: networks,
+            threads: t,
+            horizon: SimDuration::from_mins(15),
+            ..FleetConfig::default()
+        };
+        #[allow(clippy::disallowed_methods)]
+        let wall = (0..3)
+            .map(|_| {
+                let start = Instant::now();
+                let run = run_fleet(&cfg);
+                let w = start.elapsed().as_secs_f64();
+                sums.push(run.report.checksum);
+                w
+            })
+            .fold(f64::INFINITY, f64::min);
+        walls.push(wall);
+        println!("{networks} networks x {t:>2} thread(s): {wall:.3}s best-of-3");
+    }
+    let identical = sums.iter().all(|&c| c == sums[0]);
+    exp.compare(
+        format!("{networks} networks: checksum equal for 1/{threads} threads"),
+        "bit-identical",
+        if identical {
+            "bit-identical"
+        } else {
+            "DIVERGED"
+        },
+        identical,
+    );
+    // "Not slower beyond noise": allow 10% jitter on the multi-thread arm.
+    let ok = walls[1] <= walls[0] * 1.10;
+    exp.compare(
+        format!("{threads}-thread wall <= 1.10x single-thread"),
+        format!("<= {:.3}s", walls[0] * 1.10),
+        format!("{:.3}s", walls[1]),
+        ok,
+    );
+    exp.finish()
+}
+
 fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let flag = |name: &str| -> Option<usize> {
+        args.iter()
+            .position(|a| a == name)
+            .and_then(|i| args.get(i + 1))
+            .and_then(|v| v.parse().ok())
+    };
+    if let Some(networks) = flag("--networks") {
+        let threads = flag("--threads").unwrap_or(8);
+        std::process::exit(if scaling_regression(networks, threads) {
+            0
+        } else {
+            1
+        });
+    }
+
     let mut exp = Experiment::new(
         "fleet_scale",
         "fleet controller scaling: size x threads, determinism + Fig. 2 ingest",

@@ -219,21 +219,31 @@ impl Agent {
 
     /// §5.4 TCP data flow: a data segment arrived from the wired side.
     pub fn on_wire_data(&mut self, seg: &DataSegment) -> Vec<Action> {
+        let mut out = Vec::new();
+        self.on_wire_data_into(seg, &mut out);
+        out
+    }
+
+    /// [`Agent::on_wire_data`] appending into a caller-owned buffer, so
+    /// the per-segment hot path can reuse one allocation across calls.
+    pub fn on_wire_data_into(&mut self, seg: &DataSegment, out: &mut Vec<Action>) {
         if !self.cfg.enabled {
-            return vec![Action::Forward {
+            out.push(Action::Forward {
                 seg: *seg,
                 priority: false,
-            }];
+            });
+            return;
         }
         // Flow classification (§5.4 footnote 10): unpromoted flows pass
         // through untouched; a flow crossing the elephant threshold is
         // adopted mid-stream, with the current segment as its baseline
         // (everything before it is treated as already TCP-acknowledged).
         if !self.flows.contains_key(&seg.flow) && !self.classifier.observe(seg.flow, seg.len) {
-            return vec![Action::Forward {
+            out.push(Action::Forward {
                 seg: *seg,
                 priority: false,
-            }];
+            });
+            return;
         }
         let emulate_holes = self.cfg.emulate_holes;
         // Field-disjoint borrow of `self.flows` (entry API inline so the
@@ -262,7 +272,6 @@ impl Agent {
             }
         });
         let (start, end) = (seg.seq, seg.end());
-        let mut actions = Vec::new();
 
         if let Some(gate) = flow.state.gate_until {
             if start < gate {
@@ -270,10 +279,11 @@ impl Agent {
                 // endpoints own it entirely (we never vouched for it and
                 // cannot serve it from the cache). Pure pass-through,
                 // with retransmissions keeping their priority.
-                return vec![Action::Forward {
+                out.push(Action::Forward {
                     seg: *seg,
                     priority: seg.retransmit,
-                }];
+                });
+                return;
             }
         }
 
@@ -281,7 +291,8 @@ impl Agent {
             // Case (i): entirely below the fast-ACK point — the sender
             // has already been told; this is a spurious retransmission.
             self.stats.spurious_drops += 1;
-            return vec![Action::DropData(*seg)];
+            out.push(Action::DropData(*seg));
+            return;
         }
 
         if start < flow.state.seq_exp {
@@ -292,11 +303,11 @@ impl Agent {
             flow.cache.insert(start, seg.len);
             flow.state.seq_high = flow.state.seq_high.max(end);
             self.stats.priority_forwards += 1;
-            actions.push(Action::Forward {
+            out.push(Action::Forward {
                 seg: *seg,
                 priority: true,
             });
-            return actions;
+            return;
         }
 
         if start > flow.state.seq_exp {
@@ -316,7 +327,7 @@ impl Agent {
         }
         flow.state.seq_exp = end;
         flow.state.seq_high = flow.state.seq_high.max(end);
-        actions.push(Action::Forward {
+        out.push(Action::Forward {
             seg: *seg,
             priority: false,
         });
@@ -329,61 +340,73 @@ impl Agent {
             let sack = sack_blocks(&flow.state);
             let rwnd = flow.state.fast_ack_rwnd();
             self.stats.hole_dupacks_sent += 1;
-            actions.push(Action::SendAckUpstream(AckSegment {
+            out.push(Action::SendAckUpstream(AckSegment {
                 flow: seg.flow,
                 ack,
                 rwnd,
                 sack,
             }));
         }
-        actions
     }
 
     /// §5.4 802.11 ACK flow: the MAC delivered (BlockAck'd) the data
     /// segment `[seq, seq+len)` to the client.
     pub fn on_mac_ack(&mut self, flow_id: FlowId, seq: u64, len: u32) -> Vec<Action> {
+        let mut out = Vec::new();
+        self.on_mac_ack_into(flow_id, seq, len, &mut out);
+        out
+    }
+
+    /// [`Agent::on_mac_ack`] appending into a caller-owned buffer.
+    pub fn on_mac_ack_into(&mut self, flow_id: FlowId, seq: u64, len: u32, out: &mut Vec<Action>) {
         if !self.cfg.enabled {
-            return Vec::new();
+            return;
         }
         let Some(flow) = self.flows.get_mut(&flow_id) else {
-            return Vec::new();
+            return;
         };
         if flow.uncached.contains(&seq) {
             // Forwarded without a cached copy: unsafe to fast-ACK
             // (a client dupACK could not be served locally).
-            return Vec::new();
+            return;
         }
         flow.state.enqueue_acked(seq, seq + len as u64);
         if flow.state.gate_until.is_some() {
             // Adoption gate closed: accumulate continuity silently; the
             // backlog is released when the client ack opens the gate.
             let _ = flow.state.drain_contiguous();
-            return Vec::new();
+            return;
         }
-        match flow.state.drain_contiguous() {
-            Some(fack) => {
-                self.stats.fast_acks_sent += 1;
-                let rwnd = Self::advertised_rwnd(&self.cfg, &flow.state);
-                flow.state.last_advertised_rwnd = rwnd;
-                vec![Action::SendAckUpstream(AckSegment {
-                    flow: flow_id,
-                    ack: fack,
-                    rwnd,
-                    sack: Vec::new(),
-                })]
-            }
-            None => Vec::new(),
+        if let Some(fack) = flow.state.drain_contiguous() {
+            self.stats.fast_acks_sent += 1;
+            let rwnd = Self::advertised_rwnd(&self.cfg, &flow.state);
+            flow.state.last_advertised_rwnd = rwnd;
+            out.push(Action::SendAckUpstream(AckSegment {
+                flow: flow_id,
+                ack: fack,
+                rwnd,
+                sack: Vec::new(),
+            }));
         }
     }
 
     /// §5.4 TCP ACK flow + §5.5.1 retransmission strategy: the client's
     /// own TCP ACK arrived over the wireless link.
     pub fn on_client_ack(&mut self, ack: &AckSegment) -> Vec<Action> {
+        let mut out = Vec::new();
+        self.on_client_ack_into(ack, &mut out);
+        out
+    }
+
+    /// [`Agent::on_client_ack`] appending into a caller-owned buffer.
+    pub fn on_client_ack_into(&mut self, ack: &AckSegment, out: &mut Vec<Action>) {
         if !self.cfg.enabled {
-            return vec![Action::SendAckUpstream(ack.clone())];
+            out.push(Action::SendAckUpstream(ack.clone()));
+            return;
         }
         let Some(flow) = self.flows.get_mut(&ack.flow) else {
-            return vec![Action::SendAckUpstream(ack.clone())];
+            out.push(Action::SendAckUpstream(ack.clone()));
+            return;
         };
         flow.state.client_rwnd = ack.rwnd;
         let threshold = self.cfg.local_retx_dupack_threshold;
@@ -399,24 +422,25 @@ impl Agent {
                 let _ = flow.state.drain_contiguous();
                 flow.cache.release_below(ack.ack);
                 self.stats.client_acks_forwarded += 1;
-                let mut actions = vec![Action::SendAckUpstream(ack.clone())];
+                out.push(Action::SendAckUpstream(ack.clone()));
                 if flow.state.seq_fack > ack.ack {
                     // Release the fast-ack backlog accumulated while gated.
                     self.stats.fast_acks_sent += 1;
                     let rwnd = Self::advertised_rwnd(&self.cfg, &flow.state);
                     flow.state.last_advertised_rwnd = rwnd;
-                    actions.push(Action::SendAckUpstream(AckSegment {
+                    out.push(Action::SendAckUpstream(AckSegment {
                         flow: ack.flow,
                         ack: flow.state.seq_fack,
                         rwnd,
                         sack: Vec::new(),
                     }));
                 }
-                return actions;
+                return;
             }
             // Pre-baseline traffic: entirely the endpoints' business.
             self.stats.client_acks_forwarded += 1;
-            return vec![Action::SendAckUpstream(ack.clone())];
+            out.push(Action::SendAckUpstream(ack.clone()));
+            return;
         }
 
         if ack.ack > flow.state.seq_tcp {
@@ -425,9 +449,9 @@ impl Agent {
             flow.state.client_dup_acks = 0;
             flow.state.last_fire_dup = 0;
             flow.cache.release_below(ack.ack);
-            let keys: Vec<u64> = flow.uncached.range(..ack.ack).copied().collect();
-            for k in keys {
-                flow.uncached.remove(&k);
+            // Head pops: released keys are exactly the set's prefix.
+            while flow.uncached.first().is_some_and(|&k| k < ack.ack) {
+                flow.uncached.pop_first();
             }
 
             if ack.ack > flow.state.seq_fack {
@@ -438,7 +462,8 @@ impl Agent {
                 // Continuity may hold again past the resync point.
                 let _ = flow.state.drain_contiguous();
                 self.stats.client_acks_forwarded += 1;
-                return vec![Action::SendAckUpstream(ack.clone())];
+                out.push(Action::SendAckUpstream(ack.clone()));
+                return;
             }
             // Normal case: the fast ACK already covered this. The data
             // acknowledgment is suppressed — but the client's progress
@@ -446,18 +471,18 @@ impl Agent {
             // must hear about it or a window-limited flow deadlocks.
             // Emit a pure window update when the window grew.
             self.stats.client_acks_suppressed += 1;
-            let mut actions = vec![Action::SuppressClientAck(ack.clone())];
+            out.push(Action::SuppressClientAck(ack.clone()));
             let rwnd = Self::advertised_rwnd(&self.cfg, &flow.state);
             if rwnd > flow.state.last_advertised_rwnd {
                 flow.state.last_advertised_rwnd = rwnd;
-                actions.push(Action::SendAckUpstream(AckSegment {
+                out.push(Action::SendAckUpstream(AckSegment {
                     flow: ack.flow,
                     ack: flow.state.seq_fack,
                     rwnd,
                     sack: Vec::new(),
                 }));
             }
-            return actions;
+            return;
         }
 
         if ack.ack < flow.state.seq_tcp {
@@ -465,7 +490,8 @@ impl Agent {
             // stale ACK or (after mid-stream adoption) an ACK for
             // pre-adoption data the sender is still waiting on. Forward.
             self.stats.client_acks_forwarded += 1;
-            return vec![Action::SendAckUpstream(ack.clone())];
+            out.push(Action::SendAckUpstream(ack.clone()));
+            return;
         }
 
         // Duplicate ACK from the client: something fast-ACKed never
@@ -477,7 +503,6 @@ impl Agent {
         // back off exponentially (at 4× the previous firing count) —
         // re-firing per dupACK would storm duplicates at the client.
         flow.state.client_dup_acks += 1;
-        let mut actions = Vec::new();
         let d = flow.state.client_dup_acks;
         let fire = d == threshold
             || (flow.state.last_fire_dup > 0 && d >= flow.state.last_fire_dup.saturating_mul(4));
@@ -505,16 +530,16 @@ impl Agent {
             if to_retx.is_empty() {
                 // Nothing cached to serve — let the sender handle it.
                 self.stats.client_acks_forwarded += 1;
-                return vec![Action::SendAckUpstream(ack.clone())];
+                out.push(Action::SendAckUpstream(ack.clone()));
+                return;
             }
             for c in to_retx {
                 self.stats.local_retransmits += 1;
-                actions.push(Action::LocalRetransmit(flow.cache.to_segment(ack.flow, c)));
+                out.push(Action::LocalRetransmit(flow.cache.to_segment(ack.flow, c)));
             }
         }
         self.stats.client_acks_suppressed += 1;
-        actions.push(Action::SuppressClientAck(ack.clone()));
-        actions
+        out.push(Action::SuppressClientAck(ack.clone()));
     }
 
     /// The forwarding plane dropped a just-forwarded segment at the

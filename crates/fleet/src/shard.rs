@@ -13,6 +13,18 @@
 //! relative to thread counts, so chunk imbalance averages out; static
 //! chunks keep the executor free of locks and work-queues entirely.
 
+/// Worker count actually worth spawning: the request clamped to the
+/// host's available parallelism. Requesting 8 workers on a 1-core host
+/// used to *lose* throughput — every spawned thread pays creation,
+/// scheduling, and teardown with zero added compute, which is exactly
+/// the `fleet_1000x8 < fleet_1000x1` inversion the perf baseline
+/// caught. Results are index-addressed either way, so the clamp cannot
+/// change any output, only how many OS threads contend for cores.
+fn effective_threads(requested: usize) -> usize {
+    let avail = std::thread::available_parallelism().map_or(1, |n| n.get());
+    requested.min(avail)
+}
+
 /// Build a `Vec<T>` by evaluating `f(0..n)` across `threads` workers.
 /// Equivalent to `(0..n).map(f).collect()` for any thread count.
 pub fn map_sharded<T, F>(n: usize, threads: usize, f: &F) -> Vec<T>
@@ -23,6 +35,7 @@ where
     if n == 0 {
         return Vec::new();
     }
+    let threads = effective_threads(threads);
     if threads <= 1 {
         return (0..n).map(f).collect();
     }
@@ -53,6 +66,7 @@ where
     if items.is_empty() {
         return;
     }
+    let threads = effective_threads(threads);
     if threads <= 1 {
         for it in items {
             f(it);

@@ -8,7 +8,7 @@
 //! is to keep those queues full so this builder can emit large
 //! aggregates.
 
-use phy80211::airtime::{ampdu_duration, MAX_AMPDU_DURATION, MAX_AMPDU_FRAMES};
+use phy80211::airtime::{AirtimeTable, MAX_AMPDU_DURATION, MAX_AMPDU_FRAMES};
 use phy80211::channels::Width;
 use phy80211::mcs::{GuardInterval, Mcs};
 use sim::SimDuration;
@@ -96,21 +96,25 @@ pub fn build_ampdu(
     if queue.is_empty() {
         return None;
     }
+    // Resolve the rate once; every per-frame duration probe is then two
+    // integer ops on the running PSDU total instead of a rate lookup
+    // plus a re-sum of every already-staged frame.
+    let table = AirtimeTable::new(mcs, nss, width, gi)?;
     let mut take = 0usize;
-    let mut sizes: Vec<usize> = Vec::new();
+    let mut psdu_bytes = 0usize;
     let mut duration = SimDuration::ZERO;
     //= spec: dot11ac:ampdu:frame-cap
     while take < queue.len() && take < limits.max_frames {
-        sizes.push(queue[take].bytes);
-        let d = ampdu_duration(&sizes, mcs, nss, width, gi)?;
+        let with_next = psdu_bytes + AirtimeTable::ampdu_mpdu_bytes(queue[take].bytes);
+        let d = table.ppdu_duration(with_next);
         // `take > 0` is the single-MPDU exception: the head frame is
         // taken even when it alone busts the duration cap.
         //= spec: dot11ac:ampdu:duration-cap
         //= spec: dot11ac:ampdu:single-mpdu-exception
         if d > limits.max_duration && take > 0 {
-            sizes.pop();
             break;
         }
+        psdu_bytes = with_next;
         duration = d;
         take += 1;
         if duration > limits.max_duration {

@@ -28,6 +28,96 @@ pub struct ContentionOutcome {
     pub idle_slots: u32,
 }
 
+/// Allocation-free batch contention engine.
+///
+/// `resolve` allocates a fresh winners vector per round; a saturated
+/// simulation runs hundreds of thousands of rounds, so the network
+/// testbed drives this reusable engine instead. One round is:
+///
+/// 1. [`begin`](BatchResolver::begin) — reset the round state;
+/// 2. [`enter`](BatchResolver::enter) once per contending queue, *in a
+///    fixed deterministic order* (backoff draws consume RNG words in
+///    enter order, so the order is part of the replay contract);
+/// 3. [`settle`](BatchResolver::settle) once per queue in the same
+///    order — marks winners and freezes losers in one pass, batching
+///    the idle-slot jump: the medium advances straight to the winning
+///    backoff expiry, never slot by slot;
+/// 4. [`idle_time`](BatchResolver::idle_time) /
+///    [`winners`](BatchResolver::winners) to read the outcome.
+///
+/// The winners buffer is reused across rounds — steady-state contention
+/// allocates nothing. `resolve` is a thin wrapper over this engine, so
+/// the EDCA unit tests and fairness property tests exercise the same
+/// implementation the hot loop runs.
+#[derive(Debug, Default)]
+pub struct BatchResolver {
+    winners: Vec<usize>,
+    min_slots: u32,
+    entered: usize,
+}
+
+impl BatchResolver {
+    pub fn new() -> BatchResolver {
+        BatchResolver {
+            winners: Vec::new(),
+            min_slots: u32::MAX,
+            entered: 0,
+        }
+    }
+
+    /// Start a new round, clearing (but not deallocating) prior state.
+    pub fn begin(&mut self) {
+        self.winners.clear();
+        self.min_slots = u32::MAX;
+        self.entered = 0;
+    }
+
+    /// Admit one contending queue: draw its backoff if needed and fold
+    /// its expiry into the round minimum.
+    //= spec: dot11ac:dcf:uniform-draw
+    pub fn enter(&mut self, q: &mut Backoff, rng: &mut Rng) {
+        q.ensure_drawn(rng);
+        self.min_slots = self.min_slots.min(q.slots_to_tx());
+        self.entered += 1;
+    }
+
+    /// Second pass, same order as `enter`: queues whose expiry equals
+    /// the round minimum win (residual counter consumed); everyone else
+    /// freezes having observed `min_slots` idle slots. `idx` is the
+    /// caller's index for the queue, echoed back through [`winners`].
+    //= spec: dot11ac:dcf:freeze-resume
+    pub fn settle(&mut self, idx: usize, q: &mut Backoff) {
+        if q.slots_to_tx() == self.min_slots {
+            q.remaining_slots = Some(0);
+            self.winners.push(idx);
+        } else {
+            q.freeze_after_loss(self.min_slots);
+        }
+    }
+
+    /// True if no queue entered this round.
+    pub fn is_round_empty(&self) -> bool {
+        self.entered == 0
+    }
+
+    /// Indices (as passed to `settle`) of the winning queues. Length 1 =
+    /// clean win; >1 = collision.
+    pub fn winners(&self) -> &[usize] {
+        &self.winners
+    }
+
+    /// Idle slots observed before transmission begins.
+    pub fn idle_slots(&self) -> u32 {
+        self.min_slots
+    }
+
+    /// Idle time elapsed before transmission begins: SIFS + the *whole*
+    /// winning backoff span in one jump (no per-slot stepping).
+    pub fn idle_time(&self) -> SimDuration {
+        SIFS + SimDuration::from_nanos(SLOT.as_nanos() * self.min_slots as u64)
+    }
+}
+
 /// Resolve one round of EDCA contention among `queues`. Every entry must
 /// represent a queue with a frame ready to send. Draws backoff values as
 /// needed. Losers are frozen (their residual counters decremented) so a
@@ -38,34 +128,17 @@ pub fn resolve(queues: &mut [&mut Backoff], rng: &mut Rng) -> Option<ContentionO
     if queues.is_empty() {
         return None;
     }
+    let mut round = BatchResolver::new();
     for q in queues.iter_mut() {
-        q.ensure_drawn(rng);
+        round.enter(q, rng);
     }
-    let min_slots = queues
-        .iter()
-        .map(|q| q.slots_to_tx())
-        .min()
-        // Guarded by the early return above: `queues` is non-empty.
-        // simcheck: allow(unwrap-in-lib)
-        .expect("non-empty");
-    let winners: Vec<usize> = queues
-        .iter()
-        .enumerate()
-        .filter(|(_, q)| q.slots_to_tx() == min_slots)
-        .map(|(i, _)| i)
-        .collect();
-    // Freeze the losers; winners' residual counters are consumed.
     for (i, q) in queues.iter_mut().enumerate() {
-        if winners.contains(&i) {
-            q.remaining_slots = Some(0);
-        } else {
-            q.freeze_after_loss(min_slots);
-        }
+        round.settle(i, q);
     }
     Some(ContentionOutcome {
-        winners,
-        idle_time: SIFS + SimDuration::from_nanos(SLOT.as_nanos() * min_slots as u64),
-        idle_slots: min_slots,
+        winners: round.winners().to_vec(),
+        idle_time: round.idle_time(),
+        idle_slots: round.idle_slots(),
     })
 }
 
@@ -177,6 +250,60 @@ mod tests {
         }
         let ratio = wins[0] as f64 / (wins[0] + wins[1]) as f64;
         assert!((ratio - 0.5).abs() < 0.03, "ratio = {ratio}");
+    }
+
+    #[test]
+    fn batch_resolver_matches_resolve_across_reused_rounds() {
+        // Two RNGs seeded identically: one side runs the allocating
+        // `resolve`, the other drives a single reused BatchResolver.
+        // Winners, idle spans and every queue's post-round state must
+        // agree round after round — including the draw order.
+        let mut rng_a = Rng::new(77);
+        let mut rng_b = Rng::new(77);
+        let mut qa: Vec<Backoff> = (0..5).map(|_| mk(AccessCategory::BestEffort)).collect();
+        let mut qb: Vec<Backoff> = (0..5).map(|_| mk(AccessCategory::BestEffort)).collect();
+        let mut round = BatchResolver::new();
+        for _ in 0..500 {
+            let out = {
+                let mut refs: Vec<&mut Backoff> = qa.iter_mut().collect();
+                resolve(&mut refs, &mut rng_a).unwrap()
+            };
+            round.begin();
+            for q in qb.iter_mut() {
+                round.enter(q, &mut rng_b);
+            }
+            for (i, q) in qb.iter_mut().enumerate() {
+                round.settle(i, q);
+            }
+            assert!(!round.is_round_empty());
+            assert_eq!(round.winners(), &out.winners[..]);
+            assert_eq!(round.idle_slots(), out.idle_slots);
+            assert_eq!(round.idle_time(), out.idle_time);
+            for (a, b) in qa.iter().zip(&qb) {
+                assert_eq!(a.remaining_slots, b.remaining_slots);
+                assert_eq!(a.retries, b.retries);
+                assert_eq!(a.stats, b.stats);
+            }
+            // Advance both sides identically: winners succeed on clean
+            // rounds, everyone retries on collisions.
+            if out.winners.len() == 1 {
+                qa[out.winners[0]].on_success();
+                qb[out.winners[0]].on_success();
+            } else {
+                for &w in &out.winners {
+                    let _ = qa[w].on_failure();
+                    let _ = qb[w].on_failure();
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn empty_batch_round_reports_empty() {
+        let mut round = BatchResolver::new();
+        round.begin();
+        assert!(round.is_round_empty());
+        assert!(round.winners().is_empty());
     }
 
     #[test]

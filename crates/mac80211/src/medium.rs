@@ -11,7 +11,7 @@
 use crate::ac::{AccessCategory, EdcaParams};
 use crate::aggregation::{build_ampdu, AggLimits, Ampdu, BlockAck, QueuedMpdu};
 use crate::backoff::Backoff;
-use crate::contention::resolve;
+use crate::contention::BatchResolver;
 use phy80211::airtime::{block_ack_duration, SIFS};
 use phy80211::channels::Width;
 use phy80211::mcs::{GuardInterval, Mcs};
@@ -96,6 +96,8 @@ pub struct MediumSim {
     rng: Rng,
     limits: AggLimits,
     gi: GuardInterval,
+    /// Reused contention round state — no per-round allocation.
+    round: BatchResolver,
     /// Cumulative airtime the medium was busy (for utilization).
     pub busy_time: SimDuration,
 }
@@ -108,6 +110,7 @@ impl MediumSim {
             rng: Rng::new(seed),
             limits: AggLimits::default(),
             gi: GuardInterval::Short,
+            round: BatchResolver::new(),
             busy_time: SimDuration::ZERO,
         }
     }
@@ -159,38 +162,29 @@ impl MediumSim {
     /// Run one contention round + transmission. Returns what happened,
     /// or `None` if the medium is idle.
     pub fn step(&mut self) -> Option<StepReport> {
-        let contenders: Vec<QueueId> = (0..self.queues.len())
-            .filter(|&i| !self.queues[i].frames.is_empty() || !self.queues[i].inflight.is_empty())
-            .collect();
-        if contenders.is_empty() {
+        // Resolve contention among the active queues in place: the
+        // batch engine draws and freezes through two in-order passes, so
+        // no backoff state is cloned out and no per-round vector besides
+        // the winner list (reused inside the engine) is built.
+        self.round.begin();
+        for q in self.queues.iter_mut() {
+            if q.frames.is_empty() && q.inflight.is_empty() {
+                continue;
+            }
+            self.round.enter(&mut q.backoff, &mut self.rng);
+        }
+        if self.round.is_round_empty() {
             return None;
         }
-
-        // Resolve contention among the active queues.
-        let outcome = {
-            let mut refs: Vec<&mut Backoff> = Vec::with_capacity(contenders.len());
-            // Split borrows: collect raw pointers safely via split_at_mut
-            // is awkward for arbitrary indices; use index-based loop with
-            // unsafe-free approach: take backoffs out, resolve, put back.
-            let mut taken: Vec<Backoff> = contenders
-                .iter()
-                .map(|&i| self.queues[i].backoff.clone())
-                .collect();
-            for b in taken.iter_mut() {
-                refs.push(b);
+        for (i, q) in self.queues.iter_mut().enumerate() {
+            if q.frames.is_empty() && q.inflight.is_empty() {
+                continue;
             }
-            // `contenders` is checked non-empty before this branch.
-            // simcheck: allow(unwrap-in-lib)
-            let outcome = resolve(&mut refs, &mut self.rng).expect("non-empty");
-            drop(refs);
-            for (&i, b) in contenders.iter().zip(taken) {
-                self.queues[i].backoff = b;
-            }
-            outcome
-        };
+            self.round.settle(i, &mut q.backoff);
+        }
 
-        self.now += outcome.idle_time;
-        let winners: Vec<QueueId> = outcome.winners.iter().map(|&w| contenders[w]).collect();
+        self.now += self.round.idle_time();
+        let winners: Vec<QueueId> = self.round.winners().to_vec();
         let collision = winners.len() > 1;
 
         let mut report = StepReport {

@@ -20,15 +20,15 @@ use fastack::{Action, Agent, AgentConfig};
 use mac80211::ac::{AccessCategory, EdcaParams};
 use mac80211::aggregation::{build_ampdu, AggLimits, QueuedMpdu};
 use mac80211::backoff::Backoff;
-use mac80211::contention::resolve;
+use mac80211::contention::BatchResolver;
 use mac80211::protection::Protection;
-use phy80211::airtime::{ack_duration, ampdu_duration, block_ack_duration, SIFS};
+use phy80211::airtime::{ack_duration, block_ack_duration, AirtimeTable, SIFS};
 use phy80211::channels::Width;
-use phy80211::error_model::mpdu_success_rate;
+use phy80211::error_model::PerCache;
 use phy80211::mcs::GuardInterval;
-use phy80211::rate::IdealSelector;
+use phy80211::rate::RateCache;
 use sim::{EventQueue, Rng, SimDuration, SimTime};
-use std::collections::{BTreeMap, VecDeque};
+use std::collections::VecDeque;
 use tcpsim::{
     AckSegment, CcAlgorithm, DataSegment, FlowId, ReceiverConfig, SenderConfig, TcpReceiver,
     TcpSender,
@@ -353,13 +353,15 @@ pub struct Testbed {
     senders: Vec<TcpSender>,
     clients: Vec<ClientState>,
     aps: Vec<ApState>,
-    /// Data-segment send times at the AP for TCP-latency accounting:
-    /// (flow, end-offset) → forward time. A cumulative client ACK drains
-    /// every entry at or below it.
-    tcp_lat_pending: BTreeMap<(u64, u64), SimTime>,
-    /// Per-flow segment lengths in flight on the wireless side (for the
-    /// agent's MAC-ack reports): (flow, seq) → len.
-    seg_lens: BTreeMap<(u64, u64), u32>,
+    /// Data-segment send times at the AP for TCP-latency accounting,
+    /// one sorted deque per flow (index `flow.0 - 1`) of
+    /// (end-offset, forward time). New data arrives in order, so the
+    /// hot path is a `push_back`; a cumulative client ACK drains every
+    /// entry at or below it from the front. Retransmissions (rare)
+    /// splice into the sorted position, first write wins — exactly the
+    /// `BTreeMap<(flow, end), time>` + `or_insert` semantics this
+    /// replaces, at O(1) per segment instead of a map probe.
+    tcp_lat_pending: Vec<VecDeque<(u64, SimTime)>>,
     report: TestbedReport,
     busy: SimDuration,
     next_cwnd_sample: SimTime,
@@ -406,6 +408,28 @@ pub struct Testbed {
     /// Per-client QoE score gauges (registered only when probing is on;
     /// the `QoeDegraded` detector reads these paths).
     g_qoe_score: Vec<GaugeId>,
+    /// Reusable contender scratch for `medium_round` (no per-round Vec).
+    who_buf: Vec<Who>,
+    /// Reusable A-MPDU assembly scratch for `ap_txop`.
+    staged_buf: Vec<(QueuedMpdu, SimTime)>,
+    raw_buf: Vec<QueuedMpdu>,
+    /// Reusable sender-output scratch for the wired-ACK hot path.
+    seg_buf: Vec<DataSegment>,
+    /// Reusable FastACK-action scratch for the per-event agent calls.
+    act_buf: Vec<Action>,
+    /// In-place DCF round engine (no Backoff clone-out/put-back).
+    resolver: BatchResolver,
+    /// Exact memoized rate selection keyed on SNR bits (see `RateCache`).
+    rate_cache: RateCache,
+    /// Exact memoized 1500-byte PER keyed on SNR bits (see `PerCache`).
+    per_cache: PerCache,
+}
+
+/// A station contending in one medium round.
+#[derive(Clone, Copy)]
+enum Who {
+    Ap(usize),
+    Client(usize),
 }
 
 impl Testbed {
@@ -572,6 +596,7 @@ impl Testbed {
             .as_ref()
             .map_or(SimTime::MAX, |p| SimTime::ZERO + p.interval());
 
+        let width = cfg.width;
         Testbed {
             cfg,
             queue: EventQueue::new(),
@@ -579,8 +604,7 @@ impl Testbed {
             senders,
             clients,
             aps,
-            tcp_lat_pending: BTreeMap::new(),
-            seg_lens: BTreeMap::new(),
+            tcp_lat_pending: vec![VecDeque::new(); n_clients],
             report: TestbedReport::default(),
             busy: SimDuration::ZERO,
             next_cwnd_sample: SimTime::ZERO,
@@ -613,6 +637,14 @@ impl Testbed {
             g_busy,
             g_timeouts,
             g_qoe_score,
+            who_buf: Vec::new(),
+            staged_buf: Vec::new(),
+            raw_buf: Vec::new(),
+            seg_buf: Vec::new(),
+            act_buf: Vec::new(),
+            resolver: BatchResolver::new(),
+            rate_cache: RateCache::new(width),
+            per_cache: PerCache::new(width, 1500),
         }
     }
 
@@ -620,12 +652,14 @@ impl Testbed {
     /// measurement report.
     pub fn run(mut self, duration: SimDuration) -> TestbedReport {
         let end = SimTime::ZERO + duration;
+        // Resolved once: an env probe per medium round is measurable.
+        let dbg_timeline = std::env::var_os("IMC_DEBUG").is_some();
         match self.cfg.traffic {
             Traffic::Tcp => {
                 // Kick every sender.
                 for s in 0..self.senders.len() {
                     let segs = self.senders[s].poll(SimTime::ZERO);
-                    self.ship_to_ap(s, segs, SimTime::ZERO);
+                    self.ship_to_ap(s, &segs, SimTime::ZERO);
                 }
             }
             Traffic::UdpSaturate => self.top_up_udp(),
@@ -772,7 +806,7 @@ impl Testbed {
                 }
             }
             // Debug timeline (env IMC_DEBUG=1): 100 ms snapshots.
-            if std::env::var_os("IMC_DEBUG").is_some() {
+            if dbg_timeline {
                 let now = self.queue.now();
                 if now.as_millis() >= self.dbg_next_ms {
                     self.dbg_next_ms = now.as_millis() + 100;
@@ -915,9 +949,9 @@ impl Testbed {
 
     // -- wired plane ---------------------------------------------------
 
-    fn ship_to_ap(&mut self, sender_idx: usize, segs: Vec<DataSegment>, now: SimTime) {
+    fn ship_to_ap(&mut self, sender_idx: usize, segs: &[DataSegment], now: SimTime) {
         let ap = self.clients[sender_idx].ap;
-        for seg in segs {
+        for &seg in segs {
             if self.rng.chance(self.cfg.upstream_loss) {
                 continue; // dropped at the switch
             }
@@ -931,8 +965,11 @@ impl Testbed {
             Event::WireData(ap, seg) => self.ap_ingress(ap, seg, at),
             Event::WireAck(ack) => {
                 let idx = (ack.flow.0 - 1) as usize;
-                let more = self.senders[idx].on_ack(&ack, at);
-                self.ship_to_ap(idx, more, at);
+                let mut more = std::mem::take(&mut self.seg_buf);
+                more.clear();
+                self.senders[idx].on_ack_into(&ack, at, &mut more);
+                self.ship_to_ap(idx, &more, at);
+                self.seg_buf = more;
             }
         }
     }
@@ -966,8 +1003,10 @@ impl Testbed {
     /// FastACK agent and enqueue per its verdict.
     fn ap_ingress(&mut self, ap: usize, seg: DataSegment, now: SimTime) {
         let client_slot = (seg.flow.0 - 1) as usize % self.cfg.clients_per_ap;
-        let actions = self.aps[ap].agent.on_wire_data(&seg);
-        for act in actions {
+        let mut actions = std::mem::take(&mut self.act_buf);
+        actions.clear();
+        self.aps[ap].agent.on_wire_data_into(&seg, &mut actions);
+        for act in actions.drain(..) {
             self.record_action(&act, self.cfg.fastack[ap], now);
             match act {
                 Action::Forward { seg, priority } => {
@@ -982,10 +1021,20 @@ impl Testbed {
                         // recovery; dropping a repair would livelock).
                         continue;
                     }
-                    self.seg_lens.insert((seg.flow.0, seg.seq), seg.len);
-                    self.tcp_lat_pending
-                        .entry((seg.flow.0, seg.end()))
-                        .or_insert(now);
+                    let lat = &mut self.tcp_lat_pending[(seg.flow.0 - 1) as usize];
+                    let end = seg.end();
+                    match lat.back() {
+                        // Retransmission below the tail: splice into the
+                        // sorted position unless already pending (first
+                        // write wins, like the or_insert it replaces).
+                        Some(&(last, _)) if last >= end => {
+                            let pos = lat.partition_point(|&(e, _)| e < end);
+                            if lat.get(pos).is_none_or(|&(e, _)| e != end) {
+                                lat.insert(pos, (end, now));
+                            }
+                        }
+                        _ => lat.push_back((end, now)),
+                    }
                     let mpdu = QueuedMpdu {
                         id: mpdu_id(seg.flow, seg.seq),
                         bytes: seg.len as usize + 40, // + IP/TCP headers
@@ -1012,6 +1061,7 @@ impl Testbed {
                 Action::SuppressClientAck(_) => {}
             }
         }
+        self.act_buf = actions;
     }
 
     // -- host-plane timers ----------------------------------------------
@@ -1048,7 +1098,7 @@ impl Testbed {
             if let Some(dl) = self.senders[s].rto_deadline() {
                 if now >= dl {
                     let segs = self.senders[s].on_timeout(now);
-                    self.ship_to_ap(s, segs, now);
+                    self.ship_to_ap(s, &segs, now);
                 }
             }
         }
@@ -1218,12 +1268,10 @@ impl Testbed {
     /// the medium.
     fn medium_round(&mut self) -> bool {
         // Contenders: APs with any backlog, clients with pending ACKs.
-        #[derive(Clone, Copy)]
-        enum Who {
-            Ap(usize),
-            Client(usize),
-        }
-        let mut who: Vec<Who> = Vec::new();
+        // The scratch Vec is owned by the testbed and reused round to
+        // round; `mem::take` detaches it so `self` stays borrowable.
+        let mut who = std::mem::take(&mut self.who_buf);
+        who.clear();
         for (a, ap) in self.aps.iter().enumerate() {
             if ap.queues.iter().any(|q| !q.is_empty()) || ap.prio.iter().any(|q| !q.is_empty()) {
                 who.push(Who::Ap(a));
@@ -1246,32 +1294,32 @@ impl Testbed {
             }
         }
         if who.is_empty() {
+            self.who_buf = who;
             return false;
         }
 
-        // Resolve contention over the corresponding backoff states.
-        let outcome = {
-            let mut taken: Vec<Backoff> = who
-                .iter()
-                .map(|w| match *w {
-                    Who::Ap(a) => self.aps[a].backoff.clone(),
-                    Who::Client(c) => self.clients[c].backoff.clone(),
-                })
-                .collect();
-            let mut refs: Vec<&mut Backoff> = taken.iter_mut().collect();
-            let outcome = resolve(&mut refs, &mut self.rng).expect("non-empty");
-            drop(refs);
-            for (w, b) in who.iter().zip(taken) {
-                match *w {
-                    Who::Ap(a) => self.aps[a].backoff = b,
-                    Who::Client(c) => self.clients[c].backoff = b,
-                }
+        // Resolve contention in place over the stations' own backoff
+        // state. Draw order (and therefore the RNG stream) matches the
+        // old clone-out/`resolve` path exactly: `who` order.
+        self.resolver.begin();
+        for w in &who {
+            match *w {
+                Who::Ap(a) => self.resolver.enter(&mut self.aps[a].backoff, &mut self.rng),
+                Who::Client(c) => self
+                    .resolver
+                    .enter(&mut self.clients[c].backoff, &mut self.rng),
             }
-            outcome
-        };
+        }
+        for (i, w) in who.iter().enumerate() {
+            match *w {
+                Who::Ap(a) => self.resolver.settle(i, &mut self.aps[a].backoff),
+                Who::Client(c) => self.resolver.settle(i, &mut self.clients[c].backoff),
+            }
+        }
 
-        self.queue.advance_to(self.queue.now() + outcome.idle_time);
-        let collision = outcome.winners.len() > 1;
+        self.queue
+            .advance_to(self.queue.now() + self.resolver.idle_time());
+        let collision = self.resolver.winners().len() > 1;
 
         if collision {
             // All colliding transmissions fail; airtime lost depends on
@@ -1293,7 +1341,8 @@ impl Testbed {
                     dur: cost,
                 },
             );
-            for &wi in &outcome.winners {
+            for k in 0..self.resolver.winners().len() {
+                let wi = self.resolver.winners()[k];
                 match who[wi] {
                     Who::Ap(a) => {
                         let _ = self.aps[a].backoff.on_failure();
@@ -1303,10 +1352,13 @@ impl Testbed {
                     }
                 }
             }
+            self.who_buf = who;
             return true;
         }
 
-        match who[outcome.winners[0]] {
+        let winner = who[self.resolver.winners()[0]];
+        self.who_buf = who;
+        match winner {
             Who::Ap(a) => self.ap_txop(a),
             Who::Client(c) => self.client_txop(c),
         }
@@ -1343,18 +1395,23 @@ impl Testbed {
 
         // Rate from the client's SNR (degraded while an interferer is
         // active — rate control reacts to the noise floor it measures).
-        let sel = IdealSelector::new(self.cfg.width, link.max_nss);
-        let rate = sel.select(snr_db);
+        // Memoized: bit-exact `IdealSelector` result per distinct SNR.
+        let rate = self.rate_cache.select(link.max_nss, snr_db);
 
         // Assemble the aggregate: priority MPDUs first, then the queue.
-        let mut staged: Vec<(QueuedMpdu, SimTime)> = Vec::new();
+        // Both scratch Vecs live on the testbed and are recycled every
+        // TXOP, so steady state allocates nothing here.
+        let mut staged = std::mem::take(&mut self.staged_buf);
+        let mut raw = std::mem::take(&mut self.raw_buf);
+        staged.clear();
+        raw.clear();
         while let Some(x) = self.aps[a].prio[slot].pop_front() {
             staged.push(x);
         }
         while let Some(x) = self.aps[a].queues[slot].pop_front() {
             staged.push(x);
         }
-        let mut raw: Vec<QueuedMpdu> = staged.iter().map(|(m, _)| *m).collect();
+        raw.extend(staged.iter().map(|(m, _)| *m));
         let Some(ampdu) = build_ampdu(
             &mut raw,
             rate.mcs,
@@ -1364,9 +1421,11 @@ impl Testbed {
             AggLimits::default(),
         ) else {
             // Rate invalid (cannot happen with IdealSelector) — restore.
-            for x in staged.into_iter().rev() {
+            for x in staged.drain(..).rev() {
                 self.aps[a].queues[slot].push_front(x);
             }
+            self.staged_buf = staged;
+            self.raw_buf = raw;
             self.aps[a].backoff.on_success();
             return;
         };
@@ -1406,10 +1465,13 @@ impl Testbed {
         self.metrics.add(self.c_ap_frames[a], taken as u64);
         self.metrics.observe(self.h_ampdu, taken as f64);
 
-        // Per-MPDU delivery draws.
-        let per = 1.0 - mpdu_success_rate(snr_db - 1.0, rate.mcs, self.cfg.width, 1500);
+        // Per-MPDU delivery draws. The cache returns the exact
+        // `mpdu_success_rate` value, so `1.0 - …` is bitwise what the
+        // uncached expression produced (NOT `per_cache.error_rate`,
+        // which differs in the last ulp from `1 - (1 - per)`).
+        let per = 1.0 - self.per_cache.success_rate(snr_db - 1.0, rate.mcs);
         let mut delivered_count = 0usize;
-        for (mpdu, enq) in staged.into_iter() {
+        for (mpdu, enq) in staged.drain(..) {
             let delivered = !self.rng.chance(per);
             // Probe MPDUs carry their own flow id in the packed MPDU id;
             // for TCP (and UDP) MPDUs the hint equals `flow.0`.
@@ -1466,25 +1528,30 @@ impl Testbed {
             }
 
             let seq = mpdu_seq(mpdu.id);
-            let len = self
-                .seg_lens
-                .get(&(flow.0, seq))
-                .copied()
-                .unwrap_or((mpdu.bytes - 40) as u32);
+            // Every data MPDU is built with `bytes = seg.len + 40` (wire
+            // ingress and local retransmits alike), so the segment
+            // length is recovered from the MPDU itself — the old
+            // `(flow, seq) → len` side map held exactly this value.
+            let len = (mpdu.bytes - 40) as u32;
 
             // Bad hint: the MAC reports success but the transport never
             // sees the segment (FastACK-signal pathology; see field doc).
             let bad_hint = self.cfg.fastack[a] && self.rng.chance(self.cfg.bad_hint_rate);
 
             // FastACK observes the 802.11 ACK.
-            let actions = self.aps[a].agent.on_mac_ack(flow, seq, len);
-            for act in actions {
+            let mut actions = std::mem::take(&mut self.act_buf);
+            actions.clear();
+            self.aps[a]
+                .agent
+                .on_mac_ack_into(flow, seq, len, &mut actions);
+            for act in actions.drain(..) {
                 self.record_action(&act, self.cfg.fastack[a], now);
                 if let Action::SendAckUpstream(ack) = act {
                     self.queue
                         .schedule(now + self.cfg.wired_latency, Event::WireAck(ack));
                 }
             }
+            self.act_buf = actions;
 
             if bad_hint {
                 continue;
@@ -1508,6 +1575,8 @@ impl Testbed {
             }
         }
 
+        self.staged_buf = staged;
+        self.raw_buf = raw;
         self.flight.emit(
             "mac.back",
             now,
@@ -1561,19 +1630,16 @@ impl Testbed {
             self.clients[c].backoff.on_success();
             return;
         }
-        let sizes = vec![90usize; n]; // TCP ACK + MAC overhead
         let link = self.clients[c].link;
-        let sel = IdealSelector::new(self.cfg.width, link.max_nss);
         // Uplink slightly worse; the interferer hits it too.
-        let rate = sel.select(link.snr_db - 2.0 - self.snr_penalty(now));
-        let dur = ampdu_duration(
-            &sizes,
-            rate.mcs,
-            rate.nss,
-            self.cfg.width,
-            GuardInterval::Short,
-        )
-        .unwrap_or(ack_duration());
+        let rate = self
+            .rate_cache
+            .select(link.max_nss, link.snr_db - 2.0 - self.snr_penalty(now));
+        // Uniform 90-byte ACK MPDUs (TCP ACK + MAC overhead): the
+        // airtime table computes the burst without building a sizes Vec.
+        let dur = AirtimeTable::new(rate.mcs, rate.nss, self.cfg.width, GuardInterval::Short)
+            .map(|t| t.ampdu_duration_uniform(n, 90))
+            .unwrap_or(ack_duration());
         let air = dur + SIFS + block_ack_duration();
         // The uplink burst joins the chain of its head ACK.
         let burst_cause = self.clients[c]
@@ -1598,20 +1664,23 @@ impl Testbed {
         for _ in 0..n {
             let (_, ack) = self.clients[c].ack_queue.pop_front().expect("n bounded");
             // TCP latency samples: the cumulative ACK covers every
-            // pending data segment at or below it.
-            let covered: Vec<(u64, u64)> = self
-                .tcp_lat_pending
-                .range((ack.flow.0, 0)..=(ack.flow.0, ack.ack))
-                .map(|(&k, _)| k)
-                .collect();
-            for k in covered {
-                let t0 = self.tcp_lat_pending.remove(&k).expect("present");
+            // pending data segment at or below it — pop the flow's
+            // sorted deque from the front (same ascending order the old
+            // map range walk produced).
+            let lat = &mut self.tcp_lat_pending[(ack.flow.0 - 1) as usize];
+            while let Some(&(end, t0)) = lat.front() {
+                if end > ack.ack {
+                    break;
+                }
+                lat.pop_front();
                 self.report
                     .tcp_latencies
                     .push(now.saturating_since(t0).as_secs_f64());
             }
-            let actions = self.aps[ap].agent.on_client_ack(&ack);
-            for act in actions {
+            let mut actions = std::mem::take(&mut self.act_buf);
+            actions.clear();
+            self.aps[ap].agent.on_client_ack_into(&ack, &mut actions);
+            for act in actions.drain(..) {
                 self.record_action(&act, self.cfg.fastack[ap], now);
                 match act {
                     Action::SendAckUpstream(a2) => {
@@ -1629,6 +1698,7 @@ impl Testbed {
                     _ => {}
                 }
             }
+            self.act_buf = actions;
         }
         self.clients[c].backoff.on_success();
     }

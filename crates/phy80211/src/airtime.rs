@@ -46,6 +46,71 @@ pub fn vht_preamble(nss: u8) -> SimDuration {
     SimDuration::from_micros(8 + 8 + 4 + 8 + 4 + 4 * n_ltf + 4)
 }
 
+/// Precomputed airtime parameters for one (MCS, NSS, width, GI) rate.
+///
+/// The VHT rate, symbol time, bits-per-symbol and preamble are all fixed
+/// per rate; resolving them once turns every subsequent airtime query
+/// into two integer ops (a `div_ceil` and a multiply). The A-MPDU
+/// builder probes airtime once per candidate MPDU — with up to 64
+/// frames per aggregate and a rate lookup per probe, this table is what
+/// keeps aggregate assembly O(frames) instead of O(frames × lookups).
+///
+/// All results are bit-identical to the free functions below (which are
+/// implemented on top of this table).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct AirtimeTable {
+    /// Data bits carried per OFDM symbol at this rate.
+    bits_per_sym: u64,
+    /// OFDM symbol duration, ns (GI-dependent).
+    sym_ns: u64,
+    /// VHT preamble for this stream count.
+    preamble: SimDuration,
+}
+
+impl AirtimeTable {
+    /// Resolve the rate; `None` for invalid (MCS, NSS, width) combos.
+    pub fn new(mcs: Mcs, nss: u8, width: Width, gi: GuardInterval) -> Option<AirtimeTable> {
+        let bps = crate::mcs::vht_rate_bps(mcs, nss, width, gi)?;
+        let sym_ns = gi.symbol_ns();
+        // bits per symbol = rate × T_sym
+        let bits_per_sym = bps * sym_ns / 1_000_000_000;
+        if bits_per_sym == 0 {
+            return None;
+        }
+        Some(AirtimeTable {
+            bits_per_sym,
+            sym_ns,
+            preamble: vht_preamble(nss),
+        })
+    }
+
+    /// Duration of the data portion of a PPDU carrying `psdu_bytes`:
+    /// number of OFDM symbols × symbol time. Includes the 16-bit
+    /// SERVICE field and 6 tail bits.
+    pub fn psdu_duration(&self, psdu_bytes: usize) -> SimDuration {
+        let total_bits = 16 + 8 * psdu_bytes as u64 + 6;
+        let symbols = total_bits.div_ceil(self.bits_per_sym);
+        SimDuration::from_nanos(symbols * self.sym_ns)
+    }
+
+    /// Full duration of a data PPDU: VHT preamble + data symbols.
+    pub fn ppdu_duration(&self, psdu_bytes: usize) -> SimDuration {
+        self.preamble + self.psdu_duration(psdu_bytes)
+    }
+
+    /// PSDU bytes one MSDU contributes to an A-MPDU (MAC header + FCS +
+    /// delimiter/padding on top of the payload).
+    pub fn ampdu_mpdu_bytes(msdu_bytes: usize) -> usize {
+        msdu_bytes + MAC_OVERHEAD_BYTES + AMPDU_DELIMITER_BYTES
+    }
+
+    /// Airtime of an A-MPDU of `frames` equal-sized MSDUs — the uplink
+    /// ACK-burst case, without materializing a sizes slice.
+    pub fn ampdu_duration_uniform(&self, frames: usize, msdu_bytes: usize) -> SimDuration {
+        self.ppdu_duration(frames * Self::ampdu_mpdu_bytes(msdu_bytes))
+    }
+}
+
 /// Duration of the data portion of a PPDU carrying `payload_bytes` of
 /// PSDU at the given rate: number of OFDM symbols × symbol time.
 /// Includes the 16-bit SERVICE field and 6 tail bits.
@@ -56,16 +121,7 @@ pub fn psdu_duration(
     width: Width,
     gi: GuardInterval,
 ) -> Option<SimDuration> {
-    let bps = crate::mcs::vht_rate_bps(mcs, nss, width, gi)?;
-    let sym_ns = gi.symbol_ns();
-    // bits per symbol = rate × T_sym
-    let bits_per_sym = bps * sym_ns / 1_000_000_000;
-    if bits_per_sym == 0 {
-        return None;
-    }
-    let total_bits = 16 + 8 * psdu_bytes as u64 + 6;
-    let symbols = total_bits.div_ceil(bits_per_sym);
-    Some(SimDuration::from_nanos(symbols * sym_ns))
+    Some(AirtimeTable::new(mcs, nss, width, gi)?.psdu_duration(psdu_bytes))
 }
 
 /// Full duration of a data PPDU: VHT preamble + data symbols.
@@ -76,7 +132,7 @@ pub fn ppdu_duration(
     width: Width,
     gi: GuardInterval,
 ) -> Option<SimDuration> {
-    Some(vht_preamble(nss) + psdu_duration(psdu_bytes, mcs, nss, width, gi)?)
+    Some(AirtimeTable::new(mcs, nss, width, gi)?.ppdu_duration(psdu_bytes))
 }
 
 /// Airtime of an A-MPDU containing MPDUs with the given MSDU payload
@@ -90,7 +146,7 @@ pub fn ampdu_duration(
 ) -> Option<SimDuration> {
     let psdu: usize = msdu_bytes
         .iter()
-        .map(|&b| b + MAC_OVERHEAD_BYTES + AMPDU_DELIMITER_BYTES)
+        .map(|&b| AirtimeTable::ampdu_mpdu_bytes(b))
         .sum();
     ppdu_duration(psdu, mcs, nss, width, gi)
 }
@@ -239,5 +295,37 @@ mod tests {
     fn invalid_mcs_propagates_none() {
         assert!(psdu_duration(100, Mcs(9), 1, Width::W20, SGI).is_none());
         assert!(ampdu_duration(&[100], Mcs(10), 1, Width::W20, SGI).is_none());
+        assert!(AirtimeTable::new(Mcs(9), 1, Width::W20, SGI).is_none());
+    }
+
+    #[test]
+    fn airtime_table_matches_free_functions_exactly() {
+        // The table is the implementation; this pins the equivalence
+        // from the public-API side across rates and sizes, including
+        // the uniform A-MPDU shortcut vs the slice-based path.
+        for &(m, nss, w) in &[
+            (0u8, 1u8, Width::W20),
+            (4, 1, Width::W40),
+            (7, 2, Width::W80),
+            (9, 3, Width::W80),
+        ] {
+            let t = AirtimeTable::new(Mcs(m), nss, w, SGI).unwrap();
+            for psdu in [0usize, 1, 90, 1460, 64 * 1534] {
+                assert_eq!(
+                    Some(t.psdu_duration(psdu)),
+                    psdu_duration(psdu, Mcs(m), nss, w, SGI)
+                );
+                assert_eq!(
+                    Some(t.ppdu_duration(psdu)),
+                    ppdu_duration(psdu, Mcs(m), nss, w, SGI)
+                );
+            }
+            for n in [1usize, 5, 64] {
+                assert_eq!(
+                    Some(t.ampdu_duration_uniform(n, 90)),
+                    ampdu_duration(&vec![90; n], Mcs(m), nss, w, SGI)
+                );
+            }
+        }
     }
 }

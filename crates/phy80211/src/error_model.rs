@@ -8,6 +8,7 @@
 
 use crate::channels::Width;
 use crate::mcs::{snr_requirement_db, Mcs};
+use std::collections::BTreeMap;
 
 /// Steepness of the PER waterfall, per dB. 1.0–2.0 matches measured
 /// 802.11 receiver curves; we use 1.5.
@@ -15,6 +16,15 @@ const WATERFALL_SLOPE: f64 = 1.5;
 
 /// Reference frame length for the threshold tables (bytes).
 const REF_FRAME_BYTES: f64 = 1024.0;
+
+/// Waterfall argument beyond which the logistic saturates *exactly* in
+/// f64 arithmetic, not just approximately: for x ≥ 41, `1 + exp(x)`
+/// rounds to `exp(x)`, so `per_ref = 1/exp(x) ≤ exp(-41) < 2⁻⁵⁴` and
+/// `1 − per_ref` rounds to exactly 1.0 — the full computation returns
+/// exactly 0.0 (and symmetrically exactly 1.0 at x ≤ −41). The
+/// early-outs below therefore change no result by even one ULP; a unit
+/// test pins the equivalence on both sides of the cutoff.
+const SATURATION_ARG: f64 = 41.0;
 
 /// Probability that a single MPDU of `frame_bytes` is corrupted when
 /// received at `snr_db` with the given MCS/width.
@@ -24,7 +34,17 @@ const REF_FRAME_BYTES: f64 = 1024.0;
 pub fn mpdu_error_rate(snr_db: f64, mcs: Mcs, width: Width, frame_bytes: usize) -> f64 {
     let threshold = snr_requirement_db(mcs, width);
     let margin = snr_db - threshold;
-    let per_ref = 1.0 / (1.0 + (WATERFALL_SLOPE * margin).exp());
+    let x = WATERFALL_SLOPE * margin;
+    // Exact saturation shortcuts: skip the exp/powf pair for links far
+    // from the waterfall (most of a healthy network). See SATURATION_ARG
+    // for why these are bit-identical to the slow path.
+    if x >= SATURATION_ARG {
+        return 0.0;
+    }
+    if x <= -SATURATION_ARG {
+        return 1.0;
+    }
+    let per_ref = 1.0 / (1.0 + x.exp());
     // Convert to per-bit success and re-scale to the actual length:
     // s_len = s_ref^(len/ref).
     let success_ref = 1.0 - per_ref;
@@ -53,6 +73,135 @@ pub fn expected_goodput_bps(
     match crate::mcs::vht_rate_bps(mcs, nss, width, gi) {
         Some(bps) => bps as f64 * mpdu_success_rate(snr_db, mcs, width, frame_bytes),
         None => 0.0,
+    }
+}
+
+/// Exact memoized PER for a fixed (width, frame length) pair.
+///
+/// The deterministic hot path cannot use a lossy quantized table — a PER
+/// off by one ULP shifts a `rng.chance` outcome and the whole trajectory
+/// with it (the repo's byte-identity guarantee). Instead this cache maps
+/// the SNR's *bit pattern* (`f64::to_bits`, so every distinct input is
+/// its own key and NaN can't poison comparisons) and MCS to the exact
+/// [`mpdu_error_rate`] result. Testbed links hold only a handful of
+/// distinct SNR values (fixed placement ± interferer penalty), so the
+/// cache converges to ~100% hits and the per-frame `exp`/`powf` pair
+/// drops out of the per-TXOP cost entirely.
+#[derive(Debug, Clone)]
+pub struct PerCache {
+    width: Width,
+    frame_bytes: usize,
+    cache: BTreeMap<(u64, u8), f64>,
+}
+
+impl PerCache {
+    pub fn new(width: Width, frame_bytes: usize) -> PerCache {
+        PerCache {
+            width,
+            frame_bytes,
+            cache: BTreeMap::new(),
+        }
+    }
+
+    /// Exactly `mpdu_error_rate(snr_db, mcs, self.width, self.frame_bytes)`.
+    pub fn error_rate(&mut self, snr_db: f64, mcs: Mcs) -> f64 {
+        *self
+            .cache
+            .entry((snr_db.to_bits(), mcs.0))
+            .or_insert_with(|| mpdu_error_rate(snr_db, mcs, self.width, self.frame_bytes))
+    }
+
+    /// Exactly `mpdu_success_rate(...)` via the same cache.
+    pub fn success_rate(&mut self, snr_db: f64, mcs: Mcs) -> f64 {
+        1.0 - self.error_rate(snr_db, mcs)
+    }
+
+    /// Distinct (SNR, MCS) pairs resolved so far.
+    pub fn len(&self) -> usize {
+        self.cache.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.cache.is_empty()
+    }
+}
+
+/// Quantized SNR → PER lookup table, one row per MCS.
+///
+/// The *approximate* fast path for workloads that tolerate bounded error
+/// (capacity planning sweeps, what-if explorers): SNR quantized to
+/// [`PerLut::STEP_DB`] steps over [`PerLut::MIN_SNR_DB`] ..
+/// [`PerLut::MAX_SNR_DB`], PER precomputed per (MCS, step) at build
+/// time. Lookups are two integer ops and a load — no float transcendentals.
+///
+/// Deliberately **not** used by the deterministic simulation paths: a
+/// quantized PER differs from the exact value by up to the waterfall
+/// slope × step/2 near threshold, which would change `rng.chance` draws
+/// and break byte-identical replay. Exact hot paths use [`PerCache`].
+/// The table-vs-exact tolerance is pinned by a unit test.
+#[derive(Debug, Clone)]
+pub struct PerLut {
+    width: Width,
+    frame_bytes: usize,
+    /// `rows[mcs][step]` = PER at `MIN_SNR_DB + step × STEP_DB`.
+    rows: Vec<Vec<f64>>,
+}
+
+impl PerLut {
+    /// Quantization step, dB. At the waterfall's steepest point the PER
+    /// slope is WATERFALL_SLOPE/4 per dB (≈0.375), so a 0.25 dB step
+    /// bounds the mid-curve interpolation-free error near 0.05 for
+    /// 1024-byte frames; longer frames scale it by len/1024.
+    pub const STEP_DB: f64 = 0.25;
+    pub const MIN_SNR_DB: f64 = -10.0;
+    pub const MAX_SNR_DB: f64 = 60.0;
+
+    pub fn new(width: Width, frame_bytes: usize) -> PerLut {
+        let steps = ((Self::MAX_SNR_DB - Self::MIN_SNR_DB) / Self::STEP_DB) as usize + 1;
+        let rows = (0..=9u8)
+            .map(|m| {
+                (0..steps)
+                    .map(|s| {
+                        let snr = Self::MIN_SNR_DB + s as f64 * Self::STEP_DB;
+                        mpdu_error_rate(snr, Mcs(m), width, frame_bytes)
+                    })
+                    .collect()
+            })
+            .collect();
+        PerLut {
+            width,
+            frame_bytes,
+            rows,
+        }
+    }
+
+    /// PER at the nearest quantized SNR (clamped to the table range).
+    pub fn error_rate(&self, snr_db: f64, mcs: Mcs) -> f64 {
+        let row = &self.rows[usize::from(mcs.0.min(9))];
+        let pos = (snr_db - Self::MIN_SNR_DB) / Self::STEP_DB;
+        // Round-to-nearest step, clamped into the table.
+        let idx = if pos <= 0.0 {
+            0
+        } else {
+            ((pos + 0.5) as usize).min(row.len() - 1)
+        };
+        row[idx]
+    }
+
+    /// Worst-case |table − exact| over a dense SNR sweep — the bound the
+    /// tolerance test enforces, exposed so callers can check their error
+    /// budget against their own frame length.
+    pub fn max_abs_error(&self) -> f64 {
+        let mut worst: f64 = 0.0;
+        for m in 0..=9u8 {
+            let mut snr = Self::MIN_SNR_DB;
+            while snr <= Self::MAX_SNR_DB {
+                let exact = mpdu_error_rate(snr, Mcs(m), self.width, self.frame_bytes);
+                worst = worst.max((self.error_rate(snr, Mcs(m)) - exact).abs());
+                snr += 0.01;
+            }
+        }
+        worst
     }
 }
 
@@ -119,5 +268,90 @@ mod tests {
     fn invalid_mcs_has_zero_goodput() {
         let g = expected_goodput_bps(30.0, Mcs(9), 1, Width::W20, GuardInterval::Short, 1460);
         assert_eq!(g, 0.0);
+    }
+
+    #[test]
+    fn saturation_early_out_is_bit_identical_to_slow_path() {
+        // Recompute the pre-shortcut formula and compare bit patterns on
+        // both sides of SATURATION_ARG. The early-out claims *exact*
+        // equality, not closeness — byte-identical replay depends on it.
+        let slow = |snr_db: f64, mcs: Mcs, width: Width, frame_bytes: usize| -> f64 {
+            let margin = snr_db - snr_requirement_db(mcs, width);
+            let per_ref = 1.0 / (1.0 + (WATERFALL_SLOPE * margin).exp());
+            let success_ref = 1.0 - per_ref;
+            if success_ref <= 0.0 {
+                return 1.0;
+            }
+            let scale = frame_bytes as f64 / REF_FRAME_BYTES;
+            1.0 - success_ref.powf(scale.max(1e-3))
+        };
+        let t = snr_requirement_db(Mcs(4), Width::W20);
+        for len in [64usize, 1024, 1500, 65_000] {
+            for dx in [-80.0, -41.1, -41.0 / 1.5, 41.0 / 1.5, 41.1, 60.0, 500.0] {
+                let snr = t + dx;
+                let fast = mpdu_error_rate(snr, Mcs(4), Width::W20, len);
+                assert_eq!(
+                    fast.to_bits(),
+                    slow(snr, Mcs(4), Width::W20, len).to_bits(),
+                    "snr offset {dx}, len {len}"
+                );
+            }
+        }
+        // And the saturated values really are the exact constants.
+        assert_eq!(mpdu_error_rate(t + 100.0, Mcs(4), Width::W20, 1500), 0.0);
+        assert_eq!(mpdu_error_rate(t - 100.0, Mcs(4), Width::W20, 1500), 1.0);
+    }
+
+    #[test]
+    fn per_cache_is_exact_and_memoizes() {
+        let mut c = PerCache::new(Width::W80, 1500);
+        assert!(c.is_empty());
+        for snr in [3.7, 15.0, 28.25, 60.0] {
+            for m in 0..=9u8 {
+                let got = c.error_rate(snr, Mcs(m));
+                let exact = mpdu_error_rate(snr, Mcs(m), Width::W80, 1500);
+                assert_eq!(got.to_bits(), exact.to_bits(), "snr={snr} mcs={m}");
+                assert_eq!(
+                    c.success_rate(snr, Mcs(m)).to_bits(),
+                    mpdu_success_rate(snr, Mcs(m), Width::W80, 1500).to_bits(),
+                );
+            }
+        }
+        let resolved = c.len();
+        assert_eq!(resolved, 4 * 10);
+        // Hits resolve without growing the cache.
+        let _ = c.error_rate(15.0, Mcs(5));
+        assert_eq!(c.len(), resolved);
+    }
+
+    #[test]
+    fn per_lut_tracks_exact_within_tolerance() {
+        // Table-vs-exact: the quantized LUT must stay within the
+        // documented bound of the exact waterfall everywhere in range.
+        // Worst case is mid-waterfall: d(PER)/d(SNR) ≈ slope/4 per dB
+        // scaled by len/1024, times half a step of quantization error.
+        for (len, tol) in [(1024usize, 0.06), (1500, 0.09)] {
+            let lut = PerLut::new(Width::W80, len);
+            let worst = lut.max_abs_error();
+            assert!(worst <= tol, "len={len}: worst error {worst} > {tol}");
+            // And the table is not trivially exact — quantization is real.
+            assert!(worst > 0.0, "len={len}: suspiciously exact table");
+        }
+    }
+
+    #[test]
+    fn per_lut_clamps_out_of_range_snr() {
+        let lut = PerLut::new(Width::W20, 1024);
+        assert_eq!(
+            lut.error_rate(-100.0, Mcs(0)),
+            lut.error_rate(PerLut::MIN_SNR_DB, Mcs(0))
+        );
+        assert_eq!(
+            lut.error_rate(200.0, Mcs(9)),
+            lut.error_rate(PerLut::MAX_SNR_DB, Mcs(9))
+        );
+        // Saturated ends of the table are exactly 1 and 0.
+        assert_eq!(lut.error_rate(-100.0, Mcs(9)), 1.0);
+        assert_eq!(lut.error_rate(200.0, Mcs(0)), 0.0);
     }
 }

@@ -75,6 +75,47 @@ impl IdealSelector {
     }
 }
 
+/// Exact memoized [`IdealSelector`] for a fixed channel width.
+///
+/// `select` walks the whole rate table computing an `exp`/`powf` pair
+/// per entry — ~30 transcendentals per call — yet the network testbed
+/// calls it with only a handful of distinct SNR values per client
+/// (fixed placement, ± the interferer penalty). Keying on the SNR's bit
+/// pattern (`f64::to_bits`) and the stream cap returns the *exact*
+/// cached [`RateChoice`], so replay stays byte-identical while the
+/// per-TXOP selection cost collapses to one BTree probe.
+#[derive(Debug, Clone)]
+pub struct RateCache {
+    width: Width,
+    cache: std::collections::BTreeMap<(u64, u8), RateChoice>,
+}
+
+impl RateCache {
+    pub fn new(width: Width) -> RateCache {
+        RateCache {
+            width,
+            cache: std::collections::BTreeMap::new(),
+        }
+    }
+
+    /// Exactly `IdealSelector::new(self.width, max_nss).select(snr_db)`.
+    pub fn select(&mut self, max_nss: u8, snr_db: f64) -> RateChoice {
+        *self
+            .cache
+            .entry((snr_db.to_bits(), max_nss))
+            .or_insert_with(|| IdealSelector::new(self.width, max_nss).select(snr_db))
+    }
+
+    /// Distinct (SNR, NSS-cap) pairs resolved so far.
+    pub fn len(&self) -> usize {
+        self.cache.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.cache.is_empty()
+    }
+}
+
 /// Achieved-rate / max-supported-rate, the paper's bit-rate efficiency
 /// metric (§4.6.2). Max rate is the highest rate supported by *both*
 /// sides of the association.
@@ -206,6 +247,25 @@ mod tests {
             "{} Mbps",
             c.bps / 1_000_000
         );
+    }
+
+    #[test]
+    fn rate_cache_matches_ideal_selector_exactly() {
+        let mut c = RateCache::new(Width::W80);
+        assert!(c.is_empty());
+        for snr in [2.5, 17.0, 23.75, 32.0, 60.0] {
+            for nss in 1..=3u8 {
+                let got = c.select(nss, snr);
+                let want = IdealSelector::new(Width::W80, nss).select(snr);
+                assert_eq!(got, want, "snr={snr} nss={nss}");
+            }
+        }
+        let resolved = c.len();
+        assert_eq!(resolved, 5 * 3);
+        // Cache hit: no growth, same answer.
+        let again = c.select(2, 17.0);
+        assert_eq!(again, IdealSelector::new(Width::W80, 2).select(17.0));
+        assert_eq!(c.len(), resolved);
     }
 
     #[test]

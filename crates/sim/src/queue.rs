@@ -11,15 +11,35 @@
 //! 2. **Stable tie-break** — events with equal timestamps pop in the order
 //!    they were scheduled. Without this, runs would be sensitive to heap
 //!    internals and replay determinism would be lost.
+//!
+//! ## Arena payload store
+//!
+//! Payloads live in a slab (`Vec<Option<(seq, E)>>`) with a free-list, not
+//! inside the heap entries. Heap entries are three plain words
+//! `(at, seq, slot)`, so every sift during push/pop moves 24 bytes instead
+//! of a whole event enum, and a popped or cancelled payload's slot is
+//! reused by the next `schedule` — steady-state simulation allocates
+//! nothing per event. Stale heap entries left behind by lazy cancellation
+//! never touch the payload: liveness is decided by the seq tag stored in
+//! the slab slot, so an entry (or an [`EventId`]) pointing at a reused
+//! slot sees a different tag and is discarded. No auxiliary map — every
+//! queue operation is the heap op plus O(1) slab bookkeeping.
 
 use crate::time::{SimDuration, SimTime};
 use std::cmp::Ordering;
-use std::collections::{BTreeSet, BinaryHeap};
+use std::collections::BinaryHeap;
 
 /// Handle identifying a scheduled event; used to cancel timers
 /// (e.g. a TCP retransmission timer that is re-armed on every ACK).
+/// Carries the event's unique sequence number (the identity, and the
+/// ordering) plus its arena slot, so cancellation is a direct slab
+/// probe — the slot alone would be ambiguous after reuse, the seq tag
+/// disambiguates.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
-pub struct EventId(u64);
+pub struct EventId {
+    seq: u64,
+    slot: usize,
+}
 
 /// Lifetime counters for one queue — cheap plain integers the driver
 /// can export into a `telemetry::metrics` registry (`sim` sits below
@@ -35,15 +55,18 @@ pub struct QueueStats {
     pub cancelled: u64,
 }
 
-struct Entry<E> {
+/// One heap entry: ordering key plus the slab slot holding the payload.
+/// Deliberately payload-free and `Copy` — heap sifts move 24 bytes.
+#[derive(Clone, Copy)]
+struct Entry {
     at: SimTime,
     seq: u64,
-    payload: E,
+    slot: usize,
 }
 
 // BinaryHeap is a max-heap; invert the ordering to pop earliest first,
 // breaking timestamp ties by ascending sequence number.
-impl<E> Ord for Entry<E> {
+impl Ord for Entry {
     fn cmp(&self, other: &Self) -> Ordering {
         other
             .at
@@ -52,30 +75,36 @@ impl<E> Ord for Entry<E> {
     }
 }
 
-impl<E> PartialOrd for Entry<E> {
+impl PartialOrd for Entry {
     fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
         Some(self.cmp(other))
     }
 }
 
-impl<E> PartialEq for Entry<E> {
+impl PartialEq for Entry {
     fn eq(&self, other: &Self) -> bool {
         self.at == other.at && self.seq == other.seq
     }
 }
 
-impl<E> Eq for Entry<E> {}
+impl Eq for Entry {}
 
 /// A time-ordered queue of future events.
 pub struct EventQueue<E> {
-    heap: BinaryHeap<Entry<E>>,
+    heap: BinaryHeap<Entry>,
+    // Arena of pending payloads. `Some((seq, payload))` while the event
+    // is live; the seq tag lets the sanitizer prove a heap entry and its
+    // slot still describe the same event.
+    slab: Vec<Option<(u64, E)>>,
+    // Vacant slab indices, reused LIFO by the next schedule.
+    free: Vec<usize>,
     now: SimTime,
     next_seq: u64,
     // Cancelled events stay in the heap (lazy deletion) and are skipped
-    // on pop; `live_ids` holds the seq of every still-pending event, so
-    // cancellation is one O(log n) set probe instead of a heap scan,
-    // and `len`/`is_empty` stay honest (live count = set size).
-    live_ids: BTreeSet<u64>,
+    // on pop; cancellation itself is an O(1) slab probe through the
+    // handle's (slot, seq) pair. This counter keeps `len`/`is_empty`
+    // honest without a side map.
+    live_count: usize,
     stats: QueueStats,
     // Timestamp of the most recently popped event, used by the
     // sim-sanitizer to re-verify pop order from outside the heap.
@@ -93,9 +122,11 @@ impl<E> EventQueue<E> {
     pub fn new() -> Self {
         EventQueue {
             heap: BinaryHeap::new(),
+            slab: Vec::new(),
+            free: Vec::new(),
             now: SimTime::ZERO,
             next_seq: 0,
-            live_ids: BTreeSet::new(),
+            live_count: 0,
             stats: QueueStats::default(),
             last_popped_at: SimTime::ZERO,
         }
@@ -109,17 +140,29 @@ impl<E> EventQueue<E> {
 
     /// Number of pending (non-cancelled) events.
     pub fn len(&self) -> usize {
-        self.live_ids.len()
+        self.live_count
     }
 
     /// True when no live events remain.
     pub fn is_empty(&self) -> bool {
-        self.live_ids.is_empty()
+        self.live_count == 0
     }
 
     /// Lifetime scheduled/popped/cancelled counters.
     pub fn stats(&self) -> QueueStats {
         self.stats
+    }
+
+    /// Slab slots ever allocated for payload storage. Once the queue
+    /// reaches its steady-state high-water mark this stops growing —
+    /// popped and cancelled slots are recycled through the free-list.
+    pub fn arena_capacity(&self) -> usize {
+        self.slab.len()
+    }
+
+    /// Vacant slab slots awaiting reuse.
+    pub fn arena_free(&self) -> usize {
+        self.free.len()
     }
 
     /// Schedule `payload` at absolute time `at`. Returns a handle usable
@@ -137,10 +180,24 @@ impl<E> EventQueue<E> {
         let at = at.max(self.now);
         let seq = self.next_seq;
         self.next_seq += 1;
-        self.heap.push(Entry { at, seq, payload });
-        self.live_ids.insert(seq);
+        let slot = match self.free.pop() {
+            Some(slot) => {
+                crate::sanitize::check(
+                    self.slab[slot].is_none(),
+                    "event arena free-list handed out an occupied slot",
+                );
+                self.slab[slot] = Some((seq, payload));
+                slot
+            }
+            None => {
+                self.slab.push(Some((seq, payload)));
+                self.slab.len() - 1
+            }
+        };
+        self.heap.push(Entry { at, seq, slot });
+        self.live_count += 1;
         self.stats.scheduled += 1;
-        EventId(seq)
+        EventId { seq, slot }
     }
 
     /// Schedule `payload` after a delay relative to `now`.
@@ -150,26 +207,48 @@ impl<E> EventQueue<E> {
     }
 
     /// Cancel a previously scheduled event. Returns `true` if the event
-    /// was still pending. O(log n): one probe of the live-id set — the
-    /// heap entry stays behind (lazy deletion) and is discarded when it
-    /// reaches the top. A TCP RTO re-arm (one cancel per ACK) used to
-    /// pay a full-heap existence scan here, quadratic in flight size.
+    /// was still pending. O(1): the handle names its arena slot, and the
+    /// slot's seq tag says whether it still holds this event (a popped or
+    /// cancelled event's slot either went vacant or was reused under a
+    /// different seq). The heap entry stays behind (lazy deletion) and is
+    /// discarded when it reaches the top. A TCP RTO re-arm (one cancel
+    /// per ACK) used to pay a full-heap existence scan here, quadratic in
+    /// flight size.
     pub fn cancel(&mut self, id: EventId) -> bool {
-        if self.live_ids.remove(&id.0) {
+        let live = id.slot < self.slab.len()
+            && self.slab[id.slot]
+                .as_ref()
+                .is_some_and(|&(seq, _)| seq == id.seq);
+        if live {
+            self.slab[id.slot] = None;
+            self.free.push(id.slot);
+            self.live_count -= 1;
             self.stats.cancelled += 1;
-            true
-        } else {
-            false
         }
+        live
     }
 
     /// Pop the earliest live event, advancing `now` to its timestamp.
     /// Returns `None` when the queue is empty.
     pub fn pop(&mut self) -> Option<(SimTime, E)> {
         while let Some(entry) = self.heap.pop() {
-            if !self.live_ids.remove(&entry.seq) {
-                continue; // cancelled; marker already gone from the set
+            // Liveness: the slot must still carry this entry's seq tag.
+            // A cancelled event left the slot vacant (or reused under a
+            // newer seq), so a stale entry can never surface a payload
+            // that is not its own.
+            if self.slab[entry.slot]
+                .as_ref()
+                .is_none_or(|&(seq, _)| seq != entry.seq)
+            {
+                continue; // cancelled; skip the stale entry
             }
+            let (_, payload) = self.slab[entry.slot]
+                .take()
+                // Guarded by the tag check just above.
+                // simcheck: allow(unwrap-in-lib)
+                .expect("live event missing from arena");
+            self.free.push(entry.slot);
+            self.live_count -= 1;
             crate::sanitize::check_event_order(self.last_popped_at, entry.at);
             self.last_popped_at = entry.at;
             // If the clock was advanced past this event (a driver that
@@ -179,7 +258,7 @@ impl<E> EventQueue<E> {
             crate::sanitize::check_time_monotonic(self.now, next_now);
             self.now = next_now;
             self.stats.popped += 1;
-            return Some((self.now, entry.payload));
+            return Some((self.now, payload));
         }
         None
     }
@@ -192,7 +271,10 @@ impl<E> EventQueue<E> {
     /// every outstanding cancellation on each run-loop bounds check.
     pub fn peek_time(&mut self) -> Option<SimTime> {
         while let Some(top) = self.heap.peek() {
-            if self.live_ids.contains(&top.seq) {
+            if self.slab[top.slot]
+                .as_ref()
+                .is_some_and(|&(seq, _)| seq == top.seq)
+            {
                 return Some(top.at);
             }
             self.heap.pop();
@@ -207,6 +289,52 @@ impl<E> EventQueue<E> {
     pub fn advance_to(&mut self, to: SimTime) {
         crate::sanitize::check_time_monotonic(self.now, to);
         self.now = self.now.max(to);
+    }
+
+    /// Sanitizer audit of the arena bookkeeping as a whole: occupied +
+    /// free slots cover the slab with no overlap, occupancy equals the
+    /// live count, no free slot still holds a payload, and every
+    /// occupied slot has exactly one live heap entry naming it (its seq
+    /// tag). O(n log n) — called from tests and the property suite, not
+    /// from the hot path. No-op unless the sim-sanitizer is active.
+    pub fn audit_arena(&self) {
+        if !crate::sanitize::enabled() {
+            return;
+        }
+        let occupied = self.slab.iter().filter(|s| s.is_some()).count();
+        crate::sanitize::check(
+            occupied == self.live_count,
+            "arena occupancy disagrees with the live-event count",
+        );
+        crate::sanitize::check(
+            occupied + self.free.len() == self.slab.len(),
+            "arena slots leaked: occupied + free != allocated",
+        );
+        for slot in &self.free {
+            crate::sanitize::check(
+                self.slab[*slot].is_none(),
+                "free-list references an occupied arena slot",
+            );
+        }
+        // Each occupied slot's tag must be backed by exactly one heap
+        // entry carrying that (seq, slot) pair — a live event with no
+        // entry would never fire; a duplicate would fire twice.
+        let mut tags: Vec<(u64, usize)> = self
+            .heap
+            .iter()
+            .filter(|e| {
+                self.slab[e.slot]
+                    .as_ref()
+                    .is_some_and(|&(seq, _)| seq == e.seq)
+            })
+            .map(|e| (e.seq, e.slot))
+            .collect();
+        tags.sort_unstable();
+        tags.dedup();
+        crate::sanitize::check(
+            tags.len() == occupied,
+            "live events and backing heap entries disagree",
+        );
     }
 }
 
@@ -279,7 +407,18 @@ mod tests {
     #[test]
     fn cancel_unknown_id_is_false() {
         let mut q: EventQueue<()> = EventQueue::new();
-        assert!(!q.cancel(EventId(12345)));
+        // A handle naming a slot the arena never allocated.
+        assert!(!q.cancel(EventId {
+            seq: 12345,
+            slot: 12345
+        }));
+        // A handle naming a real slot but a seq that no longer owns it.
+        let a = q.schedule(SimTime::from_micros(1), ());
+        assert!(q.cancel(a));
+        assert!(!q.cancel(EventId {
+            seq: a.seq + 999,
+            slot: a.slot
+        }));
     }
 
     #[test]
@@ -361,6 +500,49 @@ mod tests {
     }
 
     #[test]
+    fn arena_reuses_slots_in_steady_state() {
+        let mut q = EventQueue::new();
+        // Prime the arena to its high-water mark.
+        let ids: Vec<_> = (0..16)
+            .map(|i| q.schedule(SimTime::from_micros(i), i))
+            .collect();
+        assert_eq!(q.arena_capacity(), 16);
+        // Half cancelled, half popped: every slot must return to the
+        // free-list either way.
+        for id in &ids[..8] {
+            q.cancel(*id);
+        }
+        while q.pop().is_some() {}
+        assert_eq!(q.arena_free(), 16);
+        // Steady-state churn: the arena never grows past its peak.
+        for round in 0..100u64 {
+            for i in 0..16 {
+                q.schedule(q.now() + SimDuration::from_micros(i + 1), round);
+            }
+            while q.pop().is_some() {}
+        }
+        assert_eq!(q.arena_capacity(), 16, "arena grew under steady churn");
+        q.audit_arena();
+    }
+
+    #[test]
+    fn stale_heap_entry_never_reads_a_reused_slot() {
+        let mut q = EventQueue::new();
+        // Cancel an event, then immediately reschedule into the slot it
+        // vacated (LIFO free-list guarantees reuse) with a *later* time.
+        // The stale heap entry surfaces first and must be skipped, not
+        // resolved through the reused slot.
+        let a = q.schedule(SimTime::from_micros(1), "dead");
+        q.cancel(a);
+        q.schedule(SimTime::from_micros(5), "live");
+        assert_eq!(q.arena_capacity(), 1, "slot was not reused");
+        assert_eq!(q.peek_time(), Some(SimTime::from_micros(5)));
+        assert_eq!(q.pop(), Some((SimTime::from_micros(5), "live")));
+        assert!(q.pop().is_none());
+        q.audit_arena();
+    }
+
+    #[test]
     #[should_panic(expected = "scheduled event in the past")]
     #[cfg(debug_assertions)]
     fn scheduling_in_past_panics_in_debug() {
@@ -393,9 +575,11 @@ mod tests {
 
 #[cfg(test)]
 mod model_tests {
-    //! Cancel-heavy property test: the queue must agree, operation by
+    //! Cancel-heavy property tests: the queue must agree, operation by
     //! operation, with a naive model (a plain Vec scanned for the
-    //! minimum) on `len`, cancel results, peek times and pop order.
+    //! minimum) on `len`, cancel results, peek times and pop order —
+    //! and the arena bookkeeping must stay internally consistent
+    //! throughout (see `audit_arena`).
 
     use super::*;
     use proptest::prelude::*;
@@ -489,6 +673,71 @@ mod model_tests {
                 }
             }
             prop_assert!(q.is_empty());
+        }
+
+        /// Cancel-then-immediately-reschedule interleaved with the eager
+        /// peek-discard: the regression surface for the arena rewrite.
+        /// Cancelling frees a slot that the very next schedule reuses
+        /// (LIFO free-list) while the cancelled event's heap entry is
+        /// still pending discard; a `peek_time` may or may not have
+        /// evicted that stale entry in between. Whatever the
+        /// interleaving, the queue must track the naive model exactly
+        /// and the live-map/slab/free-list triple must stay coherent.
+        #[test]
+        fn cancel_reschedule_races_peek_discard(
+            ops in proptest::collection::vec(any::<u64>(), 1..300),
+        ) {
+            let mut q = EventQueue::new();
+            let mut model = NaiveQueue::default();
+            let mut ids: Vec<(EventId, u64)> = Vec::new();
+
+            for op in ops {
+                match op % 6 {
+                    0 => {
+                        let dt = SimDuration::from_micros((op >> 3) % 500);
+                        let at = q.now() + dt;
+                        let payload = op >> 3;
+                        let id = q.schedule(at, payload);
+                        let seq = model.schedule(at, payload);
+                        ids.push((id, seq));
+                    }
+                    // Cancel-then-reschedule as one compound op: the new
+                    // event lands in the just-vacated arena slot with a
+                    // fresh id, while the old heap entry goes stale.
+                    1 | 2 => {
+                        if !ids.is_empty() {
+                            let (id, seq) = ids[(op as usize >> 3) % ids.len()];
+                            prop_assert_eq!(q.cancel(id), model.cancel(seq));
+                            let dt = SimDuration::from_micros((op >> 7) % 500);
+                            let at = q.now() + dt;
+                            let payload = op >> 7;
+                            let id = q.schedule(at, payload);
+                            let seq = model.schedule(at, payload);
+                            ids.push((id, seq));
+                        }
+                    }
+                    // Bare peek: drives the eager discard of stale tops
+                    // at arbitrary points between cancels and pops.
+                    3 => {
+                        prop_assert_eq!(q.peek_time(), model.peek_time());
+                    }
+                    _ => {
+                        prop_assert_eq!(q.pop(), model.pop());
+                    }
+                }
+                prop_assert_eq!(q.len(), model.pending.len());
+                q.audit_arena();
+            }
+
+            loop {
+                let (a, b) = (q.pop(), model.pop());
+                prop_assert_eq!(a, b);
+                if a.is_none() {
+                    break;
+                }
+            }
+            prop_assert!(q.is_empty());
+            q.audit_arena();
         }
     }
 }

@@ -49,7 +49,6 @@
 
 use sim::{SimDuration, SimTime};
 use std::cell::RefCell;
-use std::collections::BTreeMap;
 use std::fmt;
 use std::path::PathBuf;
 use std::rc::Rc;
@@ -332,7 +331,29 @@ impl Ring {
 #[derive(Debug, Default)]
 struct Inner {
     cap: usize,
-    rings: BTreeMap<&'static str, Ring>,
+    /// Component rings in first-emit order; looked up by a linear scan
+    /// (component counts are small and static-str pointer equality
+    /// short-circuits almost every probe), sorted only at snapshot time.
+    rings: Vec<(&'static str, Ring)>,
+}
+
+impl Inner {
+    fn ring_mut(&mut self, component: &'static str) -> &mut Ring {
+        // Pointer equality first: `component` is a static literal, so
+        // repeat emits from the same call site hit the same pointer.
+        let pos = self
+            .rings
+            .iter()
+            .position(|&(name, _)| std::ptr::eq(name, component) || name == component);
+        let idx = match pos {
+            Some(i) => i,
+            None => {
+                self.rings.push((component, Ring::new(self.cap)));
+                self.rings.len() - 1
+            }
+        };
+        &mut self.rings[idx].1
+    }
 }
 
 /// Cloneable handle to a shared flight recorder. Single-threaded by
@@ -350,7 +371,7 @@ impl FlightRecorder {
         FlightRecorder {
             inner: Rc::new(RefCell::new(Inner {
                 cap: capacity,
-                rings: BTreeMap::new(),
+                rings: Vec::new(),
             })),
         }
     }
@@ -370,38 +391,42 @@ impl FlightRecorder {
     #[inline]
     pub fn emit(&self, component: &'static str, at: SimTime, cause: CauseId, record: TraceRecord) {
         let mut inner = self.inner.borrow_mut();
-        let cap = inner.cap;
-        if cap == 0 {
+        if inner.cap == 0 {
             return;
         }
         inner
-            .rings
-            .entry(component)
-            .or_insert_with(|| Ring::new(cap))
+            .ring_mut(component)
             .push(FlightEvent { at, cause, record });
     }
 
     /// Total records overwritten across all components (wraparound
     /// accounting); export as the `trace.dropped` metric.
     pub fn total_dropped(&self) -> u64 {
-        self.inner.borrow().rings.values().map(|r| r.dropped).sum()
+        self.inner
+            .borrow()
+            .rings
+            .iter()
+            .map(|(_, r)| r.dropped)
+            .sum()
     }
 
     /// Immutable snapshot of every ring, in sorted component order.
     pub fn snapshot(&self) -> FlightDump {
         let inner = self.inner.borrow();
-        FlightDump {
-            components: inner
-                .rings
-                .iter()
-                .map(|(&name, ring)| ComponentTrace {
-                    name: name.to_owned(),
-                    capacity: ring.cap as u64,
-                    dropped: ring.dropped,
-                    records: ring.ordered(),
-                })
-                .collect(),
-        }
+        let mut components: Vec<ComponentTrace> = inner
+            .rings
+            .iter()
+            .map(|&(name, ref ring)| ComponentTrace {
+                name: name.to_owned(),
+                capacity: ring.cap as u64,
+                dropped: ring.dropped,
+                records: ring.ordered(),
+            })
+            .collect();
+        // Rings live in first-emit order; the dump format (and every
+        // byte-identity pin downstream) requires sorted component order.
+        components.sort_by(|a, b| a.name.cmp(&b.name));
+        FlightDump { components }
     }
 }
 

@@ -1,0 +1,27 @@
+#!/usr/bin/env bash
+# Merge per-binary `--perf` fragments into one canonical
+# BENCH_simperf.json. Deterministic: the same fragments always produce
+# byte-identical output (fragment order is the argument order, comma
+# separators attach to the fragment's closing brace, one trailing
+# newline). CI runs this twice over the same fragments and `cmp`s.
+#
+# Usage: scripts/merge_perf.sh <out-file> <fragment.json>...
+set -euo pipefail
+
+out="$1"
+shift
+
+{
+  printf '{\n  "benches": [\n'
+  first=1
+  for f in "$@"; do
+    [[ -s "$f" ]] || continue
+    if [[ $first -eq 0 ]]; then printf ',\n'; fi
+    first=0
+    # Indent the fragment and strip its trailing newline so the comma
+    # separator lands directly after the closing brace, never on a line
+    # of its own.
+    sed 's/^/    /' "$f" | awk 'NR > 1 { print prev } { prev = $0 } END { printf "%s", prev }'
+  done
+  printf '\n  ]\n}\n'
+} > "$out"

@@ -37,7 +37,7 @@ done
 # writes a per-binary `--perf` artifact; the artifacts are merged into
 # BENCH_simperf.json below. Perf numbers are host-dependent and never
 # byte-compared — they exist to catch order-of-magnitude regressions.
-PERF_EXPERIMENTS=(fig18_multi_ap fleet_scale)
+PERF_EXPERIMENTS=(fig14_cwnd fig15_aggregation fig18_multi_ap fleet_scale)
 
 fail=0
 for exp in "${EXPERIMENTS[@]}"; do
@@ -54,20 +54,14 @@ for exp in "${EXPERIMENTS[@]}"; do
   fi
 done
 
-# Merge the per-binary perf artifacts into one BENCH_simperf.json.
-{
-  printf '{\n  "benches": ['
-  first=1
-  for p in "${PERF_EXPERIMENTS[@]}"; do
-    f="$OUTDIR/$p.perf.json"
-    [[ -s "$f" ]] || continue
-    if [[ $first -eq 0 ]]; then printf ','; fi
-    first=0
-    printf '\n'
-    sed 's/^/    /' "$f" | sed -e '$ { /^ *$/d }'
-  done
-  printf '  ]\n}\n'
-} > "$OUTDIR/BENCH_simperf.json"
+# Merge the per-binary perf artifacts into one canonical
+# BENCH_simperf.json (see scripts/merge_perf.sh for the byte-stability
+# contract).
+frags=()
+for p in "${PERF_EXPERIMENTS[@]}"; do
+  frags+=("$OUTDIR/$p.perf.json")
+done
+scripts/merge_perf.sh "$OUTDIR/BENCH_simperf.json" "${frags[@]}"
 echo "=== perf baseline: $OUTDIR/BENCH_simperf.json ==="
 
 exit $fail
