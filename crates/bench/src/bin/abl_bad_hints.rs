@@ -7,6 +7,11 @@ use wifi_core::prelude::*;
 
 fn main() {
     let mut exp = Experiment::new("abl_bad_hints", "bad-hint rate sweep 0-10%");
+    let run_prof = exp.stage("run");
+    // Wall-clock sample for `--perf` (clippy.toml disallows
+    // `Instant::now` in sim code; the bench harness is host-side).
+    #[allow(clippy::disallowed_methods)]
+    let wall_start = std::time::Instant::now();
     let mut series = Vec::new();
     let mut retx_series = Vec::new();
     for &bh in &[0.0, 0.001, 0.002, 0.005, 0.01, 0.03, 0.10] {
@@ -23,6 +28,10 @@ fn main() {
         series.push((bh, r.total_mbps()));
         retx_series.push((bh, r.agent_stats[0].local_retransmits as f64));
     }
+    let wall_s = wall_start.elapsed().as_secs_f64();
+    drop(run_prof);
+    let events = exp.metrics.counter_value("sim.queue.popped").unwrap_or(0);
+    exp.perf("abl_bad_hints", events, wall_s);
     let clean = series[0].1;
     // Exact key lookup against the literal used to build the series.
     let at_1pct = series.iter().find(|(b, _)| *b == 0.01).unwrap().1; // simcheck: allow(float-eq)

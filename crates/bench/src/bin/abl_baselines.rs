@@ -15,6 +15,12 @@ use wifi_core::prelude::*;
 
 fn main() {
     let mut exp = Experiment::new("abl_baselines", "planner comparison incl. channel hopping");
+    let run_prof = exp.stage("run");
+    // Wall-clock sample for `--perf`; the workload unit here is one
+    // planner producing a full-floor plan (clippy.toml disallows
+    // `Instant::now` in sim code; the bench harness is host-side).
+    #[allow(clippy::disallowed_methods)]
+    let wall_start = std::time::Instant::now();
     let mut rng = Rng::new(71);
     let topo = topology::grid(6, 5, 12.0, 2.0, Band::Band5, &mut rng);
     let (view, caps) = to_view(&topo, &ViewOptions::default(), &mut rng);
@@ -33,6 +39,10 @@ fn main() {
             TurboCa::new(74).run(&view, ScheduleTier::Slow).plan,
         ),
     ];
+
+    let wall_s = wall_start.elapsed().as_secs_f64();
+    drop(run_prof);
+    exp.perf("abl_baselines_plans", plans.len() as u64, wall_s);
 
     let mut scores = Vec::new();
     for (name, plan) in &plans {

@@ -66,8 +66,19 @@ fn main() {
         })
         .run(SimDuration::from_secs(4))
     };
+    let run_prof = exp.stage("run");
+    // Wall-clock sample for `--perf` (clippy.toml disallows
+    // `Instant::now` in sim code; the bench harness is host-side).
+    #[allow(clippy::disallowed_methods)]
+    let wall_start = std::time::Instant::now();
     let full = run(16 << 20);
     let none = run(1_000);
+    let wall_s = wall_start.elapsed().as_secs_f64();
+    drop(run_prof);
+    exp.absorb(&full.metrics);
+    exp.absorb(&none.metrics);
+    let events = exp.metrics.counter_value("sim.queue.popped").unwrap_or(0);
+    exp.perf("abl_fastack_cache", events, wall_s);
     exp.compare(
         "throughput, cache vs no cache (0.4% bad hints)",
         "cache recovers locally",

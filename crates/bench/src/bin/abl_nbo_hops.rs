@@ -25,6 +25,13 @@ fn main() {
     );
     let params = MetricParams::default();
     let runs = 6;
+    let run_prof = exp.stage("run");
+    // Wall-clock sample for `--perf`; the workload unit is one NBO
+    // optimization pass (clippy.toml disallows `Instant::now` in sim
+    // code; the bench harness is host-side).
+    #[allow(clippy::disallowed_methods)]
+    let wall_start = std::time::Instant::now();
+    let mut nbo_passes = 0u64;
     let mut rows = Vec::new();
     for i in 0..=2usize {
         let mut best = f64::NEG_INFINITY;
@@ -33,6 +40,7 @@ fn main() {
         for _ in 0..runs {
             let plan = nbo(&params, &view, i, &mut r);
             let score = net_p_ln(&params, &view, &plan);
+            nbo_passes += 1;
             if score > best {
                 best = score;
                 switches = plan.switches_from_current(&view);
@@ -40,6 +48,9 @@ fn main() {
         }
         rows.push((i, best, switches));
     }
+    let wall_s = wall_start.elapsed().as_secs_f64();
+    drop(run_prof);
+    exp.perf("abl_nbo_passes", nbo_passes, wall_s);
     for &(i, score, switches) in &rows {
         exp.compare(
             format!("i={i}: ln NetP / switches"),

@@ -41,10 +41,21 @@ fn main() {
     };
     let mut churn_with = 0usize;
     let mut churn_without = 0usize;
+    let run_prof = exp.stage("run");
+    // Wall-clock sample for `--perf`; the workload unit is one full
+    // TurboCA planning run (clippy.toml disallows `Instant::now` in
+    // sim code; the bench harness is host-side).
+    #[allow(clippy::disallowed_methods)]
+    let wall_start = std::time::Instant::now();
+    let mut plans = 0u64;
     for seed in [41u64, 42, 43, 44] {
         churn_with += switches_with(with.clone(), seed).1;
         churn_without += switches_with(without.clone(), seed).1;
+        plans += 2;
     }
+    let wall_s = wall_start.elapsed().as_secs_f64();
+    drop(run_prof);
+    exp.perf("abl_penalty_plans", plans, wall_s);
     exp.compare(
         "client-carrying switches, penalty off vs on",
         "penalty protects connected clients",

@@ -17,6 +17,12 @@ fn main() {
         initial_client_rwnd: 64 * 1460,
         ..AgentConfig::default()
     });
+    let run_prof = exp.stage("run");
+    // Wall-clock sample for `--perf`; the workload unit is one segment
+    // pushed through the agent (clippy.toml disallows `Instant::now`
+    // in sim code; the bench harness is host-side).
+    #[allow(clippy::disallowed_methods)]
+    let wall_start = std::time::Instant::now();
     let mut advertised = Vec::new();
     for i in 0..96u64 {
         let seg = DataSegment {
@@ -32,6 +38,9 @@ fn main() {
             }
         }
     }
+    let wall_s = wall_start.elapsed().as_secs_f64();
+    drop(run_prof);
+    exp.perf("abl_rxwin_segments", 96, wall_s);
     let min_adv = *advertised.iter().min().unwrap();
     let first = advertised[0];
     exp.compare(

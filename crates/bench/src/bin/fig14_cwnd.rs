@@ -18,6 +18,7 @@ fn run(fastack: bool) -> TestbedReport {
 
 fn main() {
     let mut exp = Experiment::new("fig14", "TCP cwnd traces, baseline vs FastACK (10 flows)");
+    let run_prof = exp.stage("run");
     // Wall-clock sample for `--perf` (clippy.toml disallows
     // `Instant::now` in sim code; the bench harness is host-side).
     #[allow(clippy::disallowed_methods)]
@@ -25,6 +26,7 @@ fn main() {
     let base = run(false);
     let fast = run(true);
     let wall_s = wall_start.elapsed().as_secs_f64();
+    drop(run_prof);
 
     // Final-second cwnd per flow.
     let final_cwnd = |r: &TestbedReport| -> Vec<f64> {

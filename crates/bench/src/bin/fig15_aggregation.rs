@@ -18,6 +18,7 @@ fn run(fastack: bool) -> TestbedReport {
 
 fn main() {
     let mut exp = Experiment::new("fig15", "802.11 aggregation size per client (30 clients)");
+    let run_prof = exp.stage("run");
     // Wall-clock sample for `--perf` (clippy.toml disallows
     // `Instant::now` in sim code; the bench harness is host-side).
     #[allow(clippy::disallowed_methods)]
@@ -25,6 +26,7 @@ fn main() {
     let base = run(false);
     let fast = run(true);
     let tcp_wall_s = wall_start.elapsed().as_secs_f64();
+    drop(run_prof);
 
     let sorted = |r: &TestbedReport| {
         let mut v = r.client_aggregation.clone();

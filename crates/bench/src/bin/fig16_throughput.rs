@@ -7,6 +7,11 @@ use wifi_core::prelude::*;
 
 fn main() {
     let mut exp = Experiment::new("fig16", "aggregate throughput vs client count");
+    let run_prof = exp.stage("run");
+    // Wall-clock sample for `--perf` (clippy.toml disallows
+    // `Instant::now` in sim code; the bench harness is host-side).
+    #[allow(clippy::disallowed_methods)]
+    let wall_start = std::time::Instant::now();
     let mut base_series = Vec::new();
     let mut fast_series = Vec::new();
     let mut gains = Vec::new();
@@ -33,6 +38,10 @@ fn main() {
         fast_series.push((n as f64, fa));
         gains.push((n, fa / b - 1.0));
     }
+    let wall_s = wall_start.elapsed().as_secs_f64();
+    drop(run_prof);
+    let events = exp.metrics.counter_value("sim.queue.popped").unwrap_or(0);
+    exp.perf("fig16_throughput", events, wall_s);
     for &(n, g) in &gains {
         exp.compare(
             format!("gain at {n} clients"),

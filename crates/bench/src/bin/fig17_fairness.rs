@@ -23,8 +23,15 @@ fn run(fastack: bool) -> TestbedReport {
 
 fn main() {
     let mut exp = Experiment::new("fig17", "throughput fairness across 30 clients");
+    let run_prof = exp.stage("run");
+    // Wall-clock sample for `--perf` (clippy.toml disallows
+    // `Instant::now` in sim code; the bench harness is host-side).
+    #[allow(clippy::disallowed_methods)]
+    let wall_start = std::time::Instant::now();
     let base = run(false);
     let fast = run(true);
+    let wall_s = wall_start.elapsed().as_secs_f64();
+    drop(run_prof);
     let sorted = |r: &TestbedReport| {
         let mut v = r.client_mbps.clone();
         v.sort_by(|a, b| a.total_cmp(b));
@@ -93,5 +100,7 @@ fn main() {
     exp.absorb(&fast.metrics);
     exp.absorb_flight("base", &base.flight);
     exp.absorb_flight("fast", &fast.flight);
+    let events = exp.metrics.counter_value("sim.queue.popped").unwrap_or(0);
+    exp.perf("fig17_fairness", events, wall_s);
     std::process::exit(if exp.finish() { 0 } else { 1 });
 }

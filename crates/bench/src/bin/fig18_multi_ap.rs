@@ -24,6 +24,7 @@ fn run(fa1: bool, fa2: bool) -> TestbedReport {
 
 fn main() {
     let mut exp = Experiment::new("fig18", "two co-channel APs: baseline/FastACK matrix");
+    let run_prof = exp.stage("run");
     // Wall-clock sample for `--perf` (clippy.toml disallows
     // `Instant::now` in sim code; the bench harness is host-side).
     #[allow(clippy::disallowed_methods)]
@@ -32,6 +33,7 @@ fn main() {
     let bf = run(false, true);
     let ff = run(true, true);
     let wall_s = wall_start.elapsed().as_secs_f64();
+    drop(run_prof);
 
     let gain_ff = ff.total_mbps() / bb.total_mbps() - 1.0;
     let gain_bf = bf.total_mbps() / bb.total_mbps() - 1.0;

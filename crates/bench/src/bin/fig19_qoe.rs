@@ -46,8 +46,15 @@ fn main() {
         "fig19_qoe",
         "application-layer QoE under interference: baseline vs FastACK",
     );
+    let run_prof = exp.stage("run");
+    // Wall-clock sample for `--perf` (clippy.toml disallows
+    // `Instant::now` in sim code; the bench harness is host-side).
+    #[allow(clippy::disallowed_methods)]
+    let wall_start = std::time::Instant::now();
     let base = run(false);
     let fast = run(true);
+    let wall_s = wall_start.elapsed().as_secs_f64();
+    drop(run_prof);
 
     for (label, r) in [("baseline", &base), ("fastack", &fast)] {
         let alert = degraded_alert(r);
@@ -106,5 +113,7 @@ fn main() {
     exp.absorb_flight("fast", &fast.flight);
     exp.absorb_health("base", &base.health);
     exp.absorb_health("fast", &fast.health);
+    let events = exp.metrics.counter_value("sim.queue.popped").unwrap_or(0);
+    exp.perf("fig19_qoe", events, wall_s);
     std::process::exit(if exp.finish() { 0 } else { 1 });
 }

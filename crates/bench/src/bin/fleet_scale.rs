@@ -111,6 +111,7 @@ fn main() {
         "networks", "threads", "wall s", "planned/s", "checksum"
     );
 
+    let run_prof = exp.stage("run");
     let mut fig2_run: Option<FleetRun> = None;
     for &n in &[10usize, 100, 1000] {
         let mut checksums: Vec<u64> = Vec::new();
@@ -172,6 +173,7 @@ fn main() {
         }
     }
 
+    drop(run_prof);
     // Fig. 2 through the fleet path: the 1000-network run's ingest
     // store must reproduce the paper's fleet-wide utilization medians.
     let run = fig2_run.expect("1000-network sweep ran");

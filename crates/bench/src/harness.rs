@@ -9,7 +9,7 @@
 use std::fmt::Write as _;
 use std::fs;
 use std::path::PathBuf;
-use wifi_core::telemetry::{FlightDump, HealthReport, Registry};
+use wifi_core::telemetry::{runprof, FlightDump, HealthReport, Registry};
 
 /// A recorded experiment: named scalar comparisons plus named series.
 #[derive(Debug, Default)]
@@ -42,12 +42,15 @@ pub struct Experiment {
 
 /// One wall-clock throughput measurement: how fast the host simulated
 /// `events` discrete events (or another workload unit named by the
-/// label) in `wall_s` seconds of real time.
+/// label) in `wall_s` seconds of real time, and how much resident
+/// memory the process had claimed by then (kernel `VmHWM`; `None` on
+/// hosts without procfs).
 #[derive(Debug)]
 pub struct PerfSample {
     pub label: String,
     pub events: u64,
     pub wall_s: f64,
+    pub peak_rss_bytes: Option<u64>,
 }
 
 /// One paper-vs-measured scalar.
@@ -100,11 +103,29 @@ pub fn json_f64(v: f64) -> String {
 
 impl Experiment {
     pub fn new(id: &str, title: &str) -> Experiment {
+        // Arm the host-side run profiler as early as possible so setup
+        // work lands in the profile too. `--runprof` is the only flag
+        // that changes harness behavior before `finish` — and it only
+        // turns on observation, never the trajectory (the golden
+        // artifact tests run with it enabled to prove that).
+        if runprof_path().is_some() {
+            runprof::set_enabled(true);
+        }
         Experiment {
             id: id.to_owned(),
             title: title.to_owned(),
             ..Experiment::default()
         }
+    }
+
+    /// Open a wall-clock stage span named `<bench-id>.<name>` (e.g.
+    /// `fig18.setup` / `fig18.run` / `fig18.report`). Hold the returned
+    /// guard for the duration of the phase; a no-op without `--runprof`.
+    pub fn stage(&self, name: &str) -> runprof::WallSpan {
+        if !runprof::enabled() {
+            return runprof::WallSpan::disabled();
+        }
+        runprof::span(&format!("{}.{name}", self.id))
     }
 
     /// Record a paper-vs-measured row.
@@ -159,11 +180,15 @@ impl Experiment {
 
     /// Record a wall-clock throughput sample: `events` workload units
     /// completed in `wall_s` seconds of host time. Dumped via `--perf`.
+    /// The process's peak RSS at sampling time rides along, so memory
+    /// growth across a scaling sweep (`fleet_1000x1` → `fleet_5000x8`)
+    /// is visible in the same artifact as the speed.
     pub fn perf(&mut self, label: impl Into<String>, events: u64, wall_s: f64) {
         self.perf_samples.push(PerfSample {
             label: label.into(),
             events,
             wall_s,
+            peak_rss_bytes: runprof::peak_rss_bytes(),
         });
     }
 
@@ -180,14 +205,19 @@ impl Experiment {
             } else {
                 0.0
             };
+            let rss = match s.peak_rss_bytes {
+                Some(b) => format!("{b}"),
+                None => "null".to_owned(),
+            };
             let _ = write!(
                 o,
-                "{}\n    {{ \"label\": {}, \"events\": {}, \"wall_s\": {}, \"events_per_s\": {} }}",
+                "{}\n    {{ \"label\": {}, \"events\": {}, \"wall_s\": {}, \"events_per_s\": {}, \"peak_rss_bytes\": {} }}",
                 if i == 0 { "" } else { "," },
                 json_string(&s.label),
                 s.events,
                 json_f64(s.wall_s),
-                json_f64(rate)
+                json_f64(rate),
+                rss
             );
         }
         if !self.perf_samples.is_empty() {
@@ -200,6 +230,7 @@ impl Experiment {
     /// Print the report and write the JSON dump. Returns `true` if every
     /// comparison agreed.
     pub fn finish(&self) -> bool {
+        let report_prof = self.stage("report");
         let mut out = String::new();
         let _ = writeln!(out, "== {} — {} ==", self.id, self.title);
         if !self.comparisons.is_empty() {
@@ -296,6 +327,27 @@ impl Experiment {
             }
         }
 
+        // `--runprof <path>`: the host-side observability sidecar.
+        // Closed out last so the report stage's own wall time makes it
+        // into the profile; inspect with `perfctl summary`.
+        drop(report_prof);
+        if let Some(p) = runprof_path() {
+            let samples: Vec<runprof::SamplePoint> = self
+                .perf_samples
+                .iter()
+                .map(|s| runprof::SamplePoint {
+                    label: s.label.clone(),
+                    events: s.events,
+                    wall_s: s.wall_s,
+                    peak_rss_bytes: s.peak_rss_bytes,
+                })
+                .collect();
+            let prof = runprof::snapshot();
+            if let Err(e) = fs::write(&p, prof.to_json(&self.id, &samples)) {
+                eprintln!("warning: could not write {p}: {e}");
+            }
+        }
+
         let all_ok = self.comparisons.iter().all(|c| c.ok);
         if !all_ok {
             println!("!! some comparisons did not match the paper");
@@ -349,6 +401,20 @@ impl Experiment {
         o.push_str("]\n}\n");
         o
     }
+}
+
+/// `--runprof <path>` / `--runprof=<path>` from this process's argv.
+fn runprof_path() -> Option<String> {
+    let mut argv = std::env::args().skip(1);
+    while let Some(arg) = argv.next() {
+        if arg == "--runprof" {
+            return argv.next();
+        }
+        if let Some(p) = arg.strip_prefix("--runprof=") {
+            return Some(p.to_owned());
+        }
+    }
+    None
 }
 
 /// Relative agreement check: |measured − paper| ≤ tol·|paper|.
@@ -453,6 +519,9 @@ mod tests {
         assert!(j.contains("\"events_per_s\": 500000"), "{j}");
         // Zero wall clock degrades to rate 0, not inf/NaN.
         assert!(j.contains("\"events_per_s\": 0"), "{j}");
+        // Peak RSS rides along in every sample (numeric on Linux,
+        // null where procfs is unavailable — never absent).
+        assert_eq!(j.matches("\"peak_rss_bytes\":").count(), 2, "{j}");
     }
 
     #[test]

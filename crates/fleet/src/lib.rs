@@ -143,8 +143,13 @@ pub fn run_fleet(cfg: &FleetConfig) -> FleetRun {
     assert!(cfg.aps_min >= 1 && cfg.aps_min <= cfg.aps_max);
     assert!(cfg.collect_period > SimDuration::ZERO);
 
+    // Host-side wall-clock profile of the whole collect→plan→push run;
+    // every probe below is a disabled no-op unless --runprof is live.
+    let _prof = telemetry::runprof::span("fleet.run");
+    telemetry::runprof::watermark("fleet.networks", cfg.n_networks as u64);
+
     // Synthesize the fleet (sharded; generation dominates small runs).
-    let mut nets = shard::map_sharded(cfg.n_networks, cfg.threads, &|i| {
+    let mut nets = shard::map_sharded(cfg.n_networks, cfg.threads, "fleet.shard.generate", &|i| {
         network::ManagedNetwork::generate(cfg, i as u64)
     });
 
@@ -157,7 +162,11 @@ pub fn run_fleet(cfg: &FleetConfig) -> FleetRun {
     let mut now = SimTime::ZERO;
     let mut epochs = 0u64;
     while now < end {
-        shard::for_each_mut_sharded(&mut nets, cfg.threads, &|net| net.on_tick(now, cfg));
+        let epoch_prof = telemetry::runprof::span("fleet.epoch");
+        shard::for_each_mut_sharded(&mut nets, cfg.threads, "fleet.shard.tick", &|net| {
+            net.on_tick(now, cfg)
+        });
+        drop(epoch_prof);
         sanitize::check_epoch(&nets, now);
         flight.emit(
             "fleet.epoch",
@@ -173,7 +182,12 @@ pub fn run_fleet(cfg: &FleetConfig) -> FleetRun {
     }
 
     // Final plan evaluation, sharded as well.
-    shard::for_each_mut_sharded(&mut nets, cfg.threads, &|net| net.finalize());
+    shard::for_each_mut_sharded(&mut nets, cfg.threads, "fleet.shard.finalize", &|net| {
+        net.finalize()
+    });
+    // Reports pending ingest on the controller thread — the structure
+    // ROADMAP-1 must keep bounded as fleets grow toward 1M networks.
+    telemetry::runprof::watermark("fleet.reports.pending", nets.len() as u64);
 
     // Controller-side registry: own counters, then every network's
     // registry merged in id order. Thread count is deliberately NOT

@@ -25,9 +25,21 @@ fn effective_threads(requested: usize) -> usize {
     requested.min(avail)
 }
 
+/// Record the shard geometry for the run profiler: the per-worker
+/// backlog (chunk size) each stage handed its workers. Pure
+/// observation — no-op (one relaxed load) unless `--runprof` is live.
+fn profile_chunk(stage: &str, chunk: usize) {
+    if telemetry::runprof::enabled() {
+        telemetry::runprof::watermark(&format!("{stage}.backlog"), chunk as u64);
+    }
+}
+
 /// Build a `Vec<T>` by evaluating `f(0..n)` across `threads` workers.
 /// Equivalent to `(0..n).map(f).collect()` for any thread count.
-pub fn map_sharded<T, F>(n: usize, threads: usize, f: &F) -> Vec<T>
+/// `stage` names this fan-out in the wall-clock run profiler; worker
+/// wall time accumulates under it (spans overlap across workers, so a
+/// stage's `total_ns` is CPU-seconds-like, not elapsed time).
+pub fn map_sharded<T, F>(n: usize, threads: usize, stage: &'static str, f: &F) -> Vec<T>
 where
     T: Send,
     F: Fn(usize) -> T + Sync,
@@ -37,13 +49,17 @@ where
     }
     let threads = effective_threads(threads);
     if threads <= 1 {
+        profile_chunk(stage, n);
+        let _prof = telemetry::runprof::span(stage);
         return (0..n).map(f).collect();
     }
     let chunk = n.div_ceil(threads.min(n));
+    profile_chunk(stage, chunk);
     let mut out: Vec<Option<T>> = (0..n).map(|_| None).collect();
     std::thread::scope(|s| {
         for (w, slots) in out.chunks_mut(chunk).enumerate() {
             s.spawn(move || {
+                let _prof = telemetry::runprof::span(stage);
                 for (j, slot) in slots.iter_mut().enumerate() {
                     *slot = Some(f(w * chunk + j));
                 }
@@ -57,8 +73,9 @@ where
 
 /// Apply `f` to every item in place, sharded across `threads` workers.
 /// Items are mutated independently; index-chunked partitioning keeps the
-/// outcome identical to the sequential loop.
-pub fn for_each_mut_sharded<T, F>(items: &mut [T], threads: usize, f: &F)
+/// outcome identical to the sequential loop. `stage` labels the fan-out
+/// for the run profiler, as in [`map_sharded`].
+pub fn for_each_mut_sharded<T, F>(items: &mut [T], threads: usize, stage: &'static str, f: &F)
 where
     T: Send,
     F: Fn(&mut T) + Sync,
@@ -68,15 +85,19 @@ where
     }
     let threads = effective_threads(threads);
     if threads <= 1 {
+        profile_chunk(stage, items.len());
+        let _prof = telemetry::runprof::span(stage);
         for it in items {
             f(it);
         }
         return;
     }
     let chunk = items.len().div_ceil(threads.min(items.len()));
+    profile_chunk(stage, chunk);
     std::thread::scope(|s| {
         for slots in items.chunks_mut(chunk) {
             s.spawn(move || {
+                let _prof = telemetry::runprof::span(stage);
                 for it in slots {
                     f(it);
                 }
@@ -94,16 +115,20 @@ mod tests {
         let f = |i: usize| (i as u64).wrapping_mul(0x9E37_79B9) ^ 0xABCD;
         let want: Vec<u64> = (0..97).map(f).collect();
         for threads in [1, 2, 3, 4, 8, 97, 200] {
-            assert_eq!(map_sharded(97, threads, &f), want, "threads={threads}");
+            assert_eq!(
+                map_sharded(97, threads, "test.map", &f),
+                want,
+                "threads={threads}"
+            );
         }
     }
 
     #[test]
     fn map_handles_empty_and_tiny() {
         let f = |i: usize| i;
-        assert!(map_sharded(0, 4, &f).is_empty());
-        assert_eq!(map_sharded(1, 4, &f), vec![0]);
-        assert_eq!(map_sharded(3, 16, &f), vec![0, 1, 2]);
+        assert!(map_sharded(0, 4, "test.map", &f).is_empty());
+        assert_eq!(map_sharded(1, 4, "test.map", &f), vec![0]);
+        assert_eq!(map_sharded(3, 16, "test.map", &f), vec![0, 1, 2]);
     }
 
     #[test]
@@ -116,7 +141,7 @@ mod tests {
         }
         for threads in [1, 2, 4, 9, 64] {
             let mut got = init.clone();
-            for_each_mut_sharded(&mut got, threads, &f);
+            for_each_mut_sharded(&mut got, threads, "test.each", &f);
             assert_eq!(got, want, "threads={threads}");
         }
     }
@@ -127,7 +152,7 @@ mod tests {
         let peak = AtomicUsize::new(0);
         let live = AtomicUsize::new(0);
         let mut items = vec![0u8; 8];
-        for_each_mut_sharded(&mut items, 4, &|_| {
+        for_each_mut_sharded(&mut items, 4, "test.each", &|_| {
             let now = live.fetch_add(1, Ordering::SeqCst) + 1;
             peak.fetch_max(now, Ordering::SeqCst);
             std::thread::sleep(std::time::Duration::from_millis(20));

@@ -651,6 +651,9 @@ impl Testbed {
     /// Run the testbed for `duration` of simulated time and produce the
     /// measurement report.
     pub fn run(mut self, duration: SimDuration) -> TestbedReport {
+        // Host-side wall-clock attribution for the whole event loop;
+        // a disabled no-op unless the binary was started with --runprof.
+        let _prof = telemetry::runprof::span("testbed.run");
         let end = SimTime::ZERO + duration;
         // Resolved once: an env probe per medium round is measurable.
         let dbg_timeline = std::env::var_os("IMC_DEBUG").is_some();
@@ -899,6 +902,26 @@ impl Testbed {
         self.metrics.count("sim.queue.scheduled", qs.scheduled);
         self.metrics.count("sim.queue.popped", qs.popped);
         self.metrics.count("sim.queue.cancelled", qs.cancelled);
+        // Capacity-sizing gauges: the arena's lifetime high-water mark
+        // (slab slots ever allocated) and the deepest the pending set
+        // got. Both are deterministic functions of the trajectory, so
+        // they live in the metrics snapshot proper; runprof mirrors
+        // them (with the flight-ring occupancy) into its sidecar.
+        let arena_peak = self.queue.arena_capacity() as u64;
+        let g = self.metrics.gauge("sim.queue.arena_peak");
+        self.metrics
+            .gauge_set(g, i64::try_from(arena_peak).unwrap_or(i64::MAX));
+        let g = self.metrics.gauge("sim.queue.depth_peak");
+        self.metrics
+            .gauge_set(g, i64::try_from(qs.depth_peak).unwrap_or(i64::MAX));
+        telemetry::runprof::watermark("sim.queue.arena_peak", arena_peak);
+        telemetry::runprof::watermark("sim.queue.arena_free", self.queue.arena_free() as u64);
+        telemetry::runprof::watermark("sim.queue.depth_peak", qs.depth_peak);
+        telemetry::runprof::watermark(
+            "flight.ring.records",
+            self.report.flight.total_records() as u64,
+        );
+        telemetry::runprof::watermark("flight.ring.dropped", self.report.flight.total_dropped());
         for (a, ap) in self.aps.iter().enumerate() {
             ap.backoff
                 .stats

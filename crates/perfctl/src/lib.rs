@@ -1,0 +1,888 @@
+//! `perfctl` — inspect run profiles and gate on the perf baseline.
+//!
+//! The write side lives in `telemetry::runprof` (the `--runprof`
+//! sidecar every bench binary can emit) and in the bench harness's
+//! `--perf` fragments merged into `BENCH_simperf.json`. This crate is
+//! the reader side: a library of renderers plus a thin CLI
+//! (`src/main.rs`) in the `tracectl` house style:
+//!
+//! * `perfctl summary <runprof.json>` — watermarks, stage wall times,
+//!   allocation counters, peak RSS, and throughput samples;
+//! * `perfctl diff <a.json> <b.json>` — determinism triage: the
+//!   `deterministic` sections must match structurally (exit 1 naming
+//!   the first diverging path otherwise); wall-clock sections are
+//!   reported as deltas, never compared for equality;
+//! * `perfctl regress <current>... --baseline BENCH_simperf.json
+//!   [--tolerance 30%]` — the CI perf gate: every throughput label
+//!   present in both current and baseline must stay above
+//!   `(1 − tolerance) × baseline` events/sec. Multiple current files
+//!   fold best-per-label (best-of-N runs); accepts `--perf` fragments,
+//!   merged `BENCH_simperf.json` files, and `--runprof` sidecars.
+//!
+//! Every renderer returns a `String` so tests assert on output
+//! verbatim; only `main` prints. Exit codes: 0 ok, 1 regression or
+//! deterministic divergence, 2 usage/parse errors.
+
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+// ---- minimal JSON value --------------------------------------------
+
+/// Parsed JSON. Objects keep sorted key order (BTreeMap) — every JSON
+/// writer in this workspace sorts keys anyway, and it makes structural
+/// diffs deterministic.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    Null,
+    Bool(bool),
+    Num(f64),
+    Str(String),
+    Arr(Vec<Value>),
+    Obj(BTreeMap<String, Value>),
+}
+
+impl Value {
+    pub fn get(&self, key: &str) -> Option<&Value> {
+        match self {
+            Value::Obj(m) => m.get(key),
+            _ => None,
+        }
+    }
+
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Value::Num(n) => Some(*n),
+            _ => None,
+        }
+    }
+
+    pub fn as_arr(&self) -> Option<&[Value]> {
+        match self {
+            Value::Arr(v) => Some(v),
+            _ => None,
+        }
+    }
+}
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+/// Parse one JSON document (strict enough for this workspace's
+/// hand-rolled writers; rejects trailing garbage).
+pub fn parse_json(text: &str) -> Result<Value, String> {
+    let mut p = Parser {
+        bytes: text.as_bytes(),
+        pos: 0,
+    };
+    let v = p.value()?;
+    p.skip_ws();
+    if p.pos != p.bytes.len() {
+        return Err(format!("trailing data at byte {}", p.pos));
+    }
+    Ok(v)
+}
+
+impl<'a> Parser<'a> {
+    fn skip_ws(&mut self) {
+        while self
+            .bytes
+            .get(self.pos)
+            .is_some_and(|b| matches!(b, b' ' | b'\t' | b'\n' | b'\r'))
+        {
+            self.pos += 1;
+        }
+    }
+
+    fn peek(&mut self) -> Result<u8, String> {
+        self.skip_ws();
+        self.bytes
+            .get(self.pos)
+            .copied()
+            .ok_or_else(|| "unexpected end of input".to_owned())
+    }
+
+    fn expect(&mut self, b: u8) -> Result<(), String> {
+        if self.peek()? == b {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(format!("expected '{}' at byte {}", char::from(b), self.pos))
+        }
+    }
+
+    fn value(&mut self) -> Result<Value, String> {
+        match self.peek()? {
+            b'{' => self.object(),
+            b'[' => self.array(),
+            b'"' => Ok(Value::Str(self.string()?)),
+            b't' => self.literal("true", Value::Bool(true)),
+            b'f' => self.literal("false", Value::Bool(false)),
+            b'n' => self.literal("null", Value::Null),
+            _ => self.number(),
+        }
+    }
+
+    fn literal(&mut self, word: &str, v: Value) -> Result<Value, String> {
+        if self.bytes[self.pos..].starts_with(word.as_bytes()) {
+            self.pos += word.len();
+            Ok(v)
+        } else {
+            Err(format!("bad literal at byte {}", self.pos))
+        }
+    }
+
+    fn number(&mut self) -> Result<Value, String> {
+        let start = self.pos;
+        while self
+            .bytes
+            .get(self.pos)
+            .is_some_and(|b| matches!(b, b'0'..=b'9' | b'-' | b'+' | b'.' | b'e' | b'E'))
+        {
+            self.pos += 1;
+        }
+        let s = std::str::from_utf8(&self.bytes[start..self.pos])
+            .map_err(|_| "bad number".to_owned())?;
+        s.parse::<f64>()
+            .map(Value::Num)
+            .map_err(|_| format!("bad number {s:?} at byte {start}"))
+    }
+
+    fn string(&mut self) -> Result<String, String> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        loop {
+            let b = self
+                .bytes
+                .get(self.pos)
+                .copied()
+                .ok_or("unterminated string")?;
+            self.pos += 1;
+            match b {
+                b'"' => return Ok(out),
+                b'\\' => {
+                    let e = self
+                        .bytes
+                        .get(self.pos)
+                        .copied()
+                        .ok_or("unterminated escape")?;
+                    self.pos += 1;
+                    match e {
+                        b'"' => out.push('"'),
+                        b'\\' => out.push('\\'),
+                        b'/' => out.push('/'),
+                        b'n' => out.push('\n'),
+                        b'r' => out.push('\r'),
+                        b't' => out.push('\t'),
+                        b'b' => out.push('\u{8}'),
+                        b'f' => out.push('\u{c}'),
+                        b'u' => {
+                            let hex = self
+                                .bytes
+                                .get(self.pos..self.pos + 4)
+                                .ok_or("truncated \\u escape")?;
+                            let hex = std::str::from_utf8(hex).map_err(|_| "bad \\u escape")?;
+                            let cp = u32::from_str_radix(hex, 16)
+                                .map_err(|_| format!("bad \\u escape {hex:?}"))?;
+                            self.pos += 4;
+                            // Surrogates don't appear in this
+                            // workspace's ASCII-escaped output.
+                            out.push(char::from_u32(cp).unwrap_or('\u{fffd}'));
+                        }
+                        _ => return Err(format!("bad escape at byte {}", self.pos - 1)),
+                    }
+                }
+                _ => {
+                    // Re-decode multi-byte UTF-8 starting here.
+                    let start = self.pos - 1;
+                    let mut end = self.pos;
+                    while self.bytes.get(end).is_some_and(|&b| b & 0xC0 == 0x80) {
+                        end += 1;
+                    }
+                    let s = std::str::from_utf8(&self.bytes[start..end])
+                        .map_err(|_| "invalid utf-8 in string")?;
+                    out.push_str(s);
+                    self.pos = end;
+                }
+            }
+        }
+    }
+
+    fn array(&mut self) -> Result<Value, String> {
+        self.expect(b'[')?;
+        let mut items = Vec::new();
+        if self.peek()? == b']' {
+            self.pos += 1;
+            return Ok(Value::Arr(items));
+        }
+        loop {
+            items.push(self.value()?);
+            match self.peek()? {
+                b',' => self.pos += 1,
+                b']' => {
+                    self.pos += 1;
+                    return Ok(Value::Arr(items));
+                }
+                _ => return Err(format!("expected ',' or ']' at byte {}", self.pos)),
+            }
+        }
+    }
+
+    fn object(&mut self) -> Result<Value, String> {
+        self.expect(b'{')?;
+        let mut map = BTreeMap::new();
+        if self.peek()? == b'}' {
+            self.pos += 1;
+            return Ok(Value::Obj(map));
+        }
+        loop {
+            self.skip_ws();
+            let key = self.string()?;
+            self.expect(b':')?;
+            map.insert(key, self.value()?);
+            match self.peek()? {
+                b',' => self.pos += 1,
+                b'}' => {
+                    self.pos += 1;
+                    return Ok(Value::Obj(map));
+                }
+                _ => return Err(format!("expected ',' or '}}' at byte {}", self.pos)),
+            }
+        }
+    }
+}
+
+// ---- sample extraction ---------------------------------------------
+
+/// One throughput sample as the regress gate sees it.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Sample {
+    pub label: String,
+    pub events_per_s: f64,
+    pub peak_rss_bytes: Option<u64>,
+}
+
+fn samples_from_list(list: &[Value], out: &mut Vec<Sample>) {
+    for s in list {
+        let (Some(label), Some(rate)) = (
+            s.get("label").and_then(Value::as_str),
+            s.get("events_per_s").and_then(Value::as_f64),
+        ) else {
+            continue;
+        };
+        out.push(Sample {
+            label: label.to_owned(),
+            events_per_s: rate,
+            peak_rss_bytes: s
+                .get("peak_rss_bytes")
+                .and_then(Value::as_f64)
+                .map(|b| b as u64),
+        });
+    }
+}
+
+/// Pull throughput samples out of any perf artifact this workspace
+/// writes: a `--perf` fragment (`samples` at top level), a merged
+/// `BENCH_simperf.json` (`benches[*].samples`), or a `--runprof`
+/// sidecar (`wall_clock.samples`).
+pub fn extract_samples(doc: &Value) -> Vec<Sample> {
+    let mut out = Vec::new();
+    if let Some(list) = doc.get("samples").and_then(Value::as_arr) {
+        samples_from_list(list, &mut out);
+    }
+    if let Some(wc) = doc.get("wall_clock") {
+        if let Some(list) = wc.get("samples").and_then(Value::as_arr) {
+            samples_from_list(list, &mut out);
+        }
+    }
+    if let Some(benches) = doc.get("benches").and_then(Value::as_arr) {
+        for b in benches {
+            if let Some(list) = b.get("samples").and_then(Value::as_arr) {
+                samples_from_list(list, &mut out);
+            }
+        }
+    }
+    out
+}
+
+// ---- renderers ------------------------------------------------------
+
+fn fmt_bytes(b: u64) -> String {
+    if b >= 1 << 30 {
+        format!("{:.2} GiB", b as f64 / (1u64 << 30) as f64)
+    } else if b >= 1 << 20 {
+        format!("{:.1} MiB", b as f64 / (1u64 << 20) as f64)
+    } else if b >= 1 << 10 {
+        format!("{:.1} KiB", b as f64 / (1u64 << 10) as f64)
+    } else {
+        format!("{b} B")
+    }
+}
+
+fn fmt_ns(ns: f64) -> String {
+    if ns >= 1e9 {
+        format!("{:.3} s", ns / 1e9)
+    } else if ns >= 1e6 {
+        format!("{:.2} ms", ns / 1e6)
+    } else if ns >= 1e3 {
+        format!("{:.1} us", ns / 1e3)
+    } else {
+        format!("{ns:.0} ns")
+    }
+}
+
+/// Human summary of one `--runprof` sidecar.
+pub fn summary(doc: &Value) -> Result<String, String> {
+    let bench = doc
+        .get("bench")
+        .and_then(Value::as_str)
+        .ok_or("not a runprof sidecar: missing \"bench\"")?;
+    let mut out = String::new();
+    let _ = writeln!(out, "run profile: {bench}");
+
+    let watermarks = doc
+        .get("deterministic")
+        .and_then(|d| d.get("watermarks"))
+        .ok_or("not a runprof sidecar: missing deterministic.watermarks")?;
+    if let Value::Obj(m) = watermarks {
+        let _ = writeln!(out, "watermarks ({}):", m.len());
+        for (k, v) in m {
+            let _ = writeln!(out, "  {:<28} {}", k, v.as_f64().unwrap_or(0.0) as u64);
+        }
+    }
+
+    let wc = doc
+        .get("wall_clock")
+        .ok_or("not a runprof sidecar: missing wall_clock")?;
+    if let Some(stages) = wc.get("stages").and_then(Value::as_arr) {
+        // Heaviest stages first; ties broken by name so the listing is
+        // stable for a given input file.
+        let mut rows: Vec<(&str, f64, f64, f64, f64)> = stages
+            .iter()
+            .filter_map(|s| {
+                Some((
+                    s.get("stage")?.as_str()?,
+                    s.get("calls")?.as_f64()?,
+                    s.get("total_ns")?.as_f64()?,
+                    s.get("min_ns")?.as_f64()?,
+                    s.get("max_ns")?.as_f64()?,
+                ))
+            })
+            .collect();
+        rows.sort_by(|a, b| b.2.total_cmp(&a.2).then_with(|| a.0.cmp(b.0)));
+        let _ = writeln!(out, "stages ({}):", rows.len());
+        let _ = writeln!(
+            out,
+            "  {:<28} {:>8} {:>12} {:>12} {:>12}",
+            "stage", "calls", "total", "min", "max"
+        );
+        for (name, calls, total, min, max) in rows {
+            let _ = writeln!(
+                out,
+                "  {:<28} {:>8} {:>12} {:>12} {:>12}",
+                name,
+                calls as u64,
+                fmt_ns(total),
+                fmt_ns(min),
+                fmt_ns(max)
+            );
+        }
+    }
+    if let Some(alloc) = wc.get("alloc") {
+        let installed = matches!(alloc.get("installed"), Some(Value::Bool(true)));
+        if installed {
+            let g = |k: &str| alloc.get(k).and_then(Value::as_f64).unwrap_or(0.0) as u64;
+            let _ = writeln!(
+                out,
+                "alloc: {} allocs, {} frees, live {}, peak {}",
+                g("allocs"),
+                g("frees"),
+                fmt_bytes(g("live_bytes")),
+                fmt_bytes(g("peak_bytes"))
+            );
+        } else {
+            let _ = writeln!(
+                out,
+                "alloc: not counted (build with --features bench/alloc-count)"
+            );
+        }
+    }
+    match wc.get("peak_rss_bytes") {
+        Some(Value::Num(b)) => {
+            let _ = writeln!(out, "peak rss: {}", fmt_bytes(*b as u64));
+        }
+        _ => {
+            let _ = writeln!(out, "peak rss: unavailable");
+        }
+    }
+    let samples = extract_samples(doc);
+    if !samples.is_empty() {
+        let _ = writeln!(out, "samples ({}):", samples.len());
+        for s in &samples {
+            let rss = s.peak_rss_bytes.map_or("-".to_owned(), fmt_bytes);
+            let _ = writeln!(
+                out,
+                "  {:<28} {:>14.0} events/s  rss {}",
+                s.label, s.events_per_s, rss
+            );
+        }
+    }
+    Ok(out)
+}
+
+/// Dotted-path structural comparison; returns the first diverging path.
+fn first_divergence(a: &Value, b: &Value, path: &str) -> Option<String> {
+    match (a, b) {
+        (Value::Obj(ma), Value::Obj(mb)) => {
+            for k in ma.keys().chain(mb.keys()) {
+                let sub = format!("{path}.{k}");
+                match (ma.get(k), mb.get(k)) {
+                    (Some(va), Some(vb)) => {
+                        if let Some(d) = first_divergence(va, vb, &sub) {
+                            return Some(d);
+                        }
+                    }
+                    (Some(_), None) => return Some(format!("{sub} (only in first)")),
+                    (None, Some(_)) => return Some(format!("{sub} (only in second)")),
+                    (None, None) => unreachable!(),
+                }
+            }
+            None
+        }
+        (Value::Arr(va), Value::Arr(vb)) => {
+            if va.len() != vb.len() {
+                return Some(format!("{path} (length {} vs {})", va.len(), vb.len()));
+            }
+            va.iter()
+                .zip(vb)
+                .enumerate()
+                .find_map(|(i, (x, y))| first_divergence(x, y, &format!("{path}[{i}]")))
+        }
+        _ if a == b => None,
+        _ => Some(path.to_owned()),
+    }
+}
+
+/// Compare two runprof sidecars: deterministic sections must match
+/// (exit 1 otherwise), wall-clock stage times are reported as deltas.
+pub fn diff(a: &Value, b: &Value) -> Result<(String, i32), String> {
+    let da = a
+        .get("deterministic")
+        .ok_or("first file is not a runprof sidecar (no \"deterministic\")")?;
+    let db = b
+        .get("deterministic")
+        .ok_or("second file is not a runprof sidecar (no \"deterministic\")")?;
+    let mut out = String::new();
+    let code = match first_divergence(da, db, "deterministic") {
+        Some(path) => {
+            let _ = writeln!(out, "DETERMINISTIC SECTIONS DIFFER: {path}");
+            1
+        }
+        None => {
+            let _ = writeln!(out, "deterministic sections identical");
+            0
+        }
+    };
+
+    // Wall-clock: informational deltas only. Collect stage -> total_ns.
+    let stage_totals = |doc: &Value| -> BTreeMap<String, f64> {
+        doc.get("wall_clock")
+            .and_then(|w| w.get("stages"))
+            .and_then(Value::as_arr)
+            .map(|stages| {
+                stages
+                    .iter()
+                    .filter_map(|s| {
+                        Some((
+                            s.get("stage")?.as_str()?.to_owned(),
+                            s.get("total_ns")?.as_f64()?,
+                        ))
+                    })
+                    .collect()
+            })
+            .unwrap_or_default()
+    };
+    let (ta, tb) = (stage_totals(a), stage_totals(b));
+    if !ta.is_empty() || !tb.is_empty() {
+        let _ = writeln!(out, "wall-clock stage deltas (informational):");
+        for stage in ta
+            .keys()
+            .chain(tb.keys())
+            .collect::<std::collections::BTreeSet<_>>()
+        {
+            match (ta.get(stage), tb.get(stage)) {
+                (Some(&x), Some(&y)) => {
+                    let pct = if x > 0.0 { (y / x - 1.0) * 100.0 } else { 0.0 };
+                    let _ = writeln!(
+                        out,
+                        "  {:<28} {:>12} -> {:>12}  ({:+.1}%)",
+                        stage,
+                        fmt_ns(x),
+                        fmt_ns(y),
+                        pct
+                    );
+                }
+                (Some(&x), None) => {
+                    let _ = writeln!(out, "  {:<28} {:>12} -> (absent)", stage, fmt_ns(x));
+                }
+                (None, Some(&y)) => {
+                    let _ = writeln!(out, "  {:<28} (absent) -> {:>12}", stage, fmt_ns(y));
+                }
+                (None, None) => unreachable!(),
+            }
+        }
+    }
+    Ok((out, code))
+}
+
+/// Parse a tolerance argument: `30%` or `0.3`.
+pub fn parse_tolerance(s: &str) -> Result<f64, String> {
+    let (txt, div) = match s.strip_suffix('%') {
+        Some(t) => (t, 100.0),
+        None => (s, 1.0),
+    };
+    let v: f64 = txt
+        .trim()
+        .parse()
+        .map_err(|_| format!("bad tolerance {s:?} (want e.g. \"30%\" or \"0.3\")"))?;
+    let v = v / div;
+    if !(0.0..1.0).contains(&v) {
+        return Err(format!("tolerance {s:?} out of range [0, 1)"));
+    }
+    Ok(v)
+}
+
+/// The CI perf gate: fold `current` samples best-per-label, compare
+/// every label shared with `baseline` against `(1 − tolerance) ×
+/// baseline`. Exit 1 on any regression, error (exit 2 in the CLI) when
+/// no label overlaps.
+pub fn regress(
+    current: &[Vec<Sample>],
+    baseline: &[Sample],
+    tolerance: f64,
+) -> Result<(String, i32), String> {
+    let mut best: BTreeMap<&str, f64> = BTreeMap::new();
+    for run in current {
+        for s in run {
+            let e = best.entry(&s.label).or_insert(f64::NEG_INFINITY);
+            *e = e.max(s.events_per_s);
+        }
+    }
+    let base: BTreeMap<&str, f64> = baseline
+        .iter()
+        .map(|s| (s.label.as_str(), s.events_per_s))
+        .collect();
+
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "{:<28} {:>14} {:>14} {:>8}  verdict",
+        "label", "baseline/s", "current/s", "ratio"
+    );
+    let mut compared = 0usize;
+    let mut regressions = 0usize;
+    for (label, &b) in &base {
+        let Some(&c) = best.get(label) else {
+            let _ = writeln!(
+                out,
+                "{label:<28} {b:>14.0} {:>14} {:>8}  (not measured)",
+                "-", "-"
+            );
+            continue;
+        };
+        compared += 1;
+        let ratio = if b > 0.0 { c / b } else { 1.0 };
+        let ok = c >= (1.0 - tolerance) * b;
+        if !ok {
+            regressions += 1;
+        }
+        let _ = writeln!(
+            out,
+            "{:<28} {:>14.0} {:>14.0} {:>8.2}  {}",
+            label,
+            b,
+            c,
+            ratio,
+            if ok { "ok" } else { "REGRESSION" }
+        );
+    }
+    for label in best.keys() {
+        if !base.contains_key(label) {
+            let _ = writeln!(out, "{label:<28} (no baseline entry; not gated)");
+        }
+    }
+    if compared == 0 {
+        return Err("no label overlaps between current samples and the baseline".to_owned());
+    }
+    let _ = writeln!(
+        out,
+        "{compared} label(s) gated at {:.0}% tolerance: {}",
+        tolerance * 100.0,
+        if regressions == 0 {
+            "all ok".to_owned()
+        } else {
+            format!("{regressions} REGRESSION(S)")
+        }
+    );
+    Ok((out, i32::from(regressions > 0)))
+}
+
+// ---- CLI ------------------------------------------------------------
+
+const USAGE: &str = "usage:
+  perfctl summary <runprof.json>
+  perfctl diff <a.json> <b.json>
+  perfctl regress <current.json>... --baseline <BENCH_simperf.json> [--tolerance 30%]
+";
+
+fn load(path: &str) -> Result<Value, String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+    parse_json(&text).map_err(|e| format!("{path}: {e}"))
+}
+
+/// CLI entry: returns (stdout, exit code); Err means usage/IO/parse
+/// failure (`main` prints it to stderr and exits 2).
+pub fn run(args: &[String]) -> Result<(String, i32), String> {
+    match args.first().map(String::as_str) {
+        Some("summary") => {
+            let [path] = &args[1..] else {
+                return Err(USAGE.to_owned());
+            };
+            Ok((summary(&load(path)?)?, 0))
+        }
+        Some("diff") => {
+            let [a, b] = &args[1..] else {
+                return Err(USAGE.to_owned());
+            };
+            diff(&load(a)?, &load(b)?)
+        }
+        Some("regress") => {
+            let mut baseline: Option<String> = None;
+            let mut tolerance = 0.30;
+            let mut current: Vec<String> = Vec::new();
+            let mut it = args[1..].iter();
+            while let Some(a) = it.next() {
+                match a.as_str() {
+                    "--baseline" => {
+                        baseline = Some(it.next().ok_or(USAGE)?.clone());
+                    }
+                    "--tolerance" => {
+                        tolerance = parse_tolerance(it.next().ok_or(USAGE)?)?;
+                    }
+                    _ => current.push(a.clone()),
+                }
+            }
+            let baseline = baseline.ok_or(USAGE)?;
+            if current.is_empty() {
+                return Err(USAGE.to_owned());
+            }
+            let base_samples = extract_samples(&load(&baseline)?);
+            if base_samples.is_empty() {
+                return Err(format!("{baseline}: no samples found"));
+            }
+            let mut cur = Vec::new();
+            for p in &current {
+                let s = extract_samples(&load(p)?);
+                if s.is_empty() {
+                    return Err(format!("{p}: no samples found"));
+                }
+                cur.push(s);
+            }
+            regress(&cur, &base_samples, tolerance)
+        }
+        _ => Err(USAGE.to_owned()),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const FRAGMENT: &str = r#"{
+  "bench": "fig18",
+  "samples": [
+    { "label": "fig18_multi_ap", "events": 1000000, "wall_s": 2, "events_per_s": 500000, "peak_rss_bytes": 104857600 }
+  ]
+}
+"#;
+
+    const MERGED: &str = r#"{
+  "benches": [
+    { "bench": "fig18", "samples": [
+      { "label": "fig18_multi_ap", "events": 900000, "wall_s": 2, "events_per_s": 450000, "peak_rss_bytes": null }
+    ] },
+    { "bench": "fleet_scale", "samples": [
+      { "label": "fleet_1000x8_plans", "events": 1000, "wall_s": 1, "events_per_s": 1000 }
+    ] }
+  ]
+}
+"#;
+
+    const RUNPROF: &str = r#"{
+  "bench": "fig18",
+  "deterministic": {
+    "watermarks": {
+      "flight.ring.records": 3072,
+      "sim.queue.arena_peak": 512
+    }
+  },
+  "wall_clock": {
+    "note": "non-deterministic host measurements; never byte-compare",
+    "stages": [
+      { "stage": "fig18.run", "calls": 1, "total_ns": 2000000000, "min_ns": 2000000000, "max_ns": 2000000000 },
+      { "stage": "testbed.run", "calls": 3, "total_ns": 1800000000, "min_ns": 500000000, "max_ns": 700000000 }
+    ],
+    "alloc": { "installed": true, "allocs": 1000, "frees": 900, "live_bytes": 4096, "peak_bytes": 1048576 },
+    "peak_rss_bytes": 104857600,
+    "samples": [
+      { "label": "fig18_multi_ap", "events": 1000000, "wall_s": 2, "events_per_s": 500000, "peak_rss_bytes": 104857600 }
+    ]
+  }
+}
+"#;
+
+    #[test]
+    fn parses_every_artifact_shape() {
+        for (doc, want) in [(FRAGMENT, 1), (MERGED, 2), (RUNPROF, 1)] {
+            let v = parse_json(doc).unwrap();
+            assert_eq!(extract_samples(&v).len(), want);
+        }
+    }
+
+    #[test]
+    fn parser_rejects_garbage() {
+        assert!(parse_json("{").is_err());
+        assert!(parse_json("{}extra").is_err());
+        assert!(parse_json("{\"a\": nope}").is_err());
+        assert!(parse_json("[1, 2,]").is_err());
+    }
+
+    #[test]
+    fn parser_handles_escapes_and_numbers() {
+        let v = parse_json(r#"{"s": "a\"b\\cA", "n": -1.5e3, "z": null}"#).unwrap();
+        assert_eq!(v.get("s").unwrap().as_str(), Some("a\"b\\cA"));
+        assert_eq!(v.get("n").unwrap().as_f64(), Some(-1500.0));
+        assert_eq!(v.get("z"), Some(&Value::Null));
+    }
+
+    #[test]
+    fn summary_renders_all_sections() {
+        let v = parse_json(RUNPROF).unwrap();
+        let s = summary(&v).unwrap();
+        assert!(s.contains("run profile: fig18"), "{s}");
+        assert!(s.contains("sim.queue.arena_peak"), "{s}");
+        assert!(s.contains("fig18.run"), "{s}");
+        assert!(s.contains("peak rss: 100.0 MiB"), "{s}");
+        assert!(s.contains("1000 allocs"), "{s}");
+        assert!(s.contains("500000 events/s"), "{s}");
+        // Byte-stable: same input, same output.
+        assert_eq!(s, summary(&v).unwrap());
+    }
+
+    #[test]
+    fn summary_rejects_non_runprof_input() {
+        let v = parse_json(FRAGMENT).unwrap();
+        assert!(summary(&v).is_err());
+    }
+
+    #[test]
+    fn diff_passes_identical_deterministic_sections() {
+        let a = parse_json(RUNPROF).unwrap();
+        // Same deterministic content, different wall-clock numbers.
+        let b_text = RUNPROF.replace("2000000000", "3000000000");
+        let b = parse_json(&b_text).unwrap();
+        let (out, code) = diff(&a, &b).unwrap();
+        assert_eq!(code, 0, "{out}");
+        assert!(out.contains("deterministic sections identical"), "{out}");
+        assert!(out.contains("+50.0%"), "{out}");
+    }
+
+    #[test]
+    fn diff_names_the_first_diverging_watermark() {
+        let a = parse_json(RUNPROF).unwrap();
+        let b = parse_json(&RUNPROF.replace("512", "640")).unwrap();
+        let (out, code) = diff(&a, &b).unwrap();
+        assert_eq!(code, 1);
+        assert!(
+            out.contains("deterministic.watermarks.sim.queue.arena_peak"),
+            "{out}"
+        );
+    }
+
+    #[test]
+    fn regress_passes_identical_samples() {
+        let v = parse_json(MERGED).unwrap();
+        let samples = extract_samples(&v);
+        let runs = [samples.clone()];
+        let (out, code) = regress(&runs, &samples, 0.30).unwrap();
+        assert_eq!(code, 0, "{out}");
+        assert!(out.contains("all ok"), "{out}");
+        // Byte-stable across invocations.
+        let (again, _) = regress(&runs, &samples, 0.30).unwrap();
+        assert_eq!(out, again);
+    }
+
+    #[test]
+    fn regress_fails_a_40_percent_slowdown() {
+        let v = parse_json(MERGED).unwrap();
+        let baseline = extract_samples(&v);
+        let mut slow = baseline.clone();
+        for s in &mut slow {
+            s.events_per_s *= 0.6;
+        }
+        let (out, code) = regress(&[slow], &baseline, 0.30).unwrap();
+        assert_eq!(code, 1, "{out}");
+        assert!(out.contains("REGRESSION"), "{out}");
+    }
+
+    #[test]
+    fn regress_takes_best_of_n_current_runs() {
+        let v = parse_json(MERGED).unwrap();
+        let baseline = extract_samples(&v);
+        let mut slow = baseline.clone();
+        for s in &mut slow {
+            s.events_per_s *= 0.5;
+        }
+        // One bad run plus one good run: best-of-N must pass.
+        let (out, code) = regress(&[slow, baseline.clone()], &baseline, 0.30).unwrap();
+        assert_eq!(code, 0, "{out}");
+    }
+
+    #[test]
+    fn regress_ignores_unshared_labels_but_requires_overlap() {
+        let baseline = vec![Sample {
+            label: "only_in_baseline".to_owned(),
+            events_per_s: 100.0,
+            peak_rss_bytes: None,
+        }];
+        let current = vec![vec![Sample {
+            label: "only_in_current".to_owned(),
+            events_per_s: 100.0,
+            peak_rss_bytes: None,
+        }]];
+        assert!(regress(&current, &baseline, 0.30).is_err());
+    }
+
+    #[test]
+    fn tolerance_accepts_percent_and_fraction() {
+        assert_eq!(parse_tolerance("30%").unwrap(), 0.30);
+        assert_eq!(parse_tolerance("0.3").unwrap(), 0.3);
+        assert!(parse_tolerance("150%").is_err());
+        assert!(parse_tolerance("nope").is_err());
+    }
+
+    #[test]
+    fn cli_usage_errors_on_bad_invocations() {
+        assert!(run(&[]).is_err());
+        assert!(run(&["summary".to_owned()]).is_err());
+        assert!(run(&["regress".to_owned(), "x.json".to_owned()]).is_err());
+    }
+}

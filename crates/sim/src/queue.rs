@@ -53,6 +53,10 @@ pub struct QueueStats {
     pub popped: u64,
     /// Successful cancellations.
     pub cancelled: u64,
+    /// High-watermark of simultaneously pending live events — how deep
+    /// the queue ever got. Together with `arena_capacity` this is the
+    /// capacity-sizing number for the ROADMAP's bounded-memory claims.
+    pub depth_peak: u64,
 }
 
 /// One heap entry: ordering key plus the slab slot holding the payload.
@@ -197,6 +201,7 @@ impl<E> EventQueue<E> {
         self.heap.push(Entry { at, seq, slot });
         self.live_count += 1;
         self.stats.scheduled += 1;
+        self.stats.depth_peak = self.stats.depth_peak.max(self.live_count as u64);
         EventId { seq, slot }
     }
 
@@ -461,6 +466,25 @@ mod tests {
         assert_eq!(s.scheduled, 5);
         assert_eq!(s.cancelled, 1);
         assert_eq!(s.popped, 2);
+    }
+
+    #[test]
+    fn depth_peak_tracks_max_concurrent_pending() {
+        let mut q = EventQueue::new();
+        for i in 0..7 {
+            q.schedule(SimTime::from_micros(i), i);
+        }
+        // Drain to zero, then refill shallower: the peak must not move.
+        while q.pop().is_some() {}
+        for i in 0..3u64 {
+            q.schedule(q.now() + SimDuration::from_micros(i + 1), i);
+        }
+        assert_eq!(q.stats().depth_peak, 7);
+        // A deeper refill raises it.
+        for i in 3..9u64 {
+            q.schedule(q.now() + SimDuration::from_micros(i + 1), i);
+        }
+        assert_eq!(q.stats().depth_peak, 9);
     }
 
     #[test]

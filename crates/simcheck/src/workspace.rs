@@ -49,6 +49,32 @@ pub fn rules_for(crate_name: &str) -> BTreeSet<Rule> {
     Rule::ALL.into_iter().filter(|r| !off.contains(r)).collect()
 }
 
+/// File-level wall-clock allowlist: individual audited modules inside
+/// otherwise-deterministic crates that are permitted to read the host
+/// clock. This is deliberately NOT a crate exemption — one file, one
+/// audit. Each entry must document in its module header why trajectory
+/// neutrality holds (measurements flow out to sidecars, never back
+/// into simulation state).
+pub fn audited_wall_clock_files() -> &'static [&'static str] {
+    &[
+        // telemetry::runprof — the host-side profiler. Wall-clock
+        // readings land only in the `--runprof` sidecar's wall_clock
+        // section; nothing downstream of a `WallSpan` feeds a
+        // simulation decision.
+        "crates/telemetry/src/runprof.rs",
+    ]
+}
+
+/// Rules in force for one file (crate rules minus any file-level
+/// allowlist entry).
+pub fn rules_for_file(rel_path: &str) -> BTreeSet<Rule> {
+    let mut rules = rules_for(&crate_of(Path::new(rel_path)));
+    if audited_wall_clock_files().contains(&rel_path) {
+        rules.remove(&Rule::WallClock);
+    }
+    rules
+}
+
 /// Attribute a workspace-relative path to its crate. Files outside
 /// `crates/` (the root package's `src/`, `tests/`, `examples/`) belong
 /// to the root package.
@@ -100,8 +126,7 @@ fn walk(dir: &Path, files: &mut Vec<PathBuf>) -> std::io::Result<()> {
 /// Scan one source string as if it were `rel_path` in the workspace.
 /// This is the unit CI exercises: the binary is a loop over this.
 pub fn scan_source(rel_path: &str, src: &str) -> Vec<Diagnostic> {
-    let rules = rules_for(&crate_of(Path::new(rel_path)));
-    check(rel_path, &lex(src), &rules)
+    check(rel_path, &lex(src), &rules_for_file(rel_path))
 }
 
 /// Scan the whole workspace rooted at `root`.
@@ -201,6 +226,18 @@ mod tests {
         let bad = "use std::time::Instant;";
         assert_eq!(scan_source("crates/sim/src/x.rs", bad).len(), 1);
         assert_eq!(scan_source("crates/bench/src/x.rs", bad).len(), 0);
+    }
+
+    #[test]
+    fn wall_clock_allowlist_is_per_file_not_per_crate() {
+        let bad = "use std::time::Instant;";
+        // The audited profiler module may read the host clock…
+        assert_eq!(scan_source("crates/telemetry/src/runprof.rs", bad).len(), 0);
+        // …but its siblings in the same crate may not.
+        assert_eq!(scan_source("crates/telemetry/src/metrics.rs", bad).len(), 1);
+        assert_eq!(scan_source("crates/telemetry/src/lib.rs", bad).len(), 1);
+        // Allowlisted files keep every other rule.
+        assert!(rules_for_file("crates/telemetry/src/runprof.rs").contains(&Rule::HashCollections));
     }
 
     #[test]

@@ -10,7 +10,11 @@
 //! ([`flight`]) that captures typed, cross-layer packet traces into
 //! fixed-capacity rings with deterministic binary dumps, and a
 //! rule-driven SLO/anomaly-detection engine ([`health`]) that turns
-//! those raw signals into a typed, byte-stable alert stream.
+//! those raw signals into a typed, byte-stable alert stream, and a
+//! host-side run profiler ([`runprof`]) — the one audited wall-clock
+//! module — measuring the simulator as a program (stage wall time,
+//! allocations, RSS, structure watermarks) without touching any
+//! trajectory.
 //!
 //! ```
 //! use telemetry::stats::{Cdf, jain_fairness};
@@ -24,6 +28,7 @@ pub mod flight;
 pub mod health;
 pub mod littletable;
 pub mod metrics;
+pub mod runprof;
 pub mod stats;
 pub mod streaming;
 
@@ -37,5 +42,6 @@ pub use health::{
 };
 pub use littletable::{Agg, LittleTable, SeriesKey};
 pub use metrics::{CounterId, GaugeId, HistId, Registry, Span, SpanId, SpanStat};
+pub use runprof::{AllocStats, CountingAlloc, RunProfile, SamplePoint, StageStat, WallSpan};
 pub use stats::{jain_fairness, median, quantile, summarize, Cdf, Histogram, Summary};
 pub use streaming::{Ewma, P2Quantile, RateCounter, RollingWindow};

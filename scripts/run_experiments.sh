@@ -34,10 +34,17 @@ for exp in "${EXPERIMENTS[@]}"; do
 done
 
 # Experiments that double as wall-clock throughput benchmarks. Each
-# writes a per-binary `--perf` artifact; the artifacts are merged into
-# BENCH_simperf.json below. Perf numbers are host-dependent and never
-# byte-compared — they exist to catch order-of-magnitude regressions.
-PERF_EXPERIMENTS=(fig14_cwnd fig15_aggregation fig18_multi_ap fleet_scale)
+# writes a per-binary `--perf` artifact plus a `--runprof` sidecar
+# (stage wall times, watermarks, peak RSS — see `perfctl summary`);
+# the `--perf` artifacts are merged into BENCH_simperf.json below.
+# Perf numbers are host-dependent and never byte-compared — they exist
+# to catch order-of-magnitude regressions.
+PERF_EXPERIMENTS=(
+  fig14_cwnd fig15_aggregation fig16_throughput fig17_fairness
+  fig18_multi_ap fig19_qoe fleet_scale
+  abl_nbo_hops abl_penalty abl_fastack_cache abl_bad_hints abl_rxwin
+  abl_baselines
+)
 
 fail=0
 for exp in "${EXPERIMENTS[@]}"; do
@@ -45,7 +52,7 @@ for exp in "${EXPERIMENTS[@]}"; do
   args=()
   for p in "${PERF_EXPERIMENTS[@]}"; do
     if [[ "$exp" == "$p" ]]; then
-      args=(--perf "$OUTDIR/$exp.perf.json")
+      args=(--perf "$OUTDIR/$exp.perf.json" --runprof "$OUTDIR/$exp.runprof.json")
     fi
   done
   if ! "target/release/$exp" "${args[@]}"; then

@@ -86,9 +86,13 @@ fn check_goldens(entries: &[(&str, u64)]) {
     }
 }
 
-/// Exactly `fig18_multi_ap`'s three runs and artifact assembly.
+/// Exactly `fig18_multi_ap`'s three runs and artifact assembly. Runs
+/// with the host-side profiler enabled: the pinned hashes double as
+/// proof that `--runprof` is trajectory-neutral (same bytes whether or
+/// not wall-clock spans are being recorded).
 #[test]
 fn fig18_artifacts_match_goldens() {
+    wifi_core::telemetry::runprof::set_enabled(true);
     let run = |fa1: bool, fa2: bool| {
         Testbed::new(TestbedConfig {
             n_aps: 2,
@@ -129,6 +133,7 @@ fn fig18_artifacts_match_goldens() {
 /// is the canonical empty report — pinned all the same).
 #[test]
 fn fig15_artifacts_match_goldens() {
+    wifi_core::telemetry::runprof::set_enabled(true);
     let run = |fastack: bool| {
         Testbed::new(TestbedConfig {
             clients_per_ap: 30,
