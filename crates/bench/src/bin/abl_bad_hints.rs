@@ -20,11 +20,17 @@ fn main() {
             fastack: vec![true],
             seed: 61,
             bad_hint_rate: bh,
+            timeline: bench::harness::timeline_cfg(),
             ..TestbedConfig::default()
         })
         .run(SimDuration::from_secs(4));
         exp.absorb(&r.metrics);
         exp.absorb_flight("fast", &r.flight);
+        if let Some(tl) = &r.timeline {
+            // Per-rate label (in tenths of a percent): timeline series
+            // must not collide across absorbs.
+            exp.absorb_timeline(&format!("bh{:04}", (bh * 1000.0) as u64), tl);
+        }
         series.push((bh, r.total_mbps()));
         retx_series.push((bh, r.agent_stats[0].local_retransmits as f64));
     }

@@ -62,6 +62,7 @@ fn main() {
             seed: 51,
             bad_hint_rate: 0.004,
             agent_cache_bytes: Some(cache),
+            timeline: bench::harness::timeline_cfg(),
             ..TestbedConfig::default()
         })
         .run(SimDuration::from_secs(4))
@@ -77,6 +78,11 @@ fn main() {
     drop(run_prof);
     exp.absorb(&full.metrics);
     exp.absorb(&none.metrics);
+    for (label, r) in [("cache", &full), ("nocache", &none)] {
+        if let Some(tl) = &r.timeline {
+            exp.absorb_timeline(label, tl);
+        }
+    }
     let events = exp.metrics.counter_value("sim.queue.popped").unwrap_or(0);
     exp.perf("abl_fastack_cache", events, wall_s);
     exp.compare(

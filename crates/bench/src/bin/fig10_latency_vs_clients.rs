@@ -19,11 +19,16 @@ fn main() {
             clients_per_ap: n,
             fastack: vec![false],
             seed: 1010,
+            timeline: bench::harness::timeline_cfg(),
             ..TestbedConfig::default()
         };
         let r = Testbed::new(cfg).run(SimDuration::from_secs(4));
         exp.absorb(&r.metrics);
         exp.absorb_flight("base", &r.flight);
+        if let Some(tl) = &r.timeline {
+            // Per-count label: timeline series must not collide.
+            exp.absorb_timeline(&format!("c{n}"), tl);
+        }
         let mac = mean(&r.mac_latencies);
         let tcp = mean(&r.tcp_latencies);
         mac_series.push((n as f64, mac));

@@ -10,7 +10,12 @@ fn run(fastack: bool) -> TestbedReport {
         clients_per_ap: 10,
         fastack: vec![fastack],
         seed: 1414,
-        cwnd_sample_every: Some(SimDuration::from_millis(250)),
+        // The cwnd curves come off the timeline sampler (always on for
+        // this figure: the CSV series need it regardless of argv; the
+        // `--timeline` flag only controls whether the TSL1 store is
+        // dumped). 250 ms matches the retired ad-hoc cwnd probe, so
+        // the figure's series are byte-identical before/after.
+        timeline: Some(TimelineConfig::sampling(SimDuration::from_millis(250))),
         ..TestbedConfig::default()
     })
     .run(SimDuration::from_secs(10))
@@ -104,6 +109,8 @@ fn main() {
     exp.absorb(&fast.metrics);
     exp.absorb_flight("base", &base.flight);
     exp.absorb_flight("fast", &fast.flight);
+    exp.absorb_timeline("base", base.timeline.as_ref().expect("timeline on"));
+    exp.absorb_timeline("fast", fast.timeline.as_ref().expect("timeline on"));
     let events = exp.metrics.counter_value("sim.queue.popped").unwrap_or(0);
     exp.perf("fig14_cwnd", events, wall_s);
     std::process::exit(if exp.finish() { 0 } else { 1 });

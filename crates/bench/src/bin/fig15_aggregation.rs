@@ -11,6 +11,7 @@ fn run(fastack: bool) -> TestbedReport {
         clients_per_ap: 30,
         fastack: vec![fastack],
         seed: 1515,
+        timeline: bench::harness::timeline_cfg(),
         ..TestbedConfig::default()
     })
     .run(SimDuration::from_secs(8))
@@ -70,6 +71,7 @@ fn main() {
         fastack: vec![false],
         seed: 1515,
         traffic: Traffic::UdpSaturate,
+        timeline: bench::harness::timeline_cfg(),
         ..TestbedConfig::default()
     })
     .run(SimDuration::from_secs(4));
@@ -95,6 +97,11 @@ fn main() {
     exp.absorb_flight("base", &base.flight);
     exp.absorb_flight("fast", &fast.flight);
     exp.absorb_flight("udp", &udp.flight);
+    for (label, r) in [("base", &base), ("fast", &fast), ("udp", &udp)] {
+        if let Some(tl) = &r.timeline {
+            exp.absorb_timeline(label, tl);
+        }
+    }
     let events = exp.metrics.counter_value("sim.queue.popped").unwrap_or(0);
     exp.perf("fig15_aggregation", events, wall_s);
     std::process::exit(if exp.finish() { 0 } else { 1 });

@@ -21,6 +21,7 @@ fn main() {
                 clients_per_ap: n,
                 fastack: vec![fa],
                 seed: 1616,
+                timeline: bench::harness::timeline_cfg(),
                 ..TestbedConfig::default()
             })
             .run(SimDuration::from_secs(6))
@@ -34,6 +35,13 @@ fn main() {
         // so the dump stays bounded as the sweep widens.
         exp.absorb_flight("base", &base.flight);
         exp.absorb_flight("fast", &fast.flight);
+        // Timeline labels carry the client count: unlike flight
+        // components, series must not collide across absorbs.
+        for (arm, r) in [("base", &base), ("fast", &fast)] {
+            if let Some(tl) = &r.timeline {
+                exp.absorb_timeline(&format!("{arm}{n}"), tl);
+            }
+        }
         base_series.push((n as f64, b));
         fast_series.push((n as f64, fa));
         gains.push((n, fa / b - 1.0));

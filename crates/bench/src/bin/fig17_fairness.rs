@@ -16,6 +16,7 @@ fn run(fastack: bool) -> TestbedReport {
         // low MCS rates (the paper's explanation for the bottom of the
         // curve).
         snr_spread_db: 21.0,
+        timeline: bench::harness::timeline_cfg(),
         ..TestbedConfig::default()
     })
     .run(SimDuration::from_secs(8))
@@ -100,6 +101,11 @@ fn main() {
     exp.absorb(&fast.metrics);
     exp.absorb_flight("base", &base.flight);
     exp.absorb_flight("fast", &fast.flight);
+    for (label, r) in [("base", &base), ("fast", &fast)] {
+        if let Some(tl) = &r.timeline {
+            exp.absorb_timeline(label, tl);
+        }
+    }
     let events = exp.metrics.counter_value("sim.queue.popped").unwrap_or(0);
     exp.perf("fig17_fairness", events, wall_s);
     std::process::exit(if exp.finish() { 0 } else { 1 });

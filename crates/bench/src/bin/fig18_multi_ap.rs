@@ -17,6 +17,7 @@ fn run(fa1: bool, fa2: bool) -> TestbedReport {
         // ~512-frame firmware buffer pools bind the baseline arm (the
         // single-AP experiments use a roomier host-side default).
         ap_buffer_pool_frames: 512,
+        timeline: bench::harness::timeline_cfg(),
         ..TestbedConfig::default()
     })
     .run(SimDuration::from_secs(6))
@@ -90,6 +91,11 @@ fn main() {
     exp.absorb_health("bb", &bb.health);
     exp.absorb_health("bf", &bf.health);
     exp.absorb_health("ff", &ff.health);
+    for (label, r) in [("bb", &bb), ("bf", &bf), ("ff", &ff)] {
+        if let Some(tl) = &r.timeline {
+            exp.absorb_timeline(label, tl);
+        }
+    }
     let events = exp.metrics.counter_value("sim.queue.popped").unwrap_or(0);
     exp.perf("fig18_multi_ap", events, wall_s);
     std::process::exit(if exp.finish() { 0 } else { 1 });

@@ -25,6 +25,7 @@ fn run(fastack: bool) -> TestbedReport {
         seed: 1919,
         interferer: Some(InterfererFault::default()),
         qoe: Some(ProbeConfig::default()),
+        timeline: bench::harness::timeline_cfg(),
         ..TestbedConfig::default()
     })
     .run(SimDuration::from_secs(5))
@@ -113,6 +114,11 @@ fn main() {
     exp.absorb_flight("fast", &fast.flight);
     exp.absorb_health("base", &base.health);
     exp.absorb_health("fast", &fast.health);
+    for (label, r) in [("base", &base), ("fast", &fast)] {
+        if let Some(tl) = &r.timeline {
+            exp.absorb_timeline(label, tl);
+        }
+    }
     let events = exp.metrics.counter_value("sim.queue.popped").unwrap_or(0);
     exp.perf("fig19_qoe", events, wall_s);
     std::process::exit(if exp.finish() { 0 } else { 1 });

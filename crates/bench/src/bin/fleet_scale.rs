@@ -22,6 +22,10 @@ fn config(n_networks: usize, threads: usize) -> FleetConfig {
         } else {
             SimDuration::from_hours(1)
         },
+        // Per-epoch controller timeline rides along when `--timeline`
+        // asks for a dump (cadence is the epoch itself, so
+        // `--timeline-every` does not apply to fleet runs).
+        timeline: bench::harness::timeline_path().is_some(),
         ..FleetConfig::default()
     }
 }
@@ -210,6 +214,9 @@ fn main() {
     exp.absorb(&run.metrics);
     exp.absorb_flight("", &run.flight);
     exp.absorb_health("", &run.health.report);
+    if let Some(tl) = &run.timeline {
+        exp.absorb_timeline("", tl);
+    }
     println!("\n{}", run.report);
 
     std::process::exit(if exp.finish() { 0 } else { 1 });

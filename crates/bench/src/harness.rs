@@ -9,7 +9,8 @@
 use std::fmt::Write as _;
 use std::fs;
 use std::path::PathBuf;
-use wifi_core::telemetry::{runprof, FlightDump, HealthReport, Registry};
+use wifi_core::sim::SimDuration;
+use wifi_core::telemetry::{runprof, FlightDump, HealthReport, Registry, Timeline, TimelineConfig};
 
 /// A recorded experiment: named scalar comparisons plus named series.
 #[derive(Debug, Default)]
@@ -38,6 +39,11 @@ pub struct Experiment {
     /// invoked with `--perf <path>`. Unlike every other artifact this
     /// one is *not* deterministic — it records host wall-clock speed.
     pub perf_samples: Vec<PerfSample>,
+    /// Merged timeline stores from every run the experiment absorbed
+    /// (see [`Experiment::absorb_timeline`]). Dumped in the `TSL1`
+    /// binary format when the binary is invoked with
+    /// `--timeline <path>`; inspect with `timectl`.
+    pub timeline: Timeline,
 }
 
 /// One wall-clock throughput measurement: how fast the host simulated
@@ -178,6 +184,16 @@ impl Experiment {
         self.health.absorb(label, report);
     }
 
+    /// Merge one run's sealed timeline (a `TestbedReport::timeline` or
+    /// `FleetRun::timeline`) into the experiment's store, prefixing its
+    /// series names with `label.` so samples from different arms (e.g.
+    /// `base.` vs `fast.`) stay distinguishable. An empty label merges
+    /// verbatim. Absorb order does not change the dump because series
+    /// stay sorted by name.
+    pub fn absorb_timeline(&mut self, label: &str, tl: &Timeline) {
+        self.timeline.absorb(label, tl);
+    }
+
     /// Record a wall-clock throughput sample: `events` workload units
     /// completed in `wall_s` seconds of host time. Dumped via `--perf`.
     /// The process's peak RSS at sampling time rides along, so memory
@@ -301,6 +317,17 @@ impl Experiment {
                 }
                 continue;
             }
+            let timeline_target = if arg == "--timeline" {
+                argv.next()
+            } else {
+                arg.strip_prefix("--timeline=").map(str::to_owned)
+            };
+            if let Some(p) = timeline_target {
+                if let Err(e) = fs::write(&p, self.timeline.to_bytes()) {
+                    eprintln!("warning: could not write {p}: {e}");
+                }
+                continue;
+            }
             let perf_target = if arg == "--perf" {
                 argv.next()
             } else {
@@ -401,6 +428,45 @@ impl Experiment {
         o.push_str("]\n}\n");
         o
     }
+}
+
+/// `--timeline <path>` / `--timeline=<path>` from this process's argv.
+pub fn timeline_path() -> Option<String> {
+    let mut argv = std::env::args().skip(1);
+    while let Some(arg) = argv.next() {
+        if arg == "--timeline" {
+            return argv.next();
+        }
+        if let Some(p) = arg.strip_prefix("--timeline=") {
+            return Some(p.to_owned());
+        }
+    }
+    None
+}
+
+/// Timeline sampler config from this process's argv: `Some` iff
+/// `--timeline <path>` was given, sampling every `--timeline-every <ms>`
+/// (default 100 ms). Bins thread the result straight into
+/// `TestbedConfig::timeline`, so the sampler is off — and the run
+/// provably byte-identical to an unsampled one — unless the flag is
+/// present.
+pub fn timeline_cfg() -> Option<TimelineConfig> {
+    timeline_path()?;
+    let mut every = SimDuration::from_millis(100);
+    let mut argv = std::env::args().skip(1);
+    while let Some(arg) = argv.next() {
+        let v = if arg == "--timeline-every" {
+            argv.next()
+        } else {
+            arg.strip_prefix("--timeline-every=").map(str::to_owned)
+        };
+        if let Some(ms) = v {
+            let ms: u64 = ms.parse().expect("--timeline-every wants milliseconds");
+            assert!(ms > 0, "--timeline-every wants a positive interval");
+            every = SimDuration::from_millis(ms);
+        }
+    }
+    Some(TimelineConfig::sampling(every))
 }
 
 /// `--runprof <path>` / `--runprof=<path>` from this process's argv.

@@ -63,6 +63,7 @@ pub mod prelude {
     pub use sim::{Rng, SimDuration, SimTime};
     pub use tcpsim::{CcAlgorithm, FlowId};
     pub use telemetry::stats::{jain_fairness, median, Cdf};
+    pub use telemetry::{Timeline, TimelineConfig};
 }
 
 #[cfg(test)]

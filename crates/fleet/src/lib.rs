@@ -88,6 +88,14 @@ pub struct FleetConfig {
     /// per epoch (the channel-flap rule watches the live switch
     /// counter). `None` disables health entirely.
     pub health_rules: Option<telemetry::HealthRules>,
+    /// Sample a controller-side timeline at every epoch barrier: the
+    /// per-network registries folded in id order (plus the controller's
+    /// own epoch counters) snapshotted into [`FleetRun::timeline`] at
+    /// `collect_period` cadence. Observation only — the sampler reads
+    /// the merged registry and never writes back, so enabling it cannot
+    /// change any trajectory, and the dump is bit-identical for any
+    /// thread count like every other controller artifact.
+    pub timeline: bool,
 }
 
 impl Default for FleetConfig {
@@ -105,6 +113,7 @@ impl Default for FleetConfig {
             profile_2_4: UtilizationProfile::FLEET_2_4,
             profile_5: UtilizationProfile::FLEET_5,
             health_rules: Some(telemetry::HealthRules::default()),
+            timeline: false,
         }
     }
 }
@@ -135,6 +144,11 @@ pub struct FleetRun {
     /// and alert counts by rule. `qoe.to_json()` is byte-identical for
     /// any thread count.
     pub qoe: qoe::QoeRollup,
+    /// Sealed per-epoch fleet timeline (`Some` iff
+    /// [`FleetConfig::timeline`]): one tick per epoch barrier at
+    /// `collect_period` cadence, series delta-encoded between epochs.
+    /// `timeline.to_bytes()` is bit-identical for any thread count.
+    pub timeline: Option<telemetry::Timeline>,
 }
 
 /// Run the collect→plan→push loop over a synthesized fleet.
@@ -158,6 +172,9 @@ pub fn run_fleet(cfg: &FleetConfig) -> FleetRun {
     // correlate a misbehaving network trace with the epoch that pushed
     // its config.
     let flight = telemetry::FlightRecorder::new(4096);
+    let mut timeline = cfg.timeline.then(|| {
+        telemetry::Timeline::new(&telemetry::TimelineConfig::sampling(cfg.collect_period))
+    });
     let end = SimTime::ZERO + cfg.horizon;
     let mut now = SimTime::ZERO;
     let mut epochs = 0u64;
@@ -177,6 +194,21 @@ pub fn run_fleet(cfg: &FleetConfig) -> FleetRun {
                 networks: cfg.n_networks as u64,
             },
         );
+        // Per-epoch timeline tick on the controller thread: fold the
+        // network registries in id order (shard-invariant, like the
+        // final snapshot below) and sample the merged view. The fold is
+        // rebuilt each epoch so series stay cumulative counters the
+        // delta codec collapses; the whole block is skipped unless
+        // `cfg.timeline` asked for it.
+        if let Some(tl) = timeline.as_mut() {
+            let mut snap = telemetry::Registry::new();
+            snap.count("fleet.epochs", epochs + 1);
+            snap.count("fleet.networks", cfg.n_networks as u64);
+            for net in &nets {
+                snap.merge_from(&net.metrics);
+            }
+            tl.sample(now, &snap);
+        }
         now += cfg.collect_period;
         epochs += 1;
     }
@@ -252,6 +284,10 @@ pub fn run_fleet(cfg: &FleetConfig) -> FleetRun {
         checksum: checksum.finish(),
     };
 
+    if let Some(tl) = timeline.as_mut() {
+        tl.seal();
+    }
+
     FleetRun {
         report,
         ingest,
@@ -261,6 +297,7 @@ pub fn run_fleet(cfg: &FleetConfig) -> FleetRun {
         flight: flight.snapshot(),
         health,
         qoe: qoe_rollup,
+        timeline,
     }
 }
 
@@ -301,6 +338,49 @@ mod tests {
             let json = run_fleet(&small(threads)).metrics.to_json();
             assert_eq!(base, json, "metrics snapshot diverged at {threads} threads");
         }
+    }
+
+    #[test]
+    fn timeline_dump_is_byte_identical_across_1_2_8_threads() {
+        let with_tl = |threads| FleetConfig {
+            timeline: true,
+            ..small(threads)
+        };
+        let one = run_fleet(&with_tl(1));
+        let tl = one.timeline.as_ref().expect("timeline enabled");
+        // 45-min horizon / 15-min epochs = 3 epoch barriers = 3 ticks.
+        assert_eq!(tl.ticks(), 3);
+        assert_eq!(tl.every(), SimDuration::from_mins(15));
+        // The controller's own epoch counter rides along and counts up.
+        assert_eq!(
+            tl.range("fleet.epochs", SimTime::ZERO, SimTime::MAX)
+                .into_iter()
+                .map(|(_, v)| v)
+                .collect::<Vec<_>>(),
+            [1.0, 2.0, 3.0]
+        );
+        let bytes = tl.to_bytes();
+        assert_eq!(
+            telemetry::Timeline::parse(&bytes)
+                .expect("parses")
+                .to_bytes(),
+            bytes
+        );
+        for threads in [2, 8] {
+            let run = run_fleet(&with_tl(threads));
+            assert_eq!(
+                run.timeline.expect("timeline enabled").to_bytes(),
+                bytes,
+                "fleet timeline diverged at {threads} threads"
+            );
+        }
+        // And the sampler is observation-only: the run's other
+        // artifacts are byte-identical to a run without it.
+        let plain = run_fleet(&small(1));
+        assert_eq!(plain.metrics.to_json(), one.metrics.to_json());
+        assert_eq!(plain.flight.to_bytes(), one.flight.to_bytes());
+        assert_eq!(plain.health.to_json(), one.health.to_json());
+        assert_eq!(plain.report.checksum, one.report.checksum);
     }
 
     #[test]

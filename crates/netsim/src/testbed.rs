@@ -36,7 +36,7 @@ use tcpsim::{
 use telemetry::health::{standard_ap_detectors, AirtimeSlo, QoeDegraded, RtoStorm};
 use telemetry::{
     AirKind, CauseId, CounterId, FlightDump, FlightRecorder, GaugeId, HealthEngine, HealthReport,
-    HealthRules, HistId, Registry, SpanId, TraceRecord,
+    HealthRules, HistId, Registry, SpanId, Timeline, TimelineConfig, TraceRecord,
 };
 
 /// Transport driving the downlink flows.
@@ -151,8 +151,15 @@ pub struct TestbedConfig {
     pub agent_cache_bytes: Option<u64>,
     /// RNG seed.
     pub seed: u64,
-    /// cwnd probe sampling period for Fig. 14 traces (None = off).
-    pub cwnd_sample_every: Option<SimDuration>,
+    /// Time-series sampling (see [`telemetry::timeline`]): when set,
+    /// a [`Timeline`] ticks on the config's cadence, snapshotting the
+    /// selected registry counters/gauges plus the per-flow cwnd f64
+    /// series, and the legacy Fig. 14 `cwnd_trace` points are emitted
+    /// from the same tick. Sampling only reads — it schedules no
+    /// events, draws no randomness, and writes no metric — so every
+    /// other artifact stays byte-identical with it on or off. `None`
+    /// (the default) samples nothing.
+    pub timeline: Option<TimelineConfig>,
     /// Workload driving the flows.
     pub traffic: Traffic,
     /// Beacon interval per AP (102.4 ms nominal); beacons ride the
@@ -212,7 +219,7 @@ impl Default for TestbedConfig {
             ap_buffer_pool_frames: 1600,
             agent_cache_bytes: None,
             seed: 1,
-            cwnd_sample_every: None,
+            timeline: None,
             traffic: Traffic::Tcp,
             beacon_interval: Some(SimDuration::from_micros(102_400)),
             flight_capacity: 1024,
@@ -281,6 +288,10 @@ pub struct TestbedReport {
     /// delay/jitter/loss/reorder windows and 0–100 scores). Empty when
     /// `qoe` probing is disabled.
     pub qoe: Vec<qoe::ClientReport>,
+    /// Sealed time-series store (None when `timeline` is disabled).
+    /// Serialize with [`Timeline::to_bytes`]; equal seeds yield
+    /// byte-identical `TSL1` dumps.
+    pub timeline: Option<Timeline>,
 }
 
 impl TestbedReport {
@@ -364,7 +375,10 @@ pub struct Testbed {
     tcp_lat_pending: Vec<VecDeque<(u64, SimTime)>>,
     report: TestbedReport,
     busy: SimDuration,
-    next_cwnd_sample: SimTime,
+    /// Time-series sampler (None when `cfg.timeline` is None); ticked
+    /// on its nominal grid in the run loop, sealed into the report.
+    timeline: Option<Timeline>,
+    next_timeline: SimTime,
     udp_seq: u64,
     next_beacon: SimTime,
     dbg_next_ms: u64,
@@ -597,6 +611,7 @@ impl Testbed {
             .map_or(SimTime::MAX, |p| SimTime::ZERO + p.interval());
 
         let width = cfg.width;
+        let timeline = cfg.timeline.as_ref().map(Timeline::new);
         Testbed {
             cfg,
             queue: EventQueue::new(),
@@ -607,7 +622,8 @@ impl Testbed {
             tcp_lat_pending: vec![VecDeque::new(); n_clients],
             report: TestbedReport::default(),
             busy: SimDuration::ZERO,
-            next_cwnd_sample: SimTime::ZERO,
+            timeline,
+            next_timeline: SimTime::ZERO,
             udp_seq: 0,
             next_beacon: SimTime::ZERO,
             dbg_next_ms: 0,
@@ -827,20 +843,41 @@ impl Testbed {
                     );
                 }
             }
-            // 4. cwnd probe (Fig. 14).
-            if let Some(every) = self.cfg.cwnd_sample_every {
-                while self.queue.now() >= self.next_cwnd_sample {
-                    let at = self.next_cwnd_sample.as_nanos() as f64 / 1e9;
-                    for (c, s) in self.senders.iter().enumerate() {
-                        self.report.cwnd_trace.push((c, at, s.cwnd_segments()));
-                        self.metrics.observe(self.h_cwnd, s.cwnd_segments());
-                    }
-                    self.next_cwnd_sample += every;
+            // 4. Timeline tick (subsumes the old ad-hoc Fig. 14 cwnd
+            // probe): catch up to now on the nominal grid, staging the
+            // per-flow cwnd series and snapshotting the registry at
+            // each tick's nominal instant. Reads only — no events, no
+            // randomness, no metric writes — so the trajectory and
+            // every other artifact are bit-identical with sampling on
+            // or off. Like the old probe (and unlike interferer/probe
+            // ticks) this is not folded into the idle wake: samples
+            // land when the loop is awake anyway, stamped nominally.
+            if let Some(every) = self.timeline.as_ref().map(|t| t.every()) {
+                while self.queue.now() >= self.next_timeline {
+                    let at = self.next_timeline;
+                    self.timeline_tick(at);
+                    self.next_timeline += every;
                 }
             }
         }
 
         self.finish(end)
+    }
+
+    /// One timeline tick at its nominal instant: emit the legacy
+    /// Fig. 14 `cwnd_trace` point and stage the per-flow cwnd f64
+    /// series (exactly the values, times and order the retired
+    /// `cwnd_sample_every` probe produced), then snapshot the selected
+    /// registry counters/gauges. Reads only.
+    fn timeline_tick(&mut self, at: SimTime) {
+        let tl = self.timeline.as_mut().expect("timeline enabled");
+        let t = at.as_nanos() as f64 / 1e9;
+        for (c, s) in self.senders.iter().enumerate() {
+            let w = s.cwnd_segments();
+            self.report.cwnd_trace.push((c, t, w));
+            tl.set_f64(&format!("tcp.flow{c}.cwnd_segments"), w);
+        }
+        tl.sample(at, &self.metrics);
     }
 
     fn finish(mut self, end: SimTime) -> TestbedReport {
@@ -964,6 +1001,12 @@ impl Testbed {
                 .enumerate()
                 .map(|(c, q)| qoe::ClientReport::from_qoe(c, q))
                 .collect();
+        }
+        // Seal the timeline (flush in-progress downsample buckets) so
+        // the report's dump is complete and round-trips byte-stably.
+        if let Some(mut tl) = self.timeline.take() {
+            tl.seal();
+            self.report.timeline = Some(tl);
         }
         debug_assert!(self.metrics.profiler_idle(), "unbalanced span guards");
         self.report.metrics = std::mem::take(&mut self.metrics);
@@ -1902,7 +1945,7 @@ mod tests {
             TestbedConfig {
                 clients_per_ap: 2,
                 fastack: vec![true],
-                cwnd_sample_every: Some(SimDuration::from_millis(100)),
+                timeline: Some(TimelineConfig::sampling(SimDuration::from_millis(100))),
                 ..TestbedConfig::default()
             },
             2,
@@ -1911,6 +1954,84 @@ mod tests {
         // cwnd grows over the run with FastACK.
         let last = r.cwnd_trace.iter().rev().find(|t| t.0 == 0).unwrap();
         assert!(last.2 > 10.0, "{last:?}");
+    }
+
+    /// The timeline's f64 cwnd series reproduces the legacy
+    /// `cwnd_trace` points bit-for-bit: same instants (to the printed
+    /// f64 second), same values, per flow — the acceptance criterion
+    /// for retiring the ad-hoc cwnd sampler.
+    #[test]
+    fn timeline_cwnd_series_matches_cwnd_trace() {
+        let r = quick(
+            TestbedConfig {
+                clients_per_ap: 2,
+                fastack: vec![true],
+                timeline: Some(TimelineConfig::sampling(SimDuration::from_millis(100))),
+                ..TestbedConfig::default()
+            },
+            2,
+        );
+        let tl = r.timeline.as_ref().expect("timeline enabled");
+        for c in 0..2usize {
+            let series = tl.range(
+                &format!("tcp.flow{c}.cwnd_segments"),
+                SimTime::ZERO,
+                SimTime::MAX,
+            );
+            let legacy: Vec<(f64, f64)> = r
+                .cwnd_trace
+                .iter()
+                .filter(|t| t.0 == c)
+                .map(|&(_, at, w)| (at, w))
+                .collect();
+            assert_eq!(series.len(), legacy.len(), "flow {c}");
+            for ((at, w), (lat, lw)) in series.iter().zip(&legacy) {
+                assert_eq!(at.as_nanos() as f64 / 1e9, *lat, "flow {c}");
+                assert_eq!(w.to_bits(), lw.to_bits(), "flow {c}");
+            }
+        }
+        // The registry series rode along: health gauges are visible as
+        // timeline series on the same grid.
+        assert!(tl.series_names().any(|n| n == "health.air.busy_ns"));
+        assert_eq!(tl.every(), SimDuration::from_millis(100));
+    }
+
+    /// Crown-jewel check for the sampler itself: a run with a timeline
+    /// produces byte-identical metrics/flight/health artifacts to the
+    /// same run without one (trajectory neutrality), and double-running
+    /// with the timeline yields byte-identical TSL1 dumps.
+    #[test]
+    fn timeline_is_trajectory_neutral_and_deterministic() {
+        let base = quick(
+            TestbedConfig {
+                clients_per_ap: 3,
+                fastack: vec![true],
+                seed: 77,
+                ..TestbedConfig::default()
+            },
+            2,
+        );
+        let mk = || {
+            quick(
+                TestbedConfig {
+                    clients_per_ap: 3,
+                    fastack: vec![true],
+                    seed: 77,
+                    timeline: Some(TimelineConfig::sampling(SimDuration::from_millis(50))),
+                    ..TestbedConfig::default()
+                },
+                2,
+            )
+        };
+        let a = mk();
+        let b = mk();
+        assert_eq!(base.metrics.to_json(), a.metrics.to_json());
+        assert_eq!(base.flight.to_bytes(), a.flight.to_bytes());
+        assert_eq!(base.health.to_json(), a.health.to_json());
+        let da = a.timeline.as_ref().expect("timeline").to_bytes();
+        let db = b.timeline.as_ref().expect("timeline").to_bytes();
+        assert_eq!(da, db);
+        assert!(Timeline::parse(&da).expect("parse").ticks() > 0);
     }
 
     #[test]

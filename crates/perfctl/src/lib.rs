@@ -17,7 +17,11 @@
 //!   present in both current and baseline must stay above
 //!   `(1 − tolerance) × baseline` events/sec. Multiple current files
 //!   fold best-per-label (best-of-N runs); accepts `--perf` fragments,
-//!   merged `BENCH_simperf.json` files, and `--runprof` sidecars.
+//!   merged `BENCH_simperf.json` files, and `--runprof` sidecars. With
+//!   `--strict`, baseline labels the current run did not measure fail
+//!   the gate instead of printing "(not measured)" and passing — the
+//!   full-grid invocation in `scripts/run_experiments.sh` uses it so a
+//!   bench dropping out of the grid cannot silently shrink the gate.
 //!
 //! Every renderer returns a `String` so tests assert on output
 //! verbatim; only `main` prints. Exit codes: 0 ok, 1 regression or
@@ -563,11 +567,17 @@ pub fn parse_tolerance(s: &str) -> Result<f64, String> {
 /// The CI perf gate: fold `current` samples best-per-label, compare
 /// every label shared with `baseline` against `(1 − tolerance) ×
 /// baseline`. Exit 1 on any regression, error (exit 2 in the CLI) when
-/// no label overlaps.
+/// no label overlaps. By default a baseline label absent from the
+/// current run prints "(not measured)" and still passes — handy when
+/// gating a single bench against the full-grid baseline; with `strict`
+/// (the full grid itself) every baseline label must be measured, so a
+/// bench silently dropping out of the grid fails the gate instead of
+/// shrinking it.
 pub fn regress(
     current: &[Vec<Sample>],
     baseline: &[Sample],
     tolerance: f64,
+    strict: bool,
 ) -> Result<(String, i32), String> {
     let mut best: BTreeMap<&str, f64> = BTreeMap::new();
     for run in current {
@@ -589,12 +599,16 @@ pub fn regress(
     );
     let mut compared = 0usize;
     let mut regressions = 0usize;
+    let mut unmeasured = 0usize;
     for (label, &b) in &base {
         let Some(&c) = best.get(label) else {
+            unmeasured += 1;
             let _ = writeln!(
                 out,
-                "{label:<28} {b:>14.0} {:>14} {:>8}  (not measured)",
-                "-", "-"
+                "{label:<28} {b:>14.0} {:>14} {:>8}  (not measured){}",
+                "-",
+                "-",
+                if strict { " STRICT FAIL" } else { "" }
             );
             continue;
         };
@@ -622,17 +636,23 @@ pub fn regress(
     if compared == 0 {
         return Err("no label overlaps between current samples and the baseline".to_owned());
     }
+    let strict_failed = strict && unmeasured > 0;
     let _ = writeln!(
         out,
-        "{compared} label(s) gated at {:.0}% tolerance: {}",
+        "{compared} label(s) gated at {:.0}% tolerance: {}{}",
         tolerance * 100.0,
         if regressions == 0 {
             "all ok".to_owned()
         } else {
             format!("{regressions} REGRESSION(S)")
+        },
+        if strict_failed {
+            format!("; {unmeasured} baseline label(s) not measured (--strict)")
+        } else {
+            String::new()
         }
     );
-    Ok((out, i32::from(regressions > 0)))
+    Ok((out, i32::from(regressions > 0 || strict_failed)))
 }
 
 // ---- CLI ------------------------------------------------------------
@@ -640,7 +660,7 @@ pub fn regress(
 const USAGE: &str = "usage:
   perfctl summary <runprof.json>
   perfctl diff <a.json> <b.json>
-  perfctl regress <current.json>... --baseline <BENCH_simperf.json> [--tolerance 30%]
+  perfctl regress <current.json>... --baseline <BENCH_simperf.json> [--tolerance 30%] [--strict]
 ";
 
 fn load(path: &str) -> Result<Value, String> {
@@ -667,6 +687,7 @@ pub fn run(args: &[String]) -> Result<(String, i32), String> {
         Some("regress") => {
             let mut baseline: Option<String> = None;
             let mut tolerance = 0.30;
+            let mut strict = false;
             let mut current: Vec<String> = Vec::new();
             let mut it = args[1..].iter();
             while let Some(a) = it.next() {
@@ -677,6 +698,7 @@ pub fn run(args: &[String]) -> Result<(String, i32), String> {
                     "--tolerance" => {
                         tolerance = parse_tolerance(it.next().ok_or(USAGE)?)?;
                     }
+                    "--strict" => strict = true,
                     _ => current.push(a.clone()),
                 }
             }
@@ -696,7 +718,7 @@ pub fn run(args: &[String]) -> Result<(String, i32), String> {
                 }
                 cur.push(s);
             }
-            regress(&cur, &base_samples, tolerance)
+            regress(&cur, &base_samples, tolerance, strict)
         }
         _ => Err(USAGE.to_owned()),
     }
@@ -822,11 +844,11 @@ mod tests {
         let v = parse_json(MERGED).unwrap();
         let samples = extract_samples(&v);
         let runs = [samples.clone()];
-        let (out, code) = regress(&runs, &samples, 0.30).unwrap();
+        let (out, code) = regress(&runs, &samples, 0.30, false).unwrap();
         assert_eq!(code, 0, "{out}");
         assert!(out.contains("all ok"), "{out}");
         // Byte-stable across invocations.
-        let (again, _) = regress(&runs, &samples, 0.30).unwrap();
+        let (again, _) = regress(&runs, &samples, 0.30, false).unwrap();
         assert_eq!(out, again);
     }
 
@@ -838,7 +860,7 @@ mod tests {
         for s in &mut slow {
             s.events_per_s *= 0.6;
         }
-        let (out, code) = regress(&[slow], &baseline, 0.30).unwrap();
+        let (out, code) = regress(&[slow], &baseline, 0.30, false).unwrap();
         assert_eq!(code, 1, "{out}");
         assert!(out.contains("REGRESSION"), "{out}");
     }
@@ -852,7 +874,7 @@ mod tests {
             s.events_per_s *= 0.5;
         }
         // One bad run plus one good run: best-of-N must pass.
-        let (out, code) = regress(&[slow, baseline.clone()], &baseline, 0.30).unwrap();
+        let (out, code) = regress(&[slow, baseline.clone()], &baseline, 0.30, false).unwrap();
         assert_eq!(code, 0, "{out}");
     }
 
@@ -868,7 +890,26 @@ mod tests {
             events_per_s: 100.0,
             peak_rss_bytes: None,
         }]];
-        assert!(regress(&current, &baseline, 0.30).is_err());
+        assert!(regress(&current, &baseline, 0.30, false).is_err());
+    }
+
+    #[test]
+    fn regress_strict_fails_unmeasured_baseline_labels() {
+        let v = parse_json(MERGED).unwrap();
+        let baseline = extract_samples(&v);
+        // Current run measured only one of the two baseline labels.
+        let current = vec![baseline
+            .iter()
+            .filter(|s| s.label == "fig18_multi_ap")
+            .cloned()
+            .collect::<Vec<_>>()];
+        let (out, code) = regress(&current, &baseline, 0.30, false).unwrap();
+        assert_eq!(code, 0, "{out}");
+        assert!(out.contains("(not measured)"), "{out}");
+        let (out, code) = regress(&current, &baseline, 0.30, true).unwrap();
+        assert_eq!(code, 1, "{out}");
+        assert!(out.contains("STRICT FAIL"), "{out}");
+        assert!(out.contains("not measured (--strict)"), "{out}");
     }
 
     #[test]

@@ -14,7 +14,10 @@
 //! host-side run profiler ([`runprof`]) — the one audited wall-clock
 //! module — measuring the simulator as a program (stage wall time,
 //! allocations, RSS, structure watermarks) without touching any
-//! trajectory.
+//! trajectory, and a deterministic time-series sampler ([`timeline`])
+//! that snapshots registry counters/gauges every fixed sim-time
+//! interval into delta-encoded per-series columns with bounded ring
+//! retention and `TSL1` binary dumps (`timectl` reads those).
 //!
 //! ```
 //! use telemetry::stats::{Cdf, jain_fairness};
@@ -31,6 +34,7 @@ pub mod metrics;
 pub mod runprof;
 pub mod stats;
 pub mod streaming;
+pub mod timeline;
 
 pub use flight::{
     cause_for, AirKind, CauseId, ComponentTrace, FlightDump, FlightEvent, FlightRecorder,
@@ -45,3 +49,4 @@ pub use metrics::{CounterId, GaugeId, HistId, Registry, Span, SpanId, SpanStat};
 pub use runprof::{AllocStats, CountingAlloc, RunProfile, SamplePoint, StageStat, WallSpan};
 pub use stats::{jain_fairness, median, quantile, summarize, Cdf, Histogram, Summary};
 pub use streaming::{Ewma, P2Quantile, RateCounter, RollingWindow};
+pub use timeline::{SeriesKind, TierConfig, Timeline, TimelineConfig};

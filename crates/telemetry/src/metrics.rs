@@ -168,6 +168,14 @@ impl Registry {
             .map(|&id| self.counters[id as usize])
     }
 
+    /// Every registered counter as `(path, value)`, sorted by path.
+    /// The timeline sampler snapshots registries through this.
+    pub fn counters(&self) -> impl Iterator<Item = (&str, u64)> {
+        self.counter_ids
+            .iter()
+            .map(|(path, &id)| (path.as_str(), self.counters[id as usize]))
+    }
+
     // ---- gauges ---------------------------------------------------
 
     /// Register (or look up) a gauge. Gauges are signed levels; across
@@ -197,6 +205,13 @@ impl Registry {
     /// Current value of a gauge, by path.
     pub fn gauge_value(&self, path: &str) -> Option<i64> {
         self.gauge_ids.get(path).map(|&id| self.gauges[id as usize])
+    }
+
+    /// Every registered gauge as `(path, value)`, sorted by path.
+    pub fn gauges(&self) -> impl Iterator<Item = (&str, i64)> {
+        self.gauge_ids
+            .iter()
+            .map(|(path, &id)| (path.as_str(), self.gauges[id as usize]))
     }
 
     // ---- histograms -----------------------------------------------

@@ -69,6 +69,7 @@ cargo build --release --quiet -p tracectl
 for i in 1 2; do
   IMC_RESULTS_DIR="$metrics_dir" \
     target/release/fig15_aggregation --trace "$metrics_dir/trace-$i.bin" \
+    --metrics "$metrics_dir/f15-metrics-$i.json" \
     > /dev/null
 done
 cmp "$metrics_dir/trace-1.bin" "$metrics_dir/trace-2.bin" \
@@ -164,6 +165,52 @@ cmp "$metrics_dir/trace-1.bin" "$metrics_dir/trace-prof-1.bin" \
   || { echo "enabling --runprof changed the fig15 trace artifact"; exit 1; }
 target/release/perfctl summary "$metrics_dir/runprof-1.json" > /dev/null \
   || { echo "perfctl could not summarize its own sidecar"; exit 1; }
+
+echo "=== timeline dump reproducibility and neutrality ==="
+# Same property for the time-series sampler (see DESIGN.md §6,
+# "Timeline"): two identical runs must serialize byte-identical
+# --timeline TSL1 dumps, timectl must read them back, and — the
+# stronger claim — sampling must be trajectory-neutral: every other
+# artifact of a sampled run must byte-match the unsampled runs above.
+cargo build --release --quiet -p timectl
+for i in 1 2; do
+  IMC_RESULTS_DIR="$metrics_dir" \
+    target/release/fig15_aggregation --timeline "$metrics_dir/tl-$i.bin" \
+    --trace "$metrics_dir/trace-tl-$i.bin" \
+    --metrics "$metrics_dir/f15-metrics-tl-$i.json" \
+    > /dev/null
+done
+cmp "$metrics_dir/tl-1.bin" "$metrics_dir/tl-2.bin" \
+  || { echo "timeline dump diverged between identical runs"; exit 1; }
+cmp "$metrics_dir/trace-1.bin" "$metrics_dir/trace-tl-1.bin" \
+  || { echo "enabling --timeline changed the fig15 trace artifact"; exit 1; }
+cmp "$metrics_dir/f15-metrics-1.json" "$metrics_dir/f15-metrics-tl-1.json" \
+  || { echo "enabling --timeline changed the fig15 metrics artifact"; exit 1; }
+IMC_RESULTS_DIR="$metrics_dir" \
+  target/release/fig18_multi_ap --timeline "$metrics_dir/tl-f18.bin" \
+  --health "$metrics_dir/health-tl.json" \
+  > /dev/null
+cmp "$metrics_dir/health-1.json" "$metrics_dir/health-tl.json" \
+  || { echo "enabling --timeline changed the fig18 health artifact"; exit 1; }
+target/release/timectl summary "$metrics_dir/tl-1.bin" > /dev/null \
+  || { echo "timectl could not parse its own dump"; exit 1; }
+target/release/timectl diff "$metrics_dir/tl-1.bin" "$metrics_dir/tl-2.bin" \
+  > /dev/null \
+  || { echo "timectl diff flagged identical dumps"; exit 1; }
+
+echo "=== timeline reproduces the fig14 cwnd curve ==="
+# The retired ad-hoc cwnd probe's replacement: fig14's timeline series
+# must carry the congestion window at the same 250 ms cadence, and
+# timectl query must be able to read the curve out of the dump.
+IMC_RESULTS_DIR="$metrics_dir" \
+  target/release/fig14_cwnd --timeline "$metrics_dir/tl-f14.bin" \
+  > /dev/null
+target/release/timectl query "$metrics_dir/tl-f14.bin" \
+  base.tcp.flow0.cwnd_segments | grep -q "^0.25 " \
+  || { echo "timectl query found no cwnd sample at t=0.25s in the fig14 dump"; exit 1; }
+target/release/timectl plot "$metrics_dir/tl-f14.bin" \
+  base.tcp.flow0.cwnd_segments > /dev/null \
+  || { echo "timectl plot failed on the fig14 cwnd series"; exit 1; }
 
 echo "=== perf merge determinism ==="
 # scripts/merge_perf.sh is the only writer of BENCH_simperf.json and

@@ -71,4 +71,19 @@ done
 scripts/merge_perf.sh "$OUTDIR/BENCH_simperf.json" "${frags[@]}"
 echo "=== perf baseline: $OUTDIR/BENCH_simperf.json ==="
 
+# Gate the fresh grid against the committed baseline. --strict makes a
+# bench that silently dropped out of the grid (label present in the
+# baseline but never measured above) a failure, not a "(not measured)"
+# pass. Generous tolerance: this catches order-of-magnitude cliffs and
+# missing benches, not host-to-host jitter.
+if [[ -f BENCH_simperf.json ]]; then
+  echo "=== perf regression gate (strict) ==="
+  cargo build --release -p perfctl --quiet
+  if ! target/release/perfctl regress "$OUTDIR/BENCH_simperf.json" \
+      --baseline BENCH_simperf.json --tolerance 50% --strict; then
+    echo "!! perf regression gate failed"
+    fail=1
+  fi
+fi
+
 exit $fail

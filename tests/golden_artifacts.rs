@@ -19,7 +19,7 @@
 //! then commit the rewritten hash file together with the change that
 //! explains it.
 
-use wifi_core::netsim::testbed::Traffic;
+use wifi_core::netsim::testbed::{InterfererFault, Traffic};
 use wifi_core::prelude::*;
 use wifi_core::telemetry::{FlightDump, HealthReport, Registry};
 
@@ -168,5 +168,43 @@ fn fig15_artifacts_match_goldens() {
         ("fig15.metrics", fnv1a(metrics.to_json().as_bytes())),
         ("fig15.trace", fnv1a(&flight.to_bytes())),
         ("fig15.health", fnv1a(health.to_json().as_bytes())),
+    ]);
+}
+
+/// Exactly `fig19_qoe`'s two runs and artifact assembly — the QoE
+/// subsystem (probe flows, per-client scoring, the `qoe-degraded`
+/// detector) joins fig15/fig18 under the byte-identity pin, so probe
+/// scheduling or scoring drift fails tier-1 instead of shipping.
+#[test]
+fn fig19_artifacts_match_goldens() {
+    wifi_core::telemetry::runprof::set_enabled(true);
+    let run = |fastack: bool| {
+        Testbed::new(TestbedConfig {
+            clients_per_ap: 6,
+            fastack: vec![fastack],
+            seed: 1919,
+            interferer: Some(InterfererFault::default()),
+            qoe: Some(ProbeConfig::default()),
+            ..TestbedConfig::default()
+        })
+        .run(SimDuration::from_secs(5))
+    };
+    let base = run(false);
+    let fast = run(true);
+
+    let mut metrics = Registry::default();
+    metrics.merge_from(&base.metrics);
+    metrics.merge_from(&fast.metrics);
+    let mut flight = FlightDump::default();
+    flight.absorb("base", &base.flight);
+    flight.absorb("fast", &fast.flight);
+    let mut health = HealthReport::default();
+    health.absorb("base", &base.health);
+    health.absorb("fast", &fast.health);
+
+    check_goldens(&[
+        ("fig19.metrics", fnv1a(metrics.to_json().as_bytes())),
+        ("fig19.trace", fnv1a(&flight.to_bytes())),
+        ("fig19.health", fnv1a(health.to_json().as_bytes())),
     ]);
 }
